@@ -1,0 +1,111 @@
+// Command vup-experiments regenerates the paper's tables and figures
+// on the synthetic fleet and prints them as ASCII charts, optionally
+// writing the underlying data series as CSV files.
+//
+// Usage:
+//
+//	vup-experiments                      # every experiment, small scale
+//	vup-experiments -run fig5a           # one experiment
+//	vup-experiments -scale full -csv out # study scale, CSVs into out/
+//	vup-experiments -list                # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"vup/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vup-experiments: ")
+
+	var (
+		runID  = flag.String("run", "all", "experiment id to run, or \"all\"")
+		scale  = flag.String("scale", "small", `"small" (laptop) or "full" (study scale)`)
+		csvDir = flag.String("csv", "", "directory to write the regenerated data series as CSV (optional)")
+		mdPath = flag.String("md", "", "write a combined Markdown report to this path (optional)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		seed   = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	var cfg experiments.Config
+	switch *scale {
+	case "small":
+		cfg = experiments.Small()
+	case "full":
+		cfg = experiments.Full()
+	default:
+		log.Fatalf("unknown scale %q (want small or full)", *scale)
+	}
+	cfg.Seed = *seed
+
+	ids := experiments.IDs()
+	if *runID != "all" {
+		ids = strings.Split(*runID, ",")
+	}
+	var md strings.Builder
+	if *mdPath != "" {
+		fmt.Fprintf(&md, "# Regenerated experiments (scale %s, seed %d)\n\n", *scale, *seed)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Println(rep.Render())
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, rep); err != nil {
+				log.Fatalf("%s: %v", id, err)
+			}
+		}
+		if *mdPath != "" {
+			md.WriteString(rep.RenderMarkdown())
+			md.WriteString("\n")
+		}
+	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *mdPath)
+	}
+}
+
+func writeCSVs(dir string, rep *experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, tab := range rep.Tables {
+		path := filepath.Join(dir, tab.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tab.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Command vup-server serves the prediction pipeline over HTTP for a
+// generated synthetic fleet: vehicle listing, per-vehicle forecasts
+// and hold-out evaluations.
+//
+// Usage:
+//
+//	vup-server -addr :8080 -units 30 -days 600
+//
+// Endpoints:
+//
+//	GET /healthz
+//	GET /v1/vehicles
+//	GET /v1/vehicles/{id}
+//	GET /v1/vehicles/{id}/forecast?alg=SVR&scenario=next-working-day&w=140&k=20
+//	GET /v1/vehicles/{id}/evaluation?alg=Lasso&stride=10
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vup"
+	"vup/internal/canbus"
+	"vup/internal/regress"
+	"vup/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vup-server: ")
+
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		units = flag.Int("units", 30, "fleet size to generate")
+		days  = flag.Int("days", 600, "observation days")
+		seed  = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	fc := vup.SmallFleet()
+	fc.Units = *units
+	fc.Days = *days
+	fc.Seed = *seed
+	log.Printf("generating %d vehicles x %d days...", *units, *days)
+	datasets, err := vup.GenerateDatasets(fc, *seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := vup.DefaultConfig()
+	base.Algorithm = regress.AlgLasso // responsive default; override per request
+	base.W = 120
+	base.K = 12
+	base.MaxLag = 28
+	base.Stride = 5
+	base.Channels = []string{canbus.ChanFuelRate, canbus.ChanEngineSpeed}
+
+	api := server.New(server.NewStore(datasets), base)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Print("shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Command vupredict trains the paper's pipeline on one synthetic
+// vehicle, reports its hold-out Percentage Error and forecasts the
+// next (working) day's utilization hours.
+//
+// Usage:
+//
+//	vupredict -vehicle 3 -alg SVR -scenario next-working-day
+//	vupredict -alg GB -w 140 -k 20 -days 1369
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vup"
+	"vup/internal/core"
+	"vup/internal/regress"
+	"vup/internal/timeseries"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vupredict: ")
+
+	var (
+		vehicle  = flag.Int("vehicle", 0, "vehicle index within the generated fleet")
+		units    = flag.Int("units", 20, "fleet size to generate")
+		days     = flag.Int("days", 730, "observation days")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		alg      = flag.String("alg", "SVR", "algorithm: LV, MA, LR, Lasso, SVR, GB")
+		scenario = flag.String("scenario", "next-day", "next-day or next-working-day")
+		strategy = flag.String("strategy", "sliding", "sliding or expanding")
+		w        = flag.Int("w", 140, "training window days")
+		k        = flag.Int("k", 20, "selected lags (feature selection)")
+		stride   = flag.Int("stride", 5, "evaluate every stride-th day")
+		horizon  = flag.Int("horizon", 1, "forecast this many days ahead")
+	)
+	flag.Parse()
+
+	fc := vup.SmallFleet()
+	fc.Units = *units
+	fc.Days = *days
+	fc.Seed = *seed
+	datasets, err := vup.GenerateDatasets(fc, *seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *vehicle < 0 || *vehicle >= len(datasets) {
+		log.Fatalf("vehicle %d outside fleet of %d", *vehicle, len(datasets))
+	}
+	d := datasets[*vehicle]
+
+	cfg := vup.DefaultConfig()
+	cfg.Algorithm = regress.Algorithm(*alg)
+	cfg.W = *w
+	cfg.K = *k
+	cfg.Stride = *stride
+	switch *scenario {
+	case "next-day":
+		cfg.Scenario = core.NextDay
+	case "next-working-day":
+		cfg.Scenario = core.NextWorkingDay
+	default:
+		log.Fatalf("unknown scenario %q", *scenario)
+	}
+	switch *strategy {
+	case "sliding":
+		cfg.Strategy = timeseries.Sliding
+	case "expanding":
+		cfg.Strategy = timeseries.Expanding
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+
+	fmt.Printf("vehicle %s  type=%s model=%s country=%s days=%d\n",
+		d.VehicleID, d.Type, d.ModelID, d.Country, d.Len())
+
+	res, err := vup.Evaluate(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hold-out (%s, %s, %s): PE=%.1f%% MAE=%.2fh over %d predictions (%d windows skipped)\n",
+		cfg.Algorithm, cfg.Scenario, cfg.Strategy, res.PE, res.MAE, len(res.Predictions), res.SkippedWindows)
+
+	last := res.Predictions
+	if len(last) > 7 {
+		last = last[len(last)-7:]
+	}
+	fmt.Println("most recent evaluated days:")
+	for _, p := range last {
+		fmt.Printf("  %s  actual=%5.2fh  predicted=%5.2fh\n", p.Date.Format("Mon 2006-01-02"), p.Actual, p.Predicted)
+	}
+
+	hours, lags, err := vup.Forecast(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("forecast for the next %s: %.2f hours (lags %v)\n", cfg.Scenario, hours, lags)
+
+	if *horizon > 1 {
+		preds, err := vup.ForecastHorizon(d, cfg, *horizon, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d-step horizon:", *horizon)
+		for _, p := range preds {
+			fmt.Printf(" %.1f", p)
+		}
+		fmt.Println(" hours")
+	}
+}

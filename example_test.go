@@ -1,0 +1,75 @@
+package vup_test
+
+import (
+	"fmt"
+	"log"
+
+	"vup"
+	"vup/internal/canbus"
+	"vup/internal/core"
+)
+
+// The quickstart flow: generate data, evaluate, forecast.
+func Example() {
+	fleetCfg := vup.SmallFleet()
+	fleetCfg.Units = 3
+	fleetCfg.Days = 400
+	datasets, err := vup.GenerateDatasets(fleetCfg, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := vup.DefaultConfig()
+	cfg.Algorithm = vup.AlgLasso
+	cfg.W = 90
+	cfg.K = 8
+	cfg.MaxLag = 21
+	cfg.Stride = 10
+	cfg.Channels = []string{canbus.ChanFuelRate}
+
+	res, err := vup.Evaluate(datasets[0], cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vehicle %s evaluated over %d days\n", res.VehicleID, len(res.Predictions))
+	// Output:
+	// vehicle veh-0000 evaluated over 31 days
+}
+
+// Bucketing hours into the discrete usage levels of the future-work
+// classification extension.
+func ExampleLevelOf() {
+	for _, hours := range []float64{0, 2.5, 5, 12} {
+		fmt.Printf("%.1fh -> %s\n", hours, vup.LevelOf(hours))
+	}
+	// Output:
+	// 0.0h -> idle
+	// 2.5h -> light
+	// 5.0h -> regular
+	// 12.0h -> heavy
+}
+
+// The paper's Percentage Error metric.
+func ExamplePE() {
+	pe, err := core.PE([]float64{4, 2}, []float64{5, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PE = %.1f%%\n", pe)
+	// Output:
+	// PE = 33.3%
+}
+
+// Deterministic regeneration of a paper figure.
+func ExampleRunExperiment() {
+	cfg := vup.SmallExperiments()
+	cfg.Units = 12
+	cfg.Days = 400
+	rep, err := vup.RunExperiment("fig3", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.ID, "-", rep.Tables[0].Name)
+	// Output:
+	// fig3 - fig3_windows
+}

@@ -1,0 +1,86 @@
+// Fleet characterization dashboard: the Section 2 analysis of the
+// paper as a runnable program. It generates a fleet, pools the daily
+// utilization per vehicle type, prints the Figure 1(a) CDF and the
+// per-model box plots of Figure 1(b), and reports each type's
+// activity rate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"vup"
+	"vup/internal/fleet"
+	"vup/internal/stats"
+	"vup/internal/textplot"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fleetCfg := vup.SmallFleet()
+	fleetCfg.Units = 120
+	fleetCfg.Days = 730
+	datasets, err := vup.GenerateDatasets(fleetCfg, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pool active-day hours per type and count activity.
+	byType := map[string][]float64{}
+	activeDays := map[string]int{}
+	totalDays := map[string]int{}
+	byModel := map[string][]float64{}
+	for _, d := range datasets {
+		typeName := d.Type.String()
+		for _, h := range d.Hours {
+			totalDays[typeName]++
+			if h > 0 {
+				activeDays[typeName]++
+				byType[typeName] = append(byType[typeName], h)
+				if d.Type == fleet.RefuseCompactor {
+					byModel[d.ModelID] = append(byModel[d.ModelID], h)
+				}
+			}
+		}
+	}
+
+	// Figure 1(a): CDFs per type.
+	fmt.Println(textplot.CDFPlot("CDF of daily utilization hours per type (active days)", byType, 70, 16))
+
+	// Per-type summary table.
+	names := make([]string, 0, len(byType))
+	for name := range byType {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-20s %8s %8s %8s %9s\n", "type", "median", "p95", "max", "activity")
+	for _, name := range names {
+		xs := byType[name]
+		fmt.Printf("%-20s %8.2f %8.2f %8.2f %8.0f%%\n",
+			name, stats.Median(xs), stats.Quantile(xs, 0.95), stats.Max(xs),
+			100*float64(activeDays[name])/float64(totalDays[name]))
+	}
+	fmt.Println()
+
+	// Figure 1(b): box plots across refuse-compactor models, sorted by
+	// median.
+	type entry struct {
+		label string
+		box   stats.BoxStats
+	}
+	var entries []entry
+	for label, xs := range byModel {
+		if b, err := stats.Box(xs); err == nil {
+			entries = append(entries, entry{label, b})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].box.Median < entries[j].box.Median })
+	labels := make([]string, len(entries))
+	boxes := make([]stats.BoxStats, len(entries))
+	for i, e := range entries {
+		labels[i], boxes[i] = e.label, e.box
+	}
+	fmt.Println(textplot.BoxStrip("refuse-compactor models, daily hours (ascending median)", labels, boxes, 56))
+}

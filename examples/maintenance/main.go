@@ -1,0 +1,95 @@
+// Maintenance planner: the paper's motivating use case — "help site
+// managers to properly schedule short-term fleet management and
+// maintenance actions (e.g., schedule refueling)".
+//
+// For every vehicle of a site fleet the example forecasts the next
+// working day's utilization, projects cumulative engine hours against
+// each unit's service interval and prints a prioritized maintenance
+// schedule.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"vup"
+	"vup/internal/canbus"
+)
+
+// serviceEvery is the engine-hour interval between scheduled services.
+const serviceEvery = 250.0
+
+func main() {
+	log.SetFlags(0)
+
+	fleetCfg := vup.SmallFleet()
+	fleetCfg.Units = 12
+	fleetCfg.Days = 500
+	datasets, err := vup.GenerateDatasets(fleetCfg, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := vup.DefaultConfig()
+	cfg.Algorithm = vup.AlgLasso // fast enough to run per vehicle daily
+	cfg.Scenario = vup.NextWorkingDay
+	cfg.W = 120
+	cfg.K = 10
+	cfg.MaxLag = 21
+	cfg.Channels = []string{canbus.ChanFuelRate, canbus.ChanEngineSpeed}
+
+	type plan struct {
+		id            string
+		typ           string
+		country       string
+		sinceService  float64 // engine hours since the last service
+		nextDayHours  float64 // forecast utilization of the next working day
+		daysToService float64 // projected working days until the service is due
+	}
+	var plans []plan
+	for _, d := range datasets {
+		// Engine hours accumulated since the last (simulated) service:
+		// the trailing total modulo the interval.
+		var total float64
+		for _, h := range d.Hours {
+			total += h
+		}
+		since := total - float64(int(total/serviceEvery))*serviceEvery
+
+		hours, _, err := vup.Forecast(d, cfg)
+		if err != nil {
+			// Vehicles with too little history are simply not planned
+			// this round.
+			fmt.Printf("  (skipping %s: %v)\n", d.VehicleID, err)
+			continue
+		}
+		p := plan{
+			id: d.VehicleID, typ: d.Type.String(), country: d.Country,
+			sinceService: since, nextDayHours: hours,
+		}
+		if hours > 0.1 {
+			p.daysToService = (serviceEvery - since) / hours
+		} else {
+			p.daysToService = 1e9 // effectively idle
+		}
+		plans = append(plans, p)
+	}
+
+	sort.Slice(plans, func(i, j int) bool { return plans[i].daysToService < plans[j].daysToService })
+
+	fmt.Printf("maintenance schedule (service every %.0f engine hours)\n", serviceEvery)
+	fmt.Printf("%-10s %-20s %-3s %10s %12s %14s\n", "vehicle", "type", "cc", "since (h)", "next day (h)", "days to due")
+	for _, p := range plans {
+		due := fmt.Sprintf("%.0f", p.daysToService)
+		if p.daysToService > 1e6 {
+			due = "idle"
+		}
+		urgent := ""
+		if p.daysToService < 14 {
+			urgent = "  << schedule now"
+		}
+		fmt.Printf("%-10s %-20s %-3s %10.1f %12.2f %14s%s\n",
+			p.id, p.typ, p.country, p.sinceService, p.nextDayHours, due, urgent)
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: generate a small synthetic fleet, evaluate the paper's
+// pipeline on one vehicle and forecast tomorrow's utilization.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vup"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Generate a laptop-scale synthetic fleet (the study's full
+	//    scale is vup.StudyFleet(): 2 239 vehicles over 4 years).
+	fleetCfg := vup.SmallFleet()
+	fleetCfg.Units = 10
+	fleetCfg.Days = 600
+	datasets, err := vup.GenerateDatasets(fleetCfg, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := datasets[0]
+	fmt.Printf("vehicle %s: %s (%s), deployed in %s, %d days of data\n",
+		d.VehicleID, d.Type, d.ModelID, d.Country, d.Len())
+
+	// 2. Configure the pipeline. DefaultConfig carries the paper's
+	//    recommended settings (SVR, w=140, K=20); we shrink the window
+	//    and stride so the example finishes in seconds.
+	cfg := vup.DefaultConfig()
+	cfg.Algorithm = vup.AlgGB
+	cfg.W = 120
+	cfg.K = 12
+	cfg.MaxLag = 21
+	cfg.Stride = 5
+
+	// 3. Hold-out evaluation: how well would we have predicted each
+	//    day of the past?
+	res, err := vup.Evaluate(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hold-out percentage error (%s, %s): %.1f%%\n", cfg.Algorithm, cfg.Scenario, res.PE)
+
+	// 4. The easier next-working-day scenario (idle days removed).
+	//    Removing idle days shortens the series, so the training
+	//    window shrinks with it.
+	cfg.Scenario = vup.NextWorkingDay
+	cfg.W = 60
+	if res, err = vup.Evaluate(d, cfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hold-out percentage error (%s, %s): %.1f%%\n", cfg.Algorithm, cfg.Scenario, res.PE)
+
+	// 5. Forecast the next working day's utilization hours.
+	hours, lags, err := vup.Forecast(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("forecast for the next working day: %.2f hours (selected lags %v)\n", hours, lags)
+}

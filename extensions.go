@@ -1,0 +1,108 @@
+package vup
+
+// Facade surface for the paper's future-work extensions: weather
+// enrichment and discrete usage-level classification.
+
+import (
+	"vup/internal/classify"
+	"vup/internal/core"
+	"vup/internal/etl"
+	"vup/internal/fleet"
+	"vup/internal/randx"
+	"vup/internal/weather"
+)
+
+// Re-exported extension types.
+type (
+	// WeatherDay is one day of site weather.
+	WeatherDay = weather.Day
+	// Level is a discrete daily usage bucket.
+	Level = classify.Level
+	// LevelResult is a usage-level classification evaluation.
+	LevelResult = classify.Result
+)
+
+// Usage levels.
+const (
+	LevelIdle    = classify.Idle
+	LevelLight   = classify.Light
+	LevelRegular = classify.Regular
+	LevelHeavy   = classify.Heavy
+)
+
+// Weather channel names (attachable as Config.TargetChannels).
+const (
+	WeatherTempChannel   = weather.ChanTemp
+	WeatherPrecipChannel = weather.ChanPrecip
+)
+
+// LevelOf buckets daily utilization hours into a usage level.
+func LevelOf(hours float64) Level { return classify.LevelOf(hours) }
+
+// SimulateWeather generates a deterministic daily weather series for
+// the given country.
+func SimulateWeather(countryCode string, days int, seed int64) ([]WeatherDay, error) {
+	return weather.NewGenerator(countryCode, seed).Simulate(fleet.StudyStart, days)
+}
+
+// GenerateWeatherDatasets generates a fleet whose usage is modulated
+// by per-site weather, with the weather series attached to every
+// dataset as channels — ready for Config.TargetChannels.
+func GenerateWeatherDatasets(cfg FleetConfig, seed int64) ([]*Dataset, error) {
+	f, err := fleet.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := randx.New(seed)
+	out := make([]*Dataset, 0, len(f.Units))
+	for i, u := range f.Units {
+		gen := weather.NewGenerator(u.Vehicle.Country, cfg.Seed+int64(i))
+		wx, err := gen.Simulate(cfg.Start, cfg.Days)
+		if err != nil {
+			return nil, err
+		}
+		usage := u.Model.SimulateWeather(cfg.Start, cfg.Days, wx)
+		d, err := etl.FromUsage(u, usage, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		if err := d.AttachWeather(wx); err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// ForecastWith is Forecast with known target-day values for the
+// channels in Config.TargetChannels (e.g. tomorrow's weather
+// forecast).
+func ForecastWith(d *Dataset, cfg Config, target map[string]float64) (float64, []int, error) {
+	return core.ForecastWith(d, cfg, target)
+}
+
+// ForecastIntervalResult is a point forecast with an empirical
+// confidence band.
+type ForecastIntervalResult = core.Interval
+
+// ForecastInterval produces the next-day forecast together with an
+// empirical confidence band calibrated on the vehicle's hold-out
+// residuals (the paper's goal iii: confidence intervals for the
+// estimations).
+func ForecastInterval(d *Dataset, cfg Config, level float64) (*ForecastIntervalResult, error) {
+	return core.ForecastInterval(d, cfg, level)
+}
+
+// ForecastHorizon predicts the next h (working) days by iterated
+// one-step forecasting; per-step target-channel values (e.g. a weather
+// forecast per day) can be supplied via targets.
+func ForecastHorizon(d *Dataset, cfg Config, h int, targets []map[string]float64) ([]float64, error) {
+	return core.ForecastHorizon(d, cfg, h, targets)
+}
+
+// EvaluateLevels runs the hold-out evaluation with a discrete target:
+// the usage level of the next (working) day, predicted by the named
+// classifier ("Tree" or "Majority").
+func EvaluateLevels(d *Dataset, cfg Config, classifierName string) (*LevelResult, error) {
+	return classify.EvaluateVehicle(d, cfg, classifierName)
+}

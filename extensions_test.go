@@ -1,0 +1,130 @@
+package vup
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateWeatherFacade(t *testing.T) {
+	wx, err := SimulateWeather("IT", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wx) != 100 {
+		t.Fatalf("len = %d", len(wx))
+	}
+	for _, d := range wx {
+		if d.PrecipMM < 0 || math.IsNaN(d.TempC) {
+			t.Fatalf("bad day %+v", d)
+		}
+	}
+}
+
+func TestGenerateWeatherDatasets(t *testing.T) {
+	fc := SmallFleet()
+	fc.Units = 4
+	fc.Days = 400
+	ds, err := GenerateWeatherDatasets(fc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 4 {
+		t.Fatalf("datasets = %d", len(ds))
+	}
+	for _, d := range ds {
+		if _, ok := d.Channels[WeatherTempChannel]; !ok {
+			t.Fatal("weather temp channel missing")
+		}
+		if _, ok := d.Channels[WeatherPrecipChannel]; !ok {
+			t.Fatal("weather precip channel missing")
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestForecastWithFacade(t *testing.T) {
+	fc := SmallFleet()
+	fc.Units = 2
+	fc.Days = 450
+	ds, err := GenerateWeatherDatasets(fc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.TargetChannels = []string{WeatherTempChannel, WeatherPrecipChannel}
+	hours, lags, err := ForecastWith(ds[0], cfg, map[string]float64{
+		WeatherTempChannel:   15,
+		WeatherPrecipChannel: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hours < 0 || hours > 24 || len(lags) == 0 {
+		t.Errorf("forecast = %v %v", hours, lags)
+	}
+}
+
+func TestLevelFacade(t *testing.T) {
+	if LevelOf(0) != LevelIdle || LevelOf(2) != LevelLight ||
+		LevelOf(5) != LevelRegular || LevelOf(10) != LevelHeavy {
+		t.Error("level thresholds wrong")
+	}
+	ds := smallDatasets(t, 1)
+	cfg := smallConfig()
+	res, err := EvaluateLevels(ds[0], cfg, "Tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0 || res.Accuracy > 1 || res.Confusion.Total() == 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestWeatherHurtsPaversMoreThanCompactors(t *testing.T) {
+	// Sanity of the weather coupling through the public API: on rainy
+	// days the paver works less relative to its dry days than the
+	// refuse compactor does.
+	fc := SmallFleet()
+	fc.Units = 80
+	fc.Days = 500
+	ds, err := GenerateWeatherDatasets(fc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	activityRatio := func(typeName string) float64 {
+		var rainyActive, rainyTotal, dryActive, dryTotal float64
+		for _, d := range ds {
+			if d.Type.String() != typeName {
+				continue
+			}
+			precip := d.Channels[WeatherPrecipChannel]
+			for i, h := range d.Hours {
+				if precip[i] >= 5 {
+					rainyTotal++
+					if h > 0 {
+						rainyActive++
+					}
+				} else if precip[i] == 0 {
+					dryTotal++
+					if h > 0 {
+						dryActive++
+					}
+				}
+			}
+		}
+		if rainyTotal == 0 || dryTotal == 0 || dryActive == 0 {
+			return math.NaN()
+		}
+		return (rainyActive / rainyTotal) / (dryActive / dryTotal)
+	}
+	paver := activityRatio("paver")
+	compactor := activityRatio("refuse compactor")
+	if math.IsNaN(paver) || math.IsNaN(compactor) {
+		t.Skip("fleet draw lacks one of the types")
+	}
+	if paver >= compactor {
+		t.Errorf("paver rain ratio (%v) not below compactor (%v)", paver, compactor)
+	}
+}

@@ -1,0 +1,3 @@
+module vup
+
+go 1.22

@@ -1,0 +1,108 @@
+package canbus
+
+// Channel names used throughout the pipeline. These are the data
+// features the paper lists for the 10-minute reports: "fuel level,
+// engine oil pressure, engine coolant temperature, engine fuel rate
+// usage, speed, working hours, percent load, digging press, pump drive
+// temp, oil tank temperature".
+const (
+	ChanEngineSpeed   = "engine_rpm"
+	ChanFuelLevel     = "fuel_level_pct"
+	ChanOilPressure   = "oil_pressure_kpa"
+	ChanCoolantTemp   = "coolant_temp_c"
+	ChanFuelRate      = "fuel_rate_lph"
+	ChanSpeed         = "speed_kmh"
+	ChanPercentLoad   = "percent_load"
+	ChanDiggingPress  = "digging_press_kpa"
+	ChanPumpDriveTemp = "pump_drive_temp_c"
+	ChanOilTankTemp   = "oil_tank_temp_c"
+	ChanEngineOn      = "engine_on"
+)
+
+// Parameter group numbers, following J1939 conventions where a
+// standard group exists (EEC1 61444, LFE 65266, ET1 65262, EFL/P1
+// 65263, DD 65276, CCVS 65265) and vendor-proprietary groups (PDU2
+// page, 0xFFxx) for the machine-control channels.
+const (
+	PGNEEC1   uint32 = 61444 // electronic engine controller 1: rpm, load
+	PGNLFE    uint32 = 65266 // fuel economy: fuel rate
+	PGNET1    uint32 = 65262 // engine temperature: coolant
+	PGNEFLP1  uint32 = 65263 // fluid level/pressure: oil pressure
+	PGNDD     uint32 = 65276 // dash display: fuel level
+	PGNCCVS   uint32 = 65265 // cruise control/vehicle speed
+	PGNHydrau uint32 = 65280 // proprietary: digging pressure, pump temps
+	PGNStatus uint32 = 65281 // proprietary: engine on/off status
+)
+
+// Catalog returns the message definitions for every channel the study
+// uses, keyed by PGN.
+func Catalog() map[uint32]MessageDef {
+	msgs := []MessageDef{
+		{
+			Name: "EEC1", PGN: PGNEEC1, Priority: 3,
+			Signals: []Signal{
+				{Name: ChanEngineSpeed, StartBit: 24, Length: 16, Order: LittleEndian, Scale: 0.125, Offset: 0, Min: 0, Max: 8031.875, Unit: "rpm"},
+				{Name: ChanPercentLoad, StartBit: 16, Length: 8, Order: LittleEndian, Scale: 1, Offset: 0, Min: 0, Max: 125, Unit: "%"},
+			},
+		},
+		{
+			Name: "LFE", PGN: PGNLFE, Priority: 6,
+			Signals: []Signal{
+				{Name: ChanFuelRate, StartBit: 0, Length: 16, Order: LittleEndian, Scale: 0.05, Offset: 0, Min: 0, Max: 3212.75, Unit: "L/h"},
+			},
+		},
+		{
+			Name: "ET1", PGN: PGNET1, Priority: 6,
+			Signals: []Signal{
+				{Name: ChanCoolantTemp, StartBit: 0, Length: 8, Order: LittleEndian, Scale: 1, Offset: -40, Min: -40, Max: 210, Unit: "degC"},
+			},
+		},
+		{
+			Name: "EFL_P1", PGN: PGNEFLP1, Priority: 6,
+			Signals: []Signal{
+				{Name: ChanOilPressure, StartBit: 24, Length: 8, Order: LittleEndian, Scale: 4, Offset: 0, Min: 0, Max: 1000, Unit: "kPa"},
+			},
+		},
+		{
+			Name: "DD", PGN: PGNDD, Priority: 6,
+			Signals: []Signal{
+				{Name: ChanFuelLevel, StartBit: 8, Length: 8, Order: LittleEndian, Scale: 0.4, Offset: 0, Min: 0, Max: 100, Unit: "%"},
+			},
+		},
+		{
+			Name: "CCVS", PGN: PGNCCVS, Priority: 6,
+			Signals: []Signal{
+				{Name: ChanSpeed, StartBit: 8, Length: 16, Order: LittleEndian, Scale: 1.0 / 256, Offset: 0, Min: 0, Max: 250.996, Unit: "km/h"},
+			},
+		},
+		{
+			Name: "HYDRAULICS", PGN: PGNHydrau, Priority: 6,
+			Signals: []Signal{
+				{Name: ChanDiggingPress, StartBit: 0, Length: 16, Order: LittleEndian, Scale: 2, Offset: 0, Min: 0, Max: 60000, Unit: "kPa"},
+				{Name: ChanPumpDriveTemp, StartBit: 16, Length: 8, Order: LittleEndian, Scale: 1, Offset: -40, Min: -40, Max: 210, Unit: "degC"},
+				{Name: ChanOilTankTemp, StartBit: 24, Length: 8, Order: LittleEndian, Scale: 1, Offset: -40, Min: -40, Max: 210, Unit: "degC"},
+			},
+		},
+		{
+			Name: "STATUS", PGN: PGNStatus, Priority: 7,
+			Signals: []Signal{
+				{Name: ChanEngineOn, StartBit: 0, Length: 1, Order: LittleEndian, Scale: 1, Offset: 0, Min: 0, Max: 1, Unit: "bool"},
+			},
+		},
+	}
+	out := make(map[uint32]MessageDef, len(msgs))
+	for _, m := range msgs {
+		out[m.PGN] = m
+	}
+	return out
+}
+
+// AnalogChannels lists the continuous channels aggregated into the
+// 10-minute reports, in a stable order.
+func AnalogChannels() []string {
+	return []string{
+		ChanEngineSpeed, ChanFuelLevel, ChanOilPressure, ChanCoolantTemp,
+		ChanFuelRate, ChanSpeed, ChanPercentLoad, ChanDiggingPress,
+		ChanPumpDriveTemp, ChanOilTankTemp,
+	}
+}

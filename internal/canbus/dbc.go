@@ -1,0 +1,198 @@
+package canbus
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements a subset of the Vector DBC database format —
+// the de-facto interchange format for CAN signal definitions — so
+// users can load their own vehicle catalogs instead of the built-in
+// one, and export the built-in catalog for use with standard CAN
+// tooling.
+//
+// Supported statements: VERSION, BO_ (message), SG_ (plain unsigned
+// signals, Intel or Motorola). Everything else is skipped. Multiplexed
+// and signed signals are rejected explicitly.
+
+// ErrDBC is wrapped by all DBC parse failures.
+var ErrDBC = errors.New("canbus: invalid dbc")
+
+// dbcExtendedBit flags 29-bit identifiers in DBC message IDs.
+const dbcExtendedBit = 0x80000000
+
+var (
+	dbcMessageRe = regexp.MustCompile(`^BO_\s+(\d+)\s+(\w+)\s*:\s*(\d+)\s+(\S+)`)
+	dbcSignalRe  = regexp.MustCompile(`^\s*SG_\s+(\w+)(\s+[mM]\d*)?\s*:\s*(\d+)\|(\d+)@([01])([+-])\s*\(([^,]+),([^)]+)\)\s*\[([^|]*)\|([^\]]*)\]\s*"([^"]*)"`)
+)
+
+// ParseDBC reads message and signal definitions from DBC text. Only
+// extended-identifier (J1939-style) messages are returned, as base
+// frames carry no PGN.
+func ParseDBC(r io.Reader) ([]MessageDef, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	var out []MessageDef
+	var current *MessageDef
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "BO_ "):
+			m := dbcMessageRe.FindStringSubmatch(trimmed)
+			if m == nil {
+				return nil, fmt.Errorf("%w: line %d: malformed BO_ statement", ErrDBC, lineNo)
+			}
+			rawID, err := strconv.ParseUint(m[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: message id: %v", ErrDBC, lineNo, err)
+			}
+			dlc, err := strconv.Atoi(m[3])
+			if err != nil || dlc < 0 || dlc > 8 {
+				return nil, fmt.Errorf("%w: line %d: dlc %q", ErrDBC, lineNo, m[3])
+			}
+			if rawID&dbcExtendedBit == 0 {
+				current = nil // base-frame message: skipped
+				continue
+			}
+			id := uint32(rawID) &^ uint32(dbcExtendedBit)
+			if id > MaxExtendedID {
+				return nil, fmt.Errorf("%w: line %d: id %#x exceeds 29 bits", ErrDBC, lineNo, id)
+			}
+			out = append(out, MessageDef{
+				Name:     m[2],
+				PGN:      PGN(id),
+				Priority: Priority(id),
+			})
+			current = &out[len(out)-1]
+
+		case strings.HasPrefix(trimmed, "SG_ "):
+			if current == nil {
+				continue // signal of a skipped message
+			}
+			m := dbcSignalRe.FindStringSubmatch(trimmed)
+			if m == nil {
+				return nil, fmt.Errorf("%w: line %d: malformed SG_ statement", ErrDBC, lineNo)
+			}
+			if strings.TrimSpace(m[2]) != "" {
+				return nil, fmt.Errorf("%w: line %d: multiplexed signals are not supported", ErrDBC, lineNo)
+			}
+			if m[6] == "-" {
+				return nil, fmt.Errorf("%w: line %d: signed signals are not supported", ErrDBC, lineNo)
+			}
+			start, err1 := strconv.ParseUint(m[3], 10, 32)
+			length, err2 := strconv.ParseUint(m[4], 10, 32)
+			scale, err3 := strconv.ParseFloat(strings.TrimSpace(m[7]), 64)
+			offset, err4 := strconv.ParseFloat(strings.TrimSpace(m[8]), 64)
+			if err := firstErr(err1, err2, err3, err4); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrDBC, lineNo, err)
+			}
+			min, max := 0.0, 0.0
+			if s := strings.TrimSpace(m[9]); s != "" {
+				if min, err1 = strconv.ParseFloat(s, 64); err1 != nil {
+					return nil, fmt.Errorf("%w: line %d: min: %v", ErrDBC, lineNo, err1)
+				}
+			}
+			if s := strings.TrimSpace(m[10]); s != "" {
+				if max, err1 = strconv.ParseFloat(s, 64); err1 != nil {
+					return nil, fmt.Errorf("%w: line %d: max: %v", ErrDBC, lineNo, err1)
+				}
+			}
+			order := BigEndian
+			if m[5] == "1" {
+				order = LittleEndian
+			}
+			sig := Signal{
+				Name:     m[1],
+				StartBit: uint(start),
+				Length:   uint(length),
+				Order:    order,
+				Scale:    scale,
+				Offset:   offset,
+				Min:      min,
+				Max:      max,
+				Unit:     m[11],
+			}
+			if err := sig.Validate(); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrDBC, lineNo, err)
+			}
+			current.Signals = append(current.Signals, sig)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDBC, err)
+	}
+	for _, m := range out {
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDBC, err)
+		}
+	}
+	return out, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDBC serializes messages as DBC text that ParseDBC accepts.
+// Messages are emitted sorted by PGN; the source address in the
+// encoded identifier is zero.
+func WriteDBC(w io.Writer, msgs []MessageDef) error {
+	sorted := append([]MessageDef(nil), msgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PGN < sorted[j].PGN })
+	if _, err := fmt.Fprintf(w, "VERSION \"\"\n\nBU_: VUP\n"); err != nil {
+		return err
+	}
+	for _, m := range sorted {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		id := uint64(J1939ID(m.Priority, m.PGN, 0)) | dbcExtendedBit
+		if _, err := fmt.Fprintf(w, "\nBO_ %d %s: 8 VUP\n", id, sanitizeDBCName(m.Name)); err != nil {
+			return err
+		}
+		for _, s := range m.Signals {
+			order := 0
+			if s.Order == LittleEndian {
+				order = 1
+			}
+			if _, err := fmt.Fprintf(w, " SG_ %s : %d|%d@%d+ (%g,%g) [%g|%g] \"%s\" VUP\n",
+				sanitizeDBCName(s.Name), s.StartBit, s.Length, order, s.Scale, s.Offset, s.Min, s.Max, s.Unit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sanitizeDBCName maps arbitrary names onto the DBC identifier
+// alphabet.
+func sanitizeDBCName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package canbus
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriteParseDBCRoundTrip(t *testing.T) {
+	var catalog []MessageDef
+	for _, m := range Catalog() {
+		catalog = append(catalog, m)
+	}
+	var buf bytes.Buffer
+	if err := WriteDBC(&buf, catalog); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseDBC(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(catalog) {
+		t.Fatalf("parsed %d messages, wrote %d", len(parsed), len(catalog))
+	}
+	byPGN := map[uint32]MessageDef{}
+	for _, m := range parsed {
+		byPGN[m.PGN] = m
+	}
+	for _, want := range catalog {
+		got, ok := byPGN[want.PGN]
+		if !ok {
+			t.Fatalf("pgn %#x lost in round trip", want.PGN)
+		}
+		if got.Priority != want.Priority {
+			t.Errorf("pgn %#x priority %d != %d", want.PGN, got.Priority, want.Priority)
+		}
+		if len(got.Signals) != len(want.Signals) {
+			t.Fatalf("pgn %#x signals %d != %d", want.PGN, len(got.Signals), len(want.Signals))
+		}
+		wantByName := map[string]Signal{}
+		for _, s := range want.Signals {
+			wantByName[s.Name] = s
+		}
+		for _, s := range got.Signals {
+			w, ok := wantByName[s.Name]
+			if !ok {
+				t.Fatalf("pgn %#x unexpected signal %q", want.PGN, s.Name)
+			}
+			if s.StartBit != w.StartBit || s.Length != w.Length || s.Order != w.Order ||
+				s.Scale != w.Scale || s.Offset != w.Offset || s.Min != w.Min || s.Max != w.Max || s.Unit != w.Unit {
+				t.Errorf("signal %q changed: %+v != %+v", s.Name, s, w)
+			}
+		}
+	}
+}
+
+func TestParseDBCSample(t *testing.T) {
+	src := `VERSION "sample"
+BU_: ECU1
+
+BO_ 2364540158 EEC1: 8 ECU1
+ SG_ EngineSpeed : 24|16@1+ (0.125,0) [0|8031.875] "rpm" ECU1
+
+BO_ 256 BaseFrameMsg: 8 ECU1
+ SG_ Ignored : 0|8@1+ (1,0) [0|255] "" ECU1
+`
+	msgs, err := ParseDBC(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The base-frame message is skipped; only the J1939 one remains.
+	if len(msgs) != 1 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	m := msgs[0]
+	// 2364540158 = 0x8CF00400 | ext bit: pgn 0xF004 = 61444 (EEC1).
+	if m.PGN != 61444 || m.Name != "EEC1" {
+		t.Errorf("message = %+v", m)
+	}
+	if len(m.Signals) != 1 || m.Signals[0].Name != "EngineSpeed" || m.Signals[0].Scale != 0.125 {
+		t.Errorf("signal = %+v", m.Signals)
+	}
+}
+
+func TestParseDBCMotorola(t *testing.T) {
+	src := `BO_ 2566834687 M: 8 X
+ SG_ Moto : 7|16@0+ (1,0) [0|65535] "" X
+`
+	msgs, err := ParseDBC(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs[0].Signals[0].Order != BigEndian {
+		t.Error("Motorola order lost")
+	}
+}
+
+func TestParseDBCErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"malformed BO_", "BO_ abc Name: 8 X\n"},
+		{"bad dlc", "BO_ 2566834687 M: 99 X\n"},
+		{"malformed SG_", "BO_ 2566834687 M: 8 X\n SG_ broken\n"},
+		{"signed signal", "BO_ 2566834687 M: 8 X\n SG_ S : 0|8@1- (1,0) [0|255] \"\" X\n"},
+		{"multiplexed", "BO_ 2566834687 M: 8 X\n SG_ S m1 : 0|8@1+ (1,0) [0|255] \"\" X\n"},
+		{"overrun", "BO_ 2566834687 M: 8 X\n SG_ S : 60|16@1+ (1,0) [0|255] \"\" X\n"},
+		{"zero scale", "BO_ 2566834687 M: 8 X\n SG_ S : 0|8@1+ (0,0) [0|255] \"\" X\n"},
+		{"overlap", "BO_ 2566834687 M: 8 X\n SG_ A : 0|8@1+ (1,0) [0|255] \"\" X\n SG_ B : 4|8@1+ (1,0) [0|255] \"\" X\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseDBC(strings.NewReader(c.src)); !errors.Is(err, ErrDBC) {
+			t.Errorf("%s: want ErrDBC, got %v", c.name, err)
+		}
+	}
+}
+
+func TestParseDBCSkipsUnknownStatements(t *testing.T) {
+	src := `VERSION "x"
+NS_ :
+CM_ "a comment";
+BA_DEF_ "whatever";
+`
+	msgs, err := ParseDBC(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 0 {
+		t.Errorf("messages = %d", len(msgs))
+	}
+}
+
+func TestSanitizeDBCName(t *testing.T) {
+	if got := sanitizeDBCName("fuel rate (L/h)"); got != "fuel_rate__L_h_" {
+		t.Errorf("sanitized = %q", got)
+	}
+	if got := sanitizeDBCName(""); got != "_" {
+		t.Errorf("empty = %q", got)
+	}
+}
+
+func TestWriteDBCInvalidMessage(t *testing.T) {
+	bad := MessageDef{Name: "bad", PGN: 1, Signals: []Signal{{Name: "s", StartBit: 0, Length: 0, Scale: 1}}}
+	if err := WriteDBC(&bytes.Buffer{}, []MessageDef{bad}); err == nil {
+		t.Error("invalid message written")
+	}
+}

@@ -1,0 +1,203 @@
+package canbus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The study's report contents include "Diagnostic Messages". This file
+// implements the J1939 active-diagnostics message (DM1, PGN 65226)
+// with its 4-byte DTC records, including multi-packet transmission via
+// the TP.BAM transport protocol when more than two trouble codes are
+// active.
+
+// Diagnostic and transport PGNs. TP.CM and TP.DT are PDU1-format
+// groups (the low byte of the identifier's PGN field is a destination
+// address; 0xFF = global for BAM).
+const (
+	PGNDM1  uint32 = 65226 // active diagnostic trouble codes
+	PGNTPCM uint32 = 60416 // transport protocol, connection management (0xEC00)
+	PGNTPDT uint32 = 60160 // transport protocol, data transfer (0xEB00)
+
+	globalDest uint32 = 0xFF
+)
+
+// tpCMBAM is the TP.CM control byte for a Broadcast Announce Message.
+const tpCMBAM = 32
+
+// DTC is one active diagnostic trouble code.
+type DTC struct {
+	// SPN is the suspect parameter number (19 bits).
+	SPN uint32
+	// FMI is the failure mode identifier (5 bits).
+	FMI uint8
+	// OC is the occurrence count (7 bits).
+	OC uint8
+}
+
+// Validate checks field widths.
+func (d DTC) Validate() error {
+	if d.SPN >= 1<<19 {
+		return fmt.Errorf("%w: spn %d exceeds 19 bits", ErrInvalidFrame, d.SPN)
+	}
+	if d.FMI >= 1<<5 {
+		return fmt.Errorf("%w: fmi %d exceeds 5 bits", ErrInvalidFrame, d.FMI)
+	}
+	if d.OC >= 1<<7 {
+		return fmt.Errorf("%w: oc %d exceeds 7 bits", ErrInvalidFrame, d.OC)
+	}
+	return nil
+}
+
+// pack serializes the DTC into the 4-byte J1939 "version 4" layout.
+func (d DTC) pack() [4]byte {
+	return [4]byte{
+		byte(d.SPN),
+		byte(d.SPN >> 8),
+		byte((d.SPN>>16)&0x7)<<5 | d.FMI&0x1F,
+		d.OC & 0x7F,
+	}
+}
+
+func unpackDTC(b []byte) DTC {
+	return DTC{
+		SPN: uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2]>>5)<<16,
+		FMI: b[2] & 0x1F,
+		OC:  b[3] & 0x7F,
+	}
+}
+
+// ErrTransport is wrapped by transport-protocol decoding failures.
+var ErrTransport = errors.New("canbus: transport protocol error")
+
+// EncodeDM1 serializes the lamp status and active trouble codes into
+// CAN frames: a single DM1 frame when the payload fits 8 bytes (up to
+// one DTC), otherwise a TP.BAM announcement followed by TP.DT data
+// frames.
+func EncodeDM1(lamps uint16, dtcs []DTC, src uint8) ([]Frame, error) {
+	for _, d := range dtcs {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	payload := []byte{byte(lamps), byte(lamps >> 8)}
+	if len(dtcs) == 0 {
+		// No active codes: the spec sends an all-clear DTC of zeros.
+		payload = append(payload, 0, 0, 0, 0)
+	}
+	for _, d := range dtcs {
+		p := d.pack()
+		payload = append(payload, p[:]...)
+	}
+
+	if len(payload) <= 8 {
+		f := Frame{ID: J1939ID(6, PGNDM1, src), Extended: true, DLC: 8}
+		copy(f.Data[:], payload)
+		// Pad with 0xFF per J1939 convention.
+		for i := len(payload); i < 8; i++ {
+			f.Data[i] = 0xFF
+		}
+		return []Frame{f}, nil
+	}
+
+	// TP.BAM: announce, then 7-byte data packets.
+	total := len(payload)
+	packets := (total + 6) / 7
+	if packets > 255 {
+		return nil, fmt.Errorf("%w: %d DTCs exceed the 255-packet BAM limit", ErrTransport, len(dtcs))
+	}
+	cm := Frame{ID: J1939ID(7, PGNTPCM|globalDest, src), Extended: true, DLC: 8}
+	dm1 := PGNDM1
+	cm.Data = [8]byte{
+		tpCMBAM,
+		byte(total), byte(total >> 8),
+		byte(packets),
+		0xFF,
+		byte(dm1), byte(dm1 >> 8), byte(dm1 >> 16),
+	}
+	frames := []Frame{cm}
+	for seq := 0; seq < packets; seq++ {
+		dt := Frame{ID: J1939ID(7, PGNTPDT|globalDest, src), Extended: true, DLC: 8}
+		dt.Data[0] = byte(seq + 1)
+		for i := 0; i < 7; i++ {
+			idx := seq*7 + i
+			if idx < total {
+				dt.Data[1+i] = payload[idx]
+			} else {
+				dt.Data[1+i] = 0xFF
+			}
+		}
+		frames = append(frames, dt)
+	}
+	return frames, nil
+}
+
+// DecodeDM1 parses the frames produced by EncodeDM1 (a single DM1
+// frame, or a TP.CM BAM announcement followed by its TP.DT packets in
+// order) and returns the lamp status and active trouble codes.
+func DecodeDM1(frames []Frame) (lamps uint16, dtcs []DTC, err error) {
+	if len(frames) == 0 {
+		return 0, nil, fmt.Errorf("%w: no frames", ErrTransport)
+	}
+	first := frames[0]
+	if err := first.Validate(); err != nil {
+		return 0, nil, err
+	}
+	var payload []byte
+	switch PGN(first.ID) {
+	case PGNDM1:
+		if len(frames) != 1 {
+			return 0, nil, fmt.Errorf("%w: single-frame DM1 followed by %d extra frames", ErrTransport, len(frames)-1)
+		}
+		payload = first.Data[:]
+	case PGNTPCM:
+		if first.Data[0] != tpCMBAM {
+			return 0, nil, fmt.Errorf("%w: unsupported TP.CM control %d", ErrTransport, first.Data[0])
+		}
+		announcedPGN := uint32(first.Data[5]) | uint32(first.Data[6])<<8 | uint32(first.Data[7])<<16
+		if announcedPGN != PGNDM1 {
+			return 0, nil, fmt.Errorf("%w: BAM announces pgn %#x, want DM1", ErrTransport, announcedPGN)
+		}
+		total := int(first.Data[1]) | int(first.Data[2])<<8
+		packets := int(first.Data[3])
+		if len(frames)-1 != packets {
+			return 0, nil, fmt.Errorf("%w: announced %d packets, got %d", ErrTransport, packets, len(frames)-1)
+		}
+		payload = make([]byte, 0, packets*7)
+		for i, f := range frames[1:] {
+			if PGN(f.ID) != PGNTPDT {
+				return 0, nil, fmt.Errorf("%w: frame %d is pgn %#x, want TP.DT", ErrTransport, i+1, PGN(f.ID))
+			}
+			if int(f.Data[0]) != i+1 {
+				return 0, nil, fmt.Errorf("%w: packet %d has sequence %d", ErrTransport, i+1, f.Data[0])
+			}
+			payload = append(payload, f.Data[1:]...)
+		}
+		if total > len(payload) {
+			return 0, nil, fmt.Errorf("%w: announced %d bytes, reassembled %d", ErrTransport, total, len(payload))
+		}
+		payload = payload[:total]
+	default:
+		return 0, nil, fmt.Errorf("%w: unexpected pgn %#x", ErrTransport, PGN(first.ID))
+	}
+
+	if len(payload) < 2 {
+		return 0, nil, fmt.Errorf("%w: payload too short", ErrTransport)
+	}
+	lamps = uint16(payload[0]) | uint16(payload[1])<<8
+	body := payload[2:]
+	for len(body) >= 4 {
+		raw := body[:4]
+		body = body[4:]
+		// Skip padding and the all-clear record.
+		if raw[0] == 0xFF && raw[1] == 0xFF {
+			continue
+		}
+		d := unpackDTC(raw)
+		if d.SPN == 0 && d.FMI == 0 {
+			continue
+		}
+		dtcs = append(dtcs, d)
+	}
+	return lamps, dtcs, nil
+}

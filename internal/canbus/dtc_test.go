@@ -1,0 +1,184 @@
+package canbus
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDTCValidate(t *testing.T) {
+	cases := []struct {
+		d  DTC
+		ok bool
+	}{
+		{DTC{SPN: 100, FMI: 3, OC: 1}, true},
+		{DTC{SPN: 1<<19 - 1, FMI: 31, OC: 127}, true},
+		{DTC{SPN: 1 << 19}, false},
+		{DTC{FMI: 32}, false},
+		{DTC{OC: 128}, false},
+	}
+	for i, c := range cases {
+		if err := c.d.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d: err = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestDM1SingleFrameRoundTrip(t *testing.T) {
+	dtc := DTC{SPN: 110, FMI: 3, OC: 5} // coolant temp sensor fault
+	frames, err := EncodeDM1(0x55, []DTC{dtc}, 0x21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d, want 1", len(frames))
+	}
+	if PGN(frames[0].ID) != PGNDM1 {
+		t.Fatalf("pgn = %#x", PGN(frames[0].ID))
+	}
+	lamps, dtcs, err := DecodeDM1(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lamps != 0x55 {
+		t.Errorf("lamps = %#x", lamps)
+	}
+	if len(dtcs) != 1 || dtcs[0] != dtc {
+		t.Errorf("dtcs = %+v", dtcs)
+	}
+}
+
+func TestDM1NoActiveCodes(t *testing.T) {
+	frames, err := EncodeDM1(0, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lamps, dtcs, err := DecodeDM1(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lamps != 0 || len(dtcs) != 0 {
+		t.Errorf("all-clear decoded as %v %v", lamps, dtcs)
+	}
+}
+
+func TestDM1MultiPacketBAM(t *testing.T) {
+	var dtcs []DTC
+	for i := 0; i < 5; i++ {
+		dtcs = append(dtcs, DTC{SPN: uint32(100 + i), FMI: uint8(i), OC: uint8(i + 1)})
+	}
+	frames, err := EncodeDM1(0x0102, dtcs, 0x42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 + 5*4 = 22 bytes -> TP.CM + 4 TP.DT packets.
+	if len(frames) != 5 {
+		t.Fatalf("frames = %d, want 5", len(frames))
+	}
+	if PGN(frames[0].ID) != PGNTPCM {
+		t.Fatalf("first frame pgn = %#x", PGN(frames[0].ID))
+	}
+	for _, f := range frames[1:] {
+		if PGN(f.ID) != PGNTPDT {
+			t.Fatalf("data frame pgn = %#x", PGN(f.ID))
+		}
+	}
+	lamps, got, err := DecodeDM1(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lamps != 0x0102 {
+		t.Errorf("lamps = %#x", lamps)
+	}
+	if len(got) != 5 {
+		t.Fatalf("decoded %d dtcs", len(got))
+	}
+	for i := range dtcs {
+		if got[i] != dtcs[i] {
+			t.Errorf("dtc %d = %+v, want %+v", i, got[i], dtcs[i])
+		}
+	}
+}
+
+func TestDM1RoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	f := func(seed uint64) bool {
+		n := int(seed % 12)
+		dtcs := make([]DTC, 0, n)
+		for i := 0; i < n; i++ {
+			dtcs = append(dtcs, DTC{
+				SPN: 1 + uint32(rng.Intn(1<<19-1)),
+				FMI: uint8(rng.Intn(32)),
+				OC:  uint8(rng.Intn(128)),
+			})
+		}
+		lamps := uint16(seed >> 16)
+		frames, err := EncodeDM1(lamps, dtcs, 9)
+		if err != nil {
+			return false
+		}
+		gotLamps, got, err := DecodeDM1(frames)
+		if err != nil || gotLamps != lamps || len(got) != len(dtcs) {
+			return false
+		}
+		for i := range dtcs {
+			if got[i] != dtcs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDM1InvalidDTC(t *testing.T) {
+	if _, err := EncodeDM1(0, []DTC{{SPN: 1 << 19}}, 1); err == nil {
+		t.Error("invalid DTC accepted")
+	}
+}
+
+func TestDecodeDM1Errors(t *testing.T) {
+	if _, _, err := DecodeDM1(nil); !errors.Is(err, ErrTransport) {
+		t.Errorf("empty: %v", err)
+	}
+	// Wrong PGN entirely.
+	other, _ := Catalog()[PGNEEC1].Encode(map[string]float64{ChanEngineSpeed: 100}, 1)
+	if _, _, err := DecodeDM1([]Frame{other}); !errors.Is(err, ErrTransport) {
+		t.Errorf("wrong pgn: %v", err)
+	}
+	// Valid BAM with a missing packet.
+	dtcs := []DTC{{SPN: 1, FMI: 1, OC: 1}, {SPN: 2, FMI: 2, OC: 2}, {SPN: 3, FMI: 3, OC: 3}}
+	frames, err := EncodeDM1(0, dtcs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeDM1(frames[:len(frames)-1]); !errors.Is(err, ErrTransport) {
+		t.Errorf("truncated BAM: %v", err)
+	}
+	// Out-of-order packets.
+	swapped := append([]Frame(nil), frames...)
+	swapped[1], swapped[2] = swapped[2], swapped[1]
+	if _, _, err := DecodeDM1(swapped); !errors.Is(err, ErrTransport) {
+		t.Errorf("out-of-order BAM: %v", err)
+	}
+	// Single DM1 frame followed by junk.
+	single, _ := EncodeDM1(0, []DTC{{SPN: 9, FMI: 1, OC: 1}}, 1)
+	if _, _, err := DecodeDM1(append(single, single[0])); !errors.Is(err, ErrTransport) {
+		t.Errorf("trailing frames: %v", err)
+	}
+	// Unsupported TP.CM control byte (RTS = 16).
+	rts := frames[0]
+	rts.Data[0] = 16
+	if _, _, err := DecodeDM1(append([]Frame{rts}, frames[1:]...)); !errors.Is(err, ErrTransport) {
+		t.Errorf("RTS control: %v", err)
+	}
+	// BAM announcing a non-DM1 PGN.
+	wrongPGN := frames[0]
+	wrongPGN.Data[5], wrongPGN.Data[6], wrongPGN.Data[7] = 0x34, 0x12, 0x00
+	if _, _, err := DecodeDM1(append([]Frame{wrongPGN}, frames[1:]...)); !errors.Is(err, ErrTransport) {
+		t.Errorf("wrong announced pgn: %v", err)
+	}
+}

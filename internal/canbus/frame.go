@@ -1,0 +1,80 @@
+// Package canbus models the Controller Area Network data layer the
+// study's telematics pipeline is built on: CAN 2.0 frames, bit-level
+// signal packing (Intel and Motorola byte order), J1939-style
+// parameter-group messages carrying the engine and vehicle channels
+// the paper enumerates (engine rpm, fuel level, oil pressure, coolant
+// temperature, fuel rate, speed, percent load, digging pressure, pump
+// drive temperature, oil tank temperature), and the on-board
+// aggregation of high-frequency samples into the 10-minute reports the
+// vehicles upload to the central server.
+package canbus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Frame is a CAN 2.0 data frame.
+type Frame struct {
+	// ID is the arbitration identifier: 11 bits for base frames,
+	// 29 bits for extended (J1939) frames.
+	ID uint32
+	// Extended selects the 29-bit identifier format.
+	Extended bool
+	// DLC is the data length code, 0..8.
+	DLC uint8
+	// Data holds the payload; only the first DLC bytes are meaningful.
+	Data [8]byte
+}
+
+// Identifier width limits.
+const (
+	MaxBaseID     = 1<<11 - 1
+	MaxExtendedID = 1<<29 - 1
+)
+
+// ErrInvalidFrame is wrapped by Frame.Validate failures.
+var ErrInvalidFrame = errors.New("canbus: invalid frame")
+
+// Validate checks identifier width and DLC.
+func (f Frame) Validate() error {
+	limit := uint32(MaxBaseID)
+	if f.Extended {
+		limit = MaxExtendedID
+	}
+	if f.ID > limit {
+		return fmt.Errorf("%w: id %#x exceeds %d-bit space", ErrInvalidFrame, f.ID, map[bool]int{false: 11, true: 29}[f.Extended])
+	}
+	if f.DLC > 8 {
+		return fmt.Errorf("%w: dlc %d > 8", ErrInvalidFrame, f.DLC)
+	}
+	return nil
+}
+
+// J1939 identifier helpers. A 29-bit J1939 ID packs
+// priority (3 bits) | reserved/data page (2) | PDU format (8) |
+// PDU specific (8) | source address (8).
+
+// J1939ID assembles a 29-bit identifier from priority, PGN and source
+// address.
+func J1939ID(priority uint8, pgn uint32, src uint8) uint32 {
+	return (uint32(priority&0x7) << 26) | ((pgn & 0x3FFFF) << 8) | uint32(src)
+}
+
+// PGN extracts the parameter group number from a 29-bit identifier.
+// For PDU1 format (PF < 240) the PDU-specific byte is a destination
+// address and is zeroed in the PGN.
+func PGN(id uint32) uint32 {
+	pgn := (id >> 8) & 0x3FFFF
+	pf := (pgn >> 8) & 0xFF
+	if pf < 240 {
+		pgn &= 0x3FF00
+	}
+	return pgn
+}
+
+// SourceAddress extracts the source address from a 29-bit identifier.
+func SourceAddress(id uint32) uint8 { return uint8(id & 0xFF) }
+
+// Priority extracts the 3-bit priority from a 29-bit identifier.
+func Priority(id uint32) uint8 { return uint8((id >> 26) & 0x7) }

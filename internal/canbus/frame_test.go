@@ -1,0 +1,56 @@
+package canbus
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFrameValidate(t *testing.T) {
+	cases := []struct {
+		f  Frame
+		ok bool
+	}{
+		{Frame{ID: 0x7FF, DLC: 8}, true},
+		{Frame{ID: 0x800, DLC: 8}, false},
+		{Frame{ID: 0x1FFFFFFF, Extended: true, DLC: 8}, true},
+		{Frame{ID: 0x20000000, Extended: true, DLC: 8}, false},
+		{Frame{ID: 1, DLC: 9}, false},
+		{Frame{ID: 1, DLC: 0}, true},
+	}
+	for i, c := range cases {
+		err := c.f.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: err = %v, want ok=%v", i, err, c.ok)
+		}
+		if err != nil && !errors.Is(err, ErrInvalidFrame) {
+			t.Errorf("case %d: error not wrapped: %v", i, err)
+		}
+	}
+}
+
+func TestJ1939IDRoundTrip(t *testing.T) {
+	id := J1939ID(3, PGNEEC1, 0x42)
+	if got := PGN(id); got != PGNEEC1 {
+		t.Errorf("PGN = %#x, want %#x", got, PGNEEC1)
+	}
+	if got := SourceAddress(id); got != 0x42 {
+		t.Errorf("src = %#x", got)
+	}
+	if got := Priority(id); got != 3 {
+		t.Errorf("priority = %d", got)
+	}
+}
+
+func TestPGNPDU1MasksDestination(t *testing.T) {
+	// PDU1: PF < 240, the PS byte is a destination address and must be
+	// masked out of the PGN. 0xEA00 (request) with dest 0x17:
+	id := J1939ID(6, 0xEA17, 0x01)
+	if got := PGN(id); got != 0xEA00 {
+		t.Errorf("PGN = %#x, want 0xEA00", got)
+	}
+	// PDU2: PF >= 240, PS is part of the PGN.
+	id2 := J1939ID(6, 0xFEF2, 0x01)
+	if got := PGN(id2); got != 0xFEF2 {
+		t.Errorf("PGN = %#x, want 0xFEF2", got)
+	}
+}

@@ -1,0 +1,81 @@
+package canbus
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func stringsReader(s string) *strings.Reader { return strings.NewReader(s) }
+
+// Native fuzz targets for the bit-level codecs. `go test` runs the
+// seed corpus; `go test -fuzz=FuzzX ./internal/canbus` explores.
+
+func FuzzSignalRoundTrip(f *testing.F) {
+	f.Add(uint(0), uint(16), true, 0.125, 0.0, 1800.0)
+	f.Add(uint(7), uint(16), false, 1.0, -40.0, 100.0)
+	f.Add(uint(24), uint(8), true, 4.0, 0.0, 280.0)
+	f.Fuzz(func(t *testing.T, start, length uint, little bool, scale, offset, value float64) {
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || scale == 0 ||
+			math.IsNaN(offset) || math.IsInf(offset, 0) ||
+			math.IsNaN(value) || math.IsInf(value, 0) {
+			t.Skip()
+		}
+		if math.Abs(scale) > 1e6 || math.Abs(offset) > 1e9 || math.Abs(value) > 1e9 {
+			t.Skip()
+		}
+		order := BigEndian
+		if little {
+			order = LittleEndian
+		}
+		s := Signal{Name: "fuzz", StartBit: start % 64, Length: 1 + length%32, Order: order, Scale: scale, Offset: offset}
+		if s.Validate() != nil {
+			t.Skip() // invalid layouts are rejected, not round-tripped
+		}
+		var data [8]byte
+		stored, err := s.Encode(&data, value)
+		if err != nil {
+			t.Fatalf("encode valid signal: %v", err)
+		}
+		got, err := s.Decode(data)
+		if err != nil {
+			t.Fatalf("decode after encode: %v", err)
+		}
+		if math.Abs(got-stored) > 1e-6*math.Max(1, math.Abs(stored)) {
+			t.Fatalf("round trip: stored %v, decoded %v (signal %+v)", stored, got, s)
+		}
+	})
+}
+
+func FuzzDecodeDM1NoPanic(f *testing.F) {
+	good, _ := EncodeDM1(0x0400, []DTC{{SPN: 110, FMI: 3, OC: 5}}, 1)
+	f.Add(good[0].ID, good[0].Data[:])
+	f.Add(uint32(0x1CECFF01), []byte{32, 22, 0, 4, 255, 0xCA, 0xFE, 0x00})
+	f.Fuzz(func(t *testing.T, id uint32, data []byte) {
+		var frame Frame
+		frame.ID = id % (MaxExtendedID + 1)
+		frame.Extended = true
+		frame.DLC = 8
+		copy(frame.Data[:], data)
+		// Must never panic, whatever the bytes say.
+		_, _, _ = DecodeDM1([]Frame{frame})
+	})
+}
+
+func FuzzParseDBCNoPanic(f *testing.F) {
+	f.Add("BO_ 2364540158 EEC1: 8 ECU\n SG_ S : 24|16@1+ (0.125,0) [0|8031] \"rpm\" ECU\n")
+	f.Add("VERSION \"x\"\nBO_ abc\n")
+	f.Add(" SG_ dangling : 0|8@1+ (1,0) [0|1] \"\" X\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		// Must never panic; errors are fine.
+		msgs, err := ParseDBC(stringsReader(src))
+		if err == nil {
+			// Anything accepted must validate.
+			for _, m := range msgs {
+				if vErr := m.Validate(); vErr != nil {
+					t.Fatalf("accepted invalid message: %v", vErr)
+				}
+			}
+		}
+	})
+}

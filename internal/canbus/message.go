@@ -1,0 +1,121 @@
+package canbus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MessageDef describes a parameter group: a PGN and the signals packed
+// into its 8-byte payload.
+type MessageDef struct {
+	Name     string
+	PGN      uint32
+	Priority uint8
+	Signals  []Signal
+}
+
+// Validate checks every signal layout and rejects bit overlaps between
+// signals of the message.
+func (m MessageDef) Validate() error {
+	occupied := map[uint]string{}
+	for _, s := range m.Signals {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("message %s: %w", m.Name, err)
+		}
+		for _, bit := range s.bits() {
+			if owner, taken := occupied[bit]; taken {
+				return fmt.Errorf("message %s: %w: signals %s and %s overlap at bit %d",
+					m.Name, ErrSignalLayout, owner, s.Name, bit)
+			}
+			occupied[bit] = s.Name
+		}
+	}
+	return nil
+}
+
+// bits enumerates the absolute bit positions a validated signal
+// occupies.
+func (s Signal) bits() []uint {
+	out := make([]uint, 0, s.Length)
+	if s.Order == LittleEndian {
+		for i := uint(0); i < s.Length; i++ {
+			out = append(out, s.StartBit+i)
+		}
+		return out
+	}
+	bit := int(s.StartBit)
+	for i := uint(0); i < s.Length; i++ {
+		out = append(out, uint(bit))
+		bit = nextMotorolaBit(bit)
+	}
+	return out
+}
+
+// Signal returns the signal definition with the given name.
+func (m MessageDef) Signal(name string) (Signal, error) {
+	for _, s := range m.Signals {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Signal{}, fmt.Errorf("canbus: message %s has no signal %q", m.Name, name)
+}
+
+// Encode packs the named physical values into a frame from source
+// address src. Missing signals are encoded as zero raw value. Unknown
+// names are an error.
+func (m MessageDef) Encode(values map[string]float64, src uint8) (Frame, error) {
+	if err := m.Validate(); err != nil {
+		return Frame{}, err
+	}
+	known := map[string]bool{}
+	for _, s := range m.Signals {
+		known[s.Name] = true
+	}
+	for name := range values {
+		if !known[name] {
+			return Frame{}, fmt.Errorf("canbus: message %s has no signal %q", m.Name, name)
+		}
+	}
+	f := Frame{ID: J1939ID(m.Priority, m.PGN, src), Extended: true, DLC: 8}
+	for _, s := range m.Signals {
+		v, ok := values[s.Name]
+		if !ok {
+			continue
+		}
+		if _, err := s.Encode(&f.Data, v); err != nil {
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// Decode unpacks every signal of the message from f. It rejects frames
+// whose PGN does not match the definition.
+func (m MessageDef) Decode(f Frame) (map[string]float64, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if got := PGN(f.ID); got != m.PGN {
+		return nil, fmt.Errorf("canbus: frame pgn %#x does not match message %s (pgn %#x)", got, m.Name, m.PGN)
+	}
+	out := make(map[string]float64, len(m.Signals))
+	for _, s := range m.Signals {
+		v, err := s.Decode(f.Data)
+		if err != nil {
+			return nil, err
+		}
+		out[s.Name] = v
+	}
+	return out, nil
+}
+
+// SignalNames returns the message's signal names, sorted.
+func (m MessageDef) SignalNames() []string {
+	out := make([]string, 0, len(m.Signals))
+	for _, s := range m.Signals {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,198 @@
+package canbus
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCatalogValid(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 8 {
+		t.Fatalf("catalog has %d messages", len(cat))
+	}
+	for pgn, m := range cat {
+		if m.PGN != pgn {
+			t.Errorf("catalog key %#x != message pgn %#x", pgn, m.PGN)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("message %s invalid: %v", m.Name, err)
+		}
+	}
+	// Every analog channel must be defined in exactly one message.
+	owners := map[string]int{}
+	for _, m := range cat {
+		for _, s := range m.Signals {
+			owners[s.Name]++
+		}
+	}
+	for _, ch := range AnalogChannels() {
+		if owners[ch] != 1 {
+			t.Errorf("channel %s defined %d times", ch, owners[ch])
+		}
+	}
+	if owners[ChanEngineOn] != 1 {
+		t.Errorf("engine_on defined %d times", owners[ChanEngineOn])
+	}
+}
+
+func TestMessageOverlapDetected(t *testing.T) {
+	m := MessageDef{
+		Name: "bad", PGN: 0xFF00,
+		Signals: []Signal{
+			{Name: "a", StartBit: 0, Length: 8, Order: LittleEndian, Scale: 1},
+			{Name: "b", StartBit: 4, Length: 8, Order: LittleEndian, Scale: 1},
+		},
+	}
+	if err := m.Validate(); err == nil {
+		t.Error("expected overlap error")
+	}
+}
+
+func TestMessageEncodeDecodeRoundTrip(t *testing.T) {
+	cat := Catalog()
+	eec1 := cat[PGNEEC1]
+	values := map[string]float64{
+		ChanEngineSpeed: 1500.5,
+		ChanPercentLoad: 72,
+	}
+	f, err := eec1.Encode(values, 0x21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Extended || f.DLC != 8 {
+		t.Errorf("frame = %+v", f)
+	}
+	if PGN(f.ID) != PGNEEC1 || SourceAddress(f.ID) != 0x21 {
+		t.Errorf("id fields wrong: %#x", f.ID)
+	}
+	got, err := eec1.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[ChanEngineSpeed]-1500.5) > 0.125 {
+		t.Errorf("rpm = %v", got[ChanEngineSpeed])
+	}
+	if got[ChanPercentLoad] != 72 {
+		t.Errorf("load = %v", got[ChanPercentLoad])
+	}
+}
+
+func TestMessageEncodeUnknownSignal(t *testing.T) {
+	eec1 := Catalog()[PGNEEC1]
+	if _, err := eec1.Encode(map[string]float64{"bogus": 1}, 0); err == nil {
+		t.Error("expected unknown-signal error")
+	}
+}
+
+func TestMessageDecodeWrongPGN(t *testing.T) {
+	cat := Catalog()
+	f, err := cat[PGNEEC1].Encode(map[string]float64{ChanEngineSpeed: 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat[PGNLFE].Decode(f); err == nil {
+		t.Error("expected PGN mismatch error")
+	}
+}
+
+func TestMessageSignalLookup(t *testing.T) {
+	eec1 := Catalog()[PGNEEC1]
+	s, err := eec1.Signal(ChanEngineSpeed)
+	if err != nil || s.Unit != "rpm" {
+		t.Errorf("Signal lookup: %v %+v", err, s)
+	}
+	if _, err := eec1.Signal("missing"); err == nil {
+		t.Error("expected error")
+	}
+	names := eec1.SignalNames()
+	if len(names) != 2 || names[0] != ChanEngineSpeed {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func ts(h, m, s int) time.Time {
+	return time.Date(2017, time.March, 6, h, m, s, 0, time.UTC)
+}
+
+func TestAggregatorWindows(t *testing.T) {
+	a := NewAggregator("veh-1")
+	// Two samples in window 08:00, one in 08:10.
+	if err := a.AddSample(ts(8, 1, 0), ChanEngineSpeed, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddSample(ts(8, 5, 0), ChanEngineSpeed, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddSample(ts(8, 11, 0), ChanEngineSpeed, 3000); err != nil {
+		t.Fatal(err)
+	}
+	reports := a.Flush()
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	r0 := reports[0]
+	if !r0.Start.Equal(ts(8, 0, 0)) {
+		t.Errorf("window start = %v", r0.Start)
+	}
+	cs := r0.Channels[ChanEngineSpeed]
+	if cs.Samples != 2 || cs.Mean != 1500 || cs.Min != 1000 || cs.Max != 2000 {
+		t.Errorf("stats = %+v", cs)
+	}
+	if reports[1].Channels[ChanEngineSpeed].Samples != 1 {
+		t.Errorf("second window = %+v", reports[1])
+	}
+}
+
+func TestAggregatorEngineOnAccrual(t *testing.T) {
+	a := NewAggregator("veh-1")
+	// Engine on for 5 minutes within one window.
+	if err := a.AddStatus(ts(9, 0, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddStatus(ts(9, 5, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	reports := a.Flush()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if got := reports[0].EngineOnSeconds; got != 300 {
+		t.Errorf("engine-on = %v, want 300", got)
+	}
+}
+
+func TestAggregatorEngineOffNoAccrual(t *testing.T) {
+	a := NewAggregator("veh-1")
+	a.AddStatus(ts(9, 0, 0), 0)
+	a.AddStatus(ts(9, 5, 0), 0)
+	reports := a.Flush()
+	if got := reports[0].EngineOnSeconds; got != 0 {
+		t.Errorf("engine-on = %v, want 0", got)
+	}
+}
+
+func TestAggregatorOutOfOrder(t *testing.T) {
+	a := NewAggregator("veh-1")
+	if err := a.AddSample(ts(10, 0, 0), ChanSpeed, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddSample(ts(9, 0, 0), ChanSpeed, 5); err == nil {
+		t.Error("expected out-of-order error")
+	}
+}
+
+func TestAggregatorFlushEmpty(t *testing.T) {
+	a := NewAggregator("veh-1")
+	if got := a.Flush(); got != nil {
+		t.Errorf("empty flush = %v", got)
+	}
+}
+
+func TestReportChannelNames(t *testing.T) {
+	r := Report{Channels: map[string]ChannelStats{"b": {}, "a": {}}}
+	names := r.ChannelNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+}

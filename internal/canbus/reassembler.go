@@ -1,0 +1,110 @@
+package canbus
+
+import "fmt"
+
+// Reassembler consumes a live frame stream — single-frame DM1s and
+// interleaved TP.BAM sessions from multiple source addresses — and
+// emits completed DM1 payloads. One BAM session is tracked per source
+// address; a new announcement from the same source aborts and replaces
+// the previous session (per J1939, a node runs one BAM at a time).
+type Reassembler struct {
+	sessions map[uint8]*bamSession
+}
+
+type bamSession struct {
+	total   int
+	packets int
+	next    int
+	payload []byte
+}
+
+// DM1Event is one completed active-diagnostics message.
+type DM1Event struct {
+	Source uint8
+	Lamps  uint16
+	DTCs   []DTC
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{sessions: map[uint8]*bamSession{}}
+}
+
+// Push feeds one frame. It returns a completed event when the frame
+// finishes a DM1 (single-frame or final TP.DT packet), nil otherwise.
+// Unknown PGNs are ignored; malformed transport frames abort the
+// source's session and return an error.
+func (r *Reassembler) Push(f Frame) (*DM1Event, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	src := SourceAddress(f.ID)
+	switch PGN(f.ID) {
+	case PGNDM1:
+		lamps, dtcs, err := DecodeDM1([]Frame{f})
+		if err != nil {
+			return nil, err
+		}
+		return &DM1Event{Source: src, Lamps: lamps, DTCs: dtcs}, nil
+
+	case PGNTPCM:
+		if f.Data[0] != tpCMBAM {
+			return nil, fmt.Errorf("%w: source %#x sent unsupported TP.CM control %d", ErrTransport, src, f.Data[0])
+		}
+		announced := uint32(f.Data[5]) | uint32(f.Data[6])<<8 | uint32(f.Data[7])<<16
+		if announced != PGNDM1 {
+			// BAM for a PGN we do not track: drop any stale session.
+			delete(r.sessions, src)
+			return nil, nil
+		}
+		total := int(f.Data[1]) | int(f.Data[2])<<8
+		packets := int(f.Data[3])
+		if total < 2 || packets < 1 || packets*7 < total {
+			delete(r.sessions, src)
+			return nil, fmt.Errorf("%w: source %#x announced %d bytes in %d packets", ErrTransport, src, total, packets)
+		}
+		r.sessions[src] = &bamSession{total: total, packets: packets, next: 1}
+		return nil, nil
+
+	case PGNTPDT:
+		session, ok := r.sessions[src]
+		if !ok {
+			return nil, nil // data for a session we never saw; ignore
+		}
+		seq := int(f.Data[0])
+		if seq != session.next {
+			delete(r.sessions, src)
+			return nil, fmt.Errorf("%w: source %#x packet %d, expected %d", ErrTransport, src, seq, session.next)
+		}
+		session.payload = append(session.payload, f.Data[1:]...)
+		session.next++
+		if seq < session.packets {
+			return nil, nil
+		}
+		// Final packet: decode the reassembled payload.
+		delete(r.sessions, src)
+		payload := session.payload[:session.total]
+		lamps := uint16(payload[0]) | uint16(payload[1])<<8
+		var dtcs []DTC
+		body := payload[2:]
+		for len(body) >= 4 {
+			raw := body[:4]
+			body = body[4:]
+			if raw[0] == 0xFF && raw[1] == 0xFF {
+				continue
+			}
+			d := unpackDTC(raw)
+			if d.SPN == 0 && d.FMI == 0 {
+				continue
+			}
+			dtcs = append(dtcs, d)
+		}
+		return &DM1Event{Source: src, Lamps: lamps, DTCs: dtcs}, nil
+
+	default:
+		return nil, nil // unrelated traffic
+	}
+}
+
+// Pending returns the number of in-flight BAM sessions.
+func (r *Reassembler) Pending() int { return len(r.sessions) }

@@ -1,0 +1,195 @@
+package canbus
+
+import (
+	"errors"
+	"testing"
+)
+
+func manyDTCs(n int, base uint32) []DTC {
+	out := make([]DTC, n)
+	for i := range out {
+		out[i] = DTC{SPN: base + uint32(i), FMI: uint8(i % 6), OC: uint8(1 + i%100)}
+	}
+	return out
+}
+
+func TestReassemblerSingleFrame(t *testing.T) {
+	r := NewReassembler()
+	frames, err := EncodeDM1(0x04, []DTC{{SPN: 100, FMI: 1, OC: 2}}, 0x33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := r.Push(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev == nil || ev.Source != 0x33 || ev.Lamps != 0x04 || len(ev.DTCs) != 1 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if r.Pending() != 0 {
+		t.Errorf("pending = %d", r.Pending())
+	}
+}
+
+func TestReassemblerBAM(t *testing.T) {
+	r := NewReassembler()
+	dtcs := manyDTCs(4, 200)
+	frames, err := EncodeDM1(0x0400, dtcs, 0x21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frames[:len(frames)-1] {
+		ev, err := r.Push(f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if ev != nil {
+			t.Fatalf("premature event at frame %d", i)
+		}
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d", r.Pending())
+	}
+	ev, err := r.Push(frames[len(frames)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev == nil || len(ev.DTCs) != 4 || ev.Source != 0x21 {
+		t.Fatalf("event = %+v", ev)
+	}
+	for i := range dtcs {
+		if ev.DTCs[i] != dtcs[i] {
+			t.Errorf("dtc %d = %+v", i, ev.DTCs[i])
+		}
+	}
+}
+
+func TestReassemblerInterleavedSources(t *testing.T) {
+	r := NewReassembler()
+	a, err := EncodeDM1(1, manyDTCs(3, 100), 0x01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeDM1(2, manyDTCs(5, 300), 0x02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave the two BAM sessions frame by frame.
+	var events []*DM1Event
+	for i := 0; i < len(a) || i < len(b); i++ {
+		for _, frames := range [][]Frame{a, b} {
+			if i >= len(frames) {
+				continue
+			}
+			ev, err := r.Push(frames[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev != nil {
+				events = append(events, ev)
+			}
+		}
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	bySource := map[uint8]int{}
+	for _, ev := range events {
+		bySource[ev.Source] = len(ev.DTCs)
+	}
+	if bySource[0x01] != 3 || bySource[0x02] != 5 {
+		t.Errorf("per-source DTCs = %v", bySource)
+	}
+}
+
+func TestReassemblerOutOfOrderAborts(t *testing.T) {
+	r := NewReassembler()
+	frames, err := EncodeDM1(0, manyDTCs(4, 500), 0x07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Push(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Skip packet 1, push packet 2.
+	if _, err := r.Push(frames[2]); !errors.Is(err, ErrTransport) {
+		t.Fatalf("out-of-order accepted: %v", err)
+	}
+	if r.Pending() != 0 {
+		t.Errorf("aborted session still pending")
+	}
+	// Data after the abort is ignored silently.
+	ev, err := r.Push(frames[3])
+	if err != nil || ev != nil {
+		t.Errorf("post-abort data: %v %v", ev, err)
+	}
+}
+
+func TestReassemblerReannounceReplaces(t *testing.T) {
+	r := NewReassembler()
+	first, _ := EncodeDM1(0, manyDTCs(3, 600), 0x09)
+	second, _ := EncodeDM1(0, manyDTCs(2, 700), 0x09)
+	r.Push(first[0])
+	r.Push(first[1])
+	// New announcement from the same source replaces the session.
+	if _, err := r.Push(second[0]); err != nil {
+		t.Fatal(err)
+	}
+	var ev *DM1Event
+	for _, f := range second[1:] {
+		var err error
+		if ev, err = r.Push(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ev == nil || len(ev.DTCs) != 2 {
+		t.Fatalf("replacement session event = %+v", ev)
+	}
+}
+
+func TestReassemblerIgnoresUnrelatedTraffic(t *testing.T) {
+	r := NewReassembler()
+	eec1, err := Catalog()[PGNEEC1].Encode(map[string]float64{ChanEngineSpeed: 1200}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := r.Push(eec1)
+	if err != nil || ev != nil {
+		t.Errorf("unrelated frame: %v %v", ev, err)
+	}
+	// TP.DT without a session is ignored.
+	orphan := Frame{ID: J1939ID(7, PGNTPDT|globalDest, 9), Extended: true, DLC: 8}
+	orphan.Data[0] = 1
+	ev, err = r.Push(orphan)
+	if err != nil || ev != nil {
+		t.Errorf("orphan data frame: %v %v", ev, err)
+	}
+	// BAM for a non-DM1 PGN is dropped.
+	otherBAM := Frame{ID: J1939ID(7, PGNTPCM|globalDest, 9), Extended: true, DLC: 8}
+	otherBAM.Data = [8]byte{tpCMBAM, 14, 0, 2, 0xFF, 0x34, 0x12, 0x00}
+	ev, err = r.Push(otherBAM)
+	if err != nil || ev != nil || r.Pending() != 0 {
+		t.Errorf("foreign BAM: %v %v pending=%d", ev, err, r.Pending())
+	}
+}
+
+func TestReassemblerMalformedAnnouncement(t *testing.T) {
+	r := NewReassembler()
+	bad := Frame{ID: J1939ID(7, PGNTPCM|globalDest, 3), Extended: true, DLC: 8}
+	dm1 := PGNDM1
+	bad.Data = [8]byte{tpCMBAM, 100, 0, 1 /* 1 packet cannot carry 100 bytes */, 0xFF, byte(dm1), byte(dm1 >> 8), byte(dm1 >> 16)}
+	if _, err := r.Push(bad); !errors.Is(err, ErrTransport) {
+		t.Errorf("malformed announcement: %v", err)
+	}
+	// RTS control is rejected.
+	rts := bad
+	rts.Data[0] = 16
+	if _, err := r.Push(rts); !errors.Is(err, ErrTransport) {
+		t.Errorf("RTS control: %v", err)
+	}
+	// Invalid frame is rejected.
+	invalid := Frame{ID: 1 << 30, Extended: true, DLC: 8}
+	if _, err := r.Push(invalid); err == nil {
+		t.Error("invalid frame accepted")
+	}
+}

@@ -1,0 +1,161 @@
+package canbus
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vup/internal/stats"
+)
+
+// ReportInterval is the upload cadence of the on-board controller: the
+// paper's system "sends an aggregated report to a centralized server
+// every 10 minutes".
+const ReportInterval = 10 * time.Minute
+
+// ChannelStats summarizes one channel over a report window.
+type ChannelStats struct {
+	Samples int
+	Mean    float64
+	Min     float64
+	Max     float64
+}
+
+// Report is the 10-minute aggregate a vehicle uploads.
+type Report struct {
+	VehicleID string
+	Start     time.Time // window start, aligned to ReportInterval
+	Channels  map[string]ChannelStats
+	// EngineOnSeconds is the number of seconds within the window the
+	// engine-on status signal was asserted; daily utilization hours are
+	// derived from it.
+	EngineOnSeconds float64
+}
+
+// ChannelNames returns the report's channel names, sorted.
+func (r Report) ChannelNames() []string {
+	out := make([]string, 0, len(r.Channels))
+	for name := range r.Channels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Aggregator folds decoded CAN samples into 10-minute reports, the
+// role of the on-board controller: "CAN messages are generated ... at
+// a high frequency and gathered by a controller, where they are
+// collected and pre-processed".
+type Aggregator struct {
+	vehicleID   string
+	windowStart time.Time
+	open        bool
+	acc         map[string]*stats.Welford
+	engineOnSec float64
+	lastStatus  float64
+	lastStatusT time.Time
+	out         []Report
+}
+
+// NewAggregator creates an aggregator for the given vehicle.
+func NewAggregator(vehicleID string) *Aggregator {
+	return &Aggregator{vehicleID: vehicleID}
+}
+
+// window returns ts truncated to the report interval.
+func window(ts time.Time) time.Time { return ts.Truncate(ReportInterval) }
+
+// AddSample records one decoded analog sample at ts. Samples must be
+// fed in non-decreasing time order; out-of-order samples are an error.
+func (a *Aggregator) AddSample(ts time.Time, channel string, value float64) error {
+	if err := a.roll(ts); err != nil {
+		return err
+	}
+	w, ok := a.acc[channel]
+	if !ok {
+		w = &stats.Welford{}
+		a.acc[channel] = w
+	}
+	w.Add(value)
+	return nil
+}
+
+// AddStatus records the engine on/off status signal (1 = on) at ts.
+// Engine-on time accrues between consecutive status samples.
+func (a *Aggregator) AddStatus(ts time.Time, on float64) error {
+	if err := a.roll(ts); err != nil {
+		return err
+	}
+	if !a.lastStatusT.IsZero() && a.lastStatus >= 0.5 {
+		elapsed := ts.Sub(a.lastStatusT).Seconds()
+		// Credit only the part of the gap inside the current window so
+		// a status edge straddling a boundary cannot over-credit.
+		if maxCredit := ts.Sub(a.windowStart).Seconds(); elapsed > maxCredit {
+			elapsed = maxCredit
+		}
+		if elapsed > 0 {
+			a.engineOnSec += elapsed
+		}
+	}
+	a.lastStatus = on
+	a.lastStatusT = ts
+	return nil
+}
+
+// roll opens the window containing ts, flushing any prior window.
+func (a *Aggregator) roll(ts time.Time) error {
+	w := window(ts)
+	if !a.open {
+		a.startWindow(w)
+		return nil
+	}
+	switch {
+	case w.Equal(a.windowStart):
+		return nil
+	case w.Before(a.windowStart):
+		return fmt.Errorf("canbus: out-of-order sample at %v before window %v", ts, a.windowStart)
+	default:
+		a.flush()
+		a.startWindow(w)
+		return nil
+	}
+}
+
+func (a *Aggregator) startWindow(w time.Time) {
+	a.windowStart = w
+	a.open = true
+	a.acc = map[string]*stats.Welford{}
+	a.engineOnSec = 0
+}
+
+// flush closes the current window into a report.
+func (a *Aggregator) flush() {
+	if !a.open {
+		return
+	}
+	rep := Report{
+		VehicleID:       a.vehicleID,
+		Start:           a.windowStart,
+		Channels:        make(map[string]ChannelStats, len(a.acc)),
+		EngineOnSeconds: a.engineOnSec,
+	}
+	for name, w := range a.acc {
+		rep.Channels[name] = ChannelStats{
+			Samples: w.N(),
+			Mean:    w.Mean(),
+			Min:     w.Min(),
+			Max:     w.Max(),
+		}
+	}
+	a.out = append(a.out, rep)
+	a.open = false
+}
+
+// Flush closes any open window and returns all completed reports,
+// resetting the aggregator's output buffer.
+func (a *Aggregator) Flush() []Report {
+	a.flush()
+	out := a.out
+	a.out = nil
+	return out
+}

@@ -1,0 +1,168 @@
+package canbus
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ByteOrder selects signal bit packing.
+type ByteOrder int
+
+const (
+	// LittleEndian is Intel byte order: the start bit is the least
+	// significant bit of the raw value and the value grows toward
+	// higher bit positions.
+	LittleEndian ByteOrder = iota
+	// BigEndian is Motorola byte order (sawtooth bit numbering): the
+	// start bit is the most significant bit of the raw value.
+	BigEndian
+)
+
+// Signal describes one physical channel packed into a CAN payload,
+// DBC-style: physical = raw*Scale + Offset.
+type Signal struct {
+	Name     string
+	StartBit uint // 0..63
+	Length   uint // 1..64 bits
+	Order    ByteOrder
+	Scale    float64
+	Offset   float64
+	Min, Max float64 // physical clamp range
+	Unit     string
+}
+
+// Errors reported by signal packing.
+var (
+	ErrSignalLayout = errors.New("canbus: invalid signal layout")
+	ErrOutOfRange   = errors.New("canbus: physical value outside signal range")
+)
+
+// Validate checks the bit layout of s against an 8-byte payload.
+func (s Signal) Validate() error {
+	if s.Length == 0 || s.Length > 64 {
+		return fmt.Errorf("%w: %s length %d", ErrSignalLayout, s.Name, s.Length)
+	}
+	if s.StartBit > 63 {
+		return fmt.Errorf("%w: %s start bit %d", ErrSignalLayout, s.Name, s.StartBit)
+	}
+	if s.Scale == 0 {
+		return fmt.Errorf("%w: %s zero scale", ErrSignalLayout, s.Name)
+	}
+	if s.Order == LittleEndian {
+		if s.StartBit+s.Length > 64 {
+			return fmt.Errorf("%w: %s overruns payload", ErrSignalLayout, s.Name)
+		}
+		return nil
+	}
+	// Motorola: walk the sawtooth and ensure it stays inside the frame.
+	bit := int(s.StartBit)
+	for i := uint(0); i < s.Length; i++ {
+		if bit < 0 || bit > 63 {
+			return fmt.Errorf("%w: %s overruns payload (motorola)", ErrSignalLayout, s.Name)
+		}
+		bit = nextMotorolaBit(bit)
+	}
+	return nil
+}
+
+// nextMotorolaBit steps from one Motorola bit position to the next
+// less significant one: 7→6→…→0→15→14→…→8→23…
+func nextMotorolaBit(bit int) int {
+	if bit%8 == 0 {
+		return bit + 15
+	}
+	return bit - 1
+}
+
+// rawMax returns the largest raw value representable in Length bits.
+func (s Signal) rawMax() uint64 {
+	if s.Length >= 64 {
+		return math.MaxUint64
+	}
+	return (1 << s.Length) - 1
+}
+
+// Encode clamps the physical value to [Min, Max], converts it to a raw
+// integer and packs it into data. It returns the clamped physical
+// value actually stored (after raw quantization).
+func (s Signal) Encode(data *[8]byte, physical float64) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if math.IsNaN(physical) {
+		return 0, fmt.Errorf("%w: %s NaN", ErrOutOfRange, s.Name)
+	}
+	clamped := physical
+	if s.Min < s.Max {
+		clamped = math.Min(s.Max, math.Max(s.Min, physical))
+	}
+	rawF := math.Round((clamped - s.Offset) / s.Scale)
+	if rawF < 0 {
+		rawF = 0
+	}
+	if limit := float64(s.rawMax()); rawF > limit {
+		rawF = limit
+	}
+	raw := uint64(rawF)
+	s.packRaw(data, raw)
+	return float64(raw)*s.Scale + s.Offset, nil
+}
+
+// Decode unpacks the raw integer from data and converts it to the
+// physical value.
+func (s Signal) Decode(data [8]byte) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	raw := s.unpackRaw(data)
+	return float64(raw)*s.Scale + s.Offset, nil
+}
+
+func (s Signal) packRaw(data *[8]byte, raw uint64) {
+	if s.Order == LittleEndian {
+		for i := uint(0); i < s.Length; i++ {
+			pos := s.StartBit + i
+			byteIdx, bitIdx := pos/8, pos%8
+			if raw&(1<<i) != 0 {
+				data[byteIdx] |= 1 << bitIdx
+			} else {
+				data[byteIdx] &^= 1 << bitIdx
+			}
+		}
+		return
+	}
+	bit := int(s.StartBit)
+	for i := int(s.Length) - 1; i >= 0; i-- {
+		byteIdx, bitIdx := bit/8, bit%8
+		if raw&(1<<uint(i)) != 0 {
+			data[byteIdx] |= 1 << uint(bitIdx)
+		} else {
+			data[byteIdx] &^= 1 << uint(bitIdx)
+		}
+		bit = nextMotorolaBit(bit)
+	}
+}
+
+func (s Signal) unpackRaw(data [8]byte) uint64 {
+	var raw uint64
+	if s.Order == LittleEndian {
+		for i := uint(0); i < s.Length; i++ {
+			pos := s.StartBit + i
+			byteIdx, bitIdx := pos/8, pos%8
+			if data[byteIdx]&(1<<bitIdx) != 0 {
+				raw |= 1 << i
+			}
+		}
+		return raw
+	}
+	bit := int(s.StartBit)
+	for i := int(s.Length) - 1; i >= 0; i-- {
+		byteIdx, bitIdx := bit/8, bit%8
+		if data[byteIdx]&(1<<uint(bitIdx)) != 0 {
+			raw |= 1 << uint(i)
+		}
+		bit = nextMotorolaBit(bit)
+	}
+	return raw
+}

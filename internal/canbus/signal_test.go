@@ -1,0 +1,179 @@
+package canbus
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignalValidate(t *testing.T) {
+	cases := []struct {
+		s  Signal
+		ok bool
+	}{
+		{Signal{Name: "ok", StartBit: 0, Length: 16, Order: LittleEndian, Scale: 1}, true},
+		{Signal{Name: "zero-len", StartBit: 0, Length: 0, Scale: 1}, false},
+		{Signal{Name: "too-long", StartBit: 0, Length: 65, Scale: 1}, false},
+		{Signal{Name: "overrun", StartBit: 56, Length: 16, Order: LittleEndian, Scale: 1}, false},
+		{Signal{Name: "bad-start", StartBit: 64, Length: 1, Scale: 1}, false},
+		{Signal{Name: "zero-scale", StartBit: 0, Length: 8, Scale: 0}, false},
+		{Signal{Name: "moto-ok", StartBit: 7, Length: 16, Order: BigEndian, Scale: 1}, true},
+		{Signal{Name: "moto-overrun", StartBit: 56, Length: 16, Order: BigEndian, Scale: 1}, false},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err = %v, want ok=%v", c.s.Name, err, c.ok)
+		}
+		if err != nil && !errors.Is(err, ErrSignalLayout) {
+			t.Errorf("%s: error not wrapped: %v", c.s.Name, err)
+		}
+	}
+}
+
+func TestSignalEncodeDecodeLittleEndian(t *testing.T) {
+	s := Signal{Name: "rpm", StartBit: 24, Length: 16, Order: LittleEndian, Scale: 0.125, Min: 0, Max: 8031.875}
+	var data [8]byte
+	stored, err := s.Encode(&data, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != 1800 {
+		t.Errorf("stored = %v", stored)
+	}
+	got, err := s.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1800 {
+		t.Errorf("decoded = %v", got)
+	}
+	// Raw 1800/0.125 = 14400 = 0x3840 packed little-endian at bit 24.
+	if data[3] != 0x40 || data[4] != 0x38 {
+		t.Errorf("layout = % x", data)
+	}
+}
+
+func TestSignalEncodeDecodeBigEndian(t *testing.T) {
+	s := Signal{Name: "moto", StartBit: 7, Length: 16, Order: BigEndian, Scale: 1, Min: 0, Max: 65535}
+	var data [8]byte
+	if _, err := s.Encode(&data, 0xABCD); err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 0xAB || data[1] != 0xCD {
+		t.Errorf("motorola layout = % x", data)
+	}
+	got, err := s.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xABCD {
+		t.Errorf("decoded = %v", got)
+	}
+}
+
+func TestSignalClamping(t *testing.T) {
+	s := Signal{Name: "pct", StartBit: 0, Length: 8, Order: LittleEndian, Scale: 1, Min: 0, Max: 100}
+	var data [8]byte
+	stored, err := s.Encode(&data, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != 100 {
+		t.Errorf("clamped = %v, want 100", stored)
+	}
+	stored, err = s.Encode(&data, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != 0 {
+		t.Errorf("clamped = %v, want 0", stored)
+	}
+}
+
+func TestSignalOffsetNegative(t *testing.T) {
+	s := Signal{Name: "temp", StartBit: 0, Length: 8, Order: LittleEndian, Scale: 1, Offset: -40, Min: -40, Max: 210}
+	var data [8]byte
+	if _, err := s.Encode(&data, -10); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != -10 {
+		t.Errorf("decoded = %v", got)
+	}
+}
+
+func TestSignalNaN(t *testing.T) {
+	s := Signal{Name: "x", StartBit: 0, Length: 8, Order: LittleEndian, Scale: 1}
+	var data [8]byte
+	if _, err := s.Encode(&data, math.NaN()); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("want ErrOutOfRange, got %v", err)
+	}
+}
+
+// Property: encode→decode round-trips within one quantization step for
+// both byte orders, arbitrary layouts.
+func TestSignalRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(rawSeed uint64) bool {
+		length := 1 + int(rawSeed%32)
+		order := LittleEndian
+		var start int
+		if rawSeed%2 == 0 {
+			order = BigEndian
+			// Motorola start bit: pick a valid sawtooth start.
+			start = 7 + 8*int(rawSeed%4)
+		} else {
+			start = int(rawSeed % uint64(65-length))
+		}
+		scale := []float64{1, 0.5, 0.125, 2}[rawSeed%4]
+		offset := []float64{0, -40, 10}[rawSeed%3]
+		maxPhys := float64((uint64(1)<<uint(length))-1)*scale + offset
+		s := Signal{Name: "p", StartBit: uint(start), Length: uint(length), Order: order, Scale: scale, Offset: offset, Min: offset, Max: maxPhys}
+		if s.Validate() != nil {
+			return true // layout happened to be invalid; skip
+		}
+		phys := offset + rng.Float64()*(maxPhys-offset)
+		var data [8]byte
+		stored, err := s.Encode(&data, phys)
+		if err != nil {
+			return false
+		}
+		got, err := s.Decode(data)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-stored) < 1e-9 && math.Abs(got-phys) <= scale/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encoding a signal must not disturb bits outside the signal.
+func TestSignalEncodePreservesOtherBits(t *testing.T) {
+	s := Signal{Name: "mid", StartBit: 8, Length: 8, Order: LittleEndian, Scale: 1, Min: 0, Max: 255}
+	var data [8]byte
+	for i := range data {
+		data[i] = 0xFF
+	}
+	if _, err := s.Encode(&data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if data[1] != 0 {
+		t.Errorf("signal byte = %#x, want 0", data[1])
+	}
+	for i, b := range data {
+		if i == 1 {
+			continue
+		}
+		if b != 0xFF {
+			t.Errorf("byte %d disturbed: %#x", i, b)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package classify implements the paper's second future-work item:
+// "the use of classification models to predict discrete usage
+// levels". Daily utilization hours are bucketed into levels (idle,
+// light, regular, heavy) and a classifier predicts the next (working)
+// day's level from the same lagged features the regression pipeline
+// uses.
+package classify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Level is a discrete usage bucket.
+type Level int
+
+// The four usage levels. Thresholds follow the study's working-day
+// convention: >= 1 hour is a working day; 4 and 8 hours split light,
+// regular and heavy shifts.
+const (
+	Idle Level = iota
+	Light
+	Regular
+	Heavy
+	NumLevels
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Idle:
+		return "idle"
+	case Light:
+		return "light"
+	case Regular:
+		return "regular"
+	case Heavy:
+		return "heavy"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// LevelOf buckets daily utilization hours.
+func LevelOf(hours float64) Level {
+	switch {
+	case hours < 1:
+		return Idle
+	case hours < 4:
+		return Light
+	case hours < 8:
+		return Regular
+	default:
+		return Heavy
+	}
+}
+
+// Classifier is a supervised multi-class classifier over dense rows.
+type Classifier interface {
+	// Fit trains on rows x and integer class labels y.
+	Fit(x [][]float64, y []int) error
+	// Predict returns the predicted class of one row.
+	Predict(x []float64) (int, error)
+	// Name returns a short label.
+	Name() string
+}
+
+// Errors shared by the implementations.
+var (
+	ErrNotTrained = errors.New("classify: model not trained")
+	ErrBadShape   = errors.New("classify: invalid training shape")
+	ErrBadParam   = errors.New("classify: invalid hyper-parameter")
+)
+
+func checkXY(x [][]float64, y []int) (n, p int, err error) {
+	n = len(x)
+	if n == 0 {
+		return 0, 0, fmt.Errorf("%w: no rows", ErrBadShape)
+	}
+	if len(y) != n {
+		return 0, 0, fmt.Errorf("%w: %d rows vs %d labels", ErrBadShape, n, len(y))
+	}
+	p = len(x[0])
+	if p == 0 {
+		return 0, 0, fmt.Errorf("%w: zero-width rows", ErrBadShape)
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return 0, 0, fmt.Errorf("%w: ragged row %d", ErrBadShape, i)
+		}
+		if y[i] < 0 {
+			return 0, 0, fmt.Errorf("%w: negative label %d at row %d", ErrBadShape, y[i], i)
+		}
+	}
+	return n, p, nil
+}
+
+// Majority is the baseline: always predict the most frequent training
+// class (ties break toward the smaller label).
+type Majority struct {
+	class   int
+	trained bool
+	p       int
+}
+
+// NewMajority returns the majority-class baseline.
+func NewMajority() *Majority { return &Majority{} }
+
+// Name implements Classifier.
+func (m *Majority) Name() string { return "Majority" }
+
+// Fit implements Classifier.
+func (m *Majority) Fit(x [][]float64, y []int) error {
+	_, p, err := checkXY(x, y)
+	if err != nil {
+		return err
+	}
+	counts := map[int]int{}
+	for _, c := range y {
+		counts[c]++
+	}
+	best, bestN := 0, -1
+	classes := make([]int, 0, len(counts))
+	for c := range counts {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		if counts[c] > bestN {
+			best, bestN = c, counts[c]
+		}
+	}
+	m.class = best
+	m.p = p
+	m.trained = true
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *Majority) Predict(x []float64) (int, error) {
+	if !m.trained {
+		return 0, ErrNotTrained
+	}
+	if len(x) != m.p {
+		return 0, fmt.Errorf("%w: row has %d features, model trained on %d", ErrBadShape, len(x), m.p)
+	}
+	return m.class, nil
+}
+
+// ConfusionMatrix counts predictions: cell [actual][predicted].
+type ConfusionMatrix struct {
+	K      int
+	Counts [][]int
+}
+
+// NewConfusionMatrix creates a k-class matrix.
+func NewConfusionMatrix(k int) *ConfusionMatrix {
+	counts := make([][]int, k)
+	for i := range counts {
+		counts[i] = make([]int, k)
+	}
+	return &ConfusionMatrix{K: k, Counts: counts}
+}
+
+// Add records one (actual, predicted) pair; out-of-range labels are
+// clamped into the matrix.
+func (c *ConfusionMatrix) Add(actual, predicted int) {
+	clampIdx := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= c.K {
+			return c.K - 1
+		}
+		return v
+	}
+	c.Counts[clampIdx(actual)][clampIdx(predicted)]++
+}
+
+// Total returns the number of recorded pairs.
+func (c *ConfusionMatrix) Total() int {
+	t := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Accuracy returns the fraction of correct predictions (NaN if empty).
+func (c *ConfusionMatrix) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	for i := 0; i < c.K; i++ {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(total)
+}
+
+// MacroF1 returns the unweighted mean F1 over classes that appear in
+// the data (as actual or predicted).
+func (c *ConfusionMatrix) MacroF1() float64 {
+	var sum float64
+	var classes int
+	for k := 0; k < c.K; k++ {
+		tp := c.Counts[k][k]
+		var fp, fn int
+		for j := 0; j < c.K; j++ {
+			if j == k {
+				continue
+			}
+			fp += c.Counts[j][k]
+			fn += c.Counts[k][j]
+		}
+		if tp+fp+fn == 0 {
+			continue // class absent entirely
+		}
+		classes++
+		if tp == 0 {
+			continue // F1 = 0
+		}
+		precision := float64(tp) / float64(tp+fp)
+		recall := float64(tp) / float64(tp+fn)
+		sum += 2 * precision * recall / (precision + recall)
+	}
+	if classes == 0 {
+		return math.NaN()
+	}
+	return sum / float64(classes)
+}

@@ -1,0 +1,287 @@
+package classify
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"vup/internal/canbus"
+	"vup/internal/core"
+	"vup/internal/etl"
+	"vup/internal/fleet"
+	"vup/internal/randx"
+)
+
+func TestLevelOf(t *testing.T) {
+	cases := []struct {
+		hours float64
+		want  Level
+	}{
+		{0, Idle}, {0.9, Idle}, {1, Light}, {3.9, Light},
+		{4, Regular}, {7.9, Regular}, {8, Heavy}, {24, Heavy},
+	}
+	for _, c := range cases {
+		if got := LevelOf(c.hours); got != c.want {
+			t.Errorf("LevelOf(%v) = %v, want %v", c.hours, got, c.want)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Idle.String() != "idle" || Light.String() != "light" ||
+		Regular.String() != "regular" || Heavy.String() != "heavy" {
+		t.Error("level names wrong")
+	}
+	if Level(9).String() != "level(9)" {
+		t.Error("invalid level name wrong")
+	}
+}
+
+func TestMajority(t *testing.T) {
+	m := NewMajority()
+	if _, err := m.Predict([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("want ErrNotTrained, got %v", err)
+	}
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []int{2, 1, 2, 0}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.Predict([]float64{9}); got != 2 {
+		t.Errorf("majority = %d", got)
+	}
+	// Tie breaks toward smaller label.
+	tie := NewMajority()
+	tie.Fit([][]float64{{1}, {2}}, []int{3, 1})
+	if got, _ := tie.Predict([]float64{0}); got != 1 {
+		t.Errorf("tie-break = %d", got)
+	}
+	if _, err := m.Predict([]float64{1, 2}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("want ErrBadShape, got %v", err)
+	}
+	if m.Name() != "Majority" {
+		t.Error("name wrong")
+	}
+}
+
+func TestCheckXYErrors(t *testing.T) {
+	cases := []struct {
+		x [][]float64
+		y []int
+	}{
+		{nil, nil},
+		{[][]float64{{1}}, []int{1, 2}},
+		{[][]float64{{}}, []int{1}},
+		{[][]float64{{1, 2}, {1}}, []int{1, 2}},
+		{[][]float64{{1}}, []int{-1}},
+	}
+	for i, c := range cases {
+		if _, _, err := checkXY(c.x, c.y); !errors.Is(err, ErrBadShape) {
+			t.Errorf("case %d: want ErrBadShape, got %v", i, err)
+		}
+	}
+}
+
+func TestTreeSeparatesClasses(t *testing.T) {
+	// Three linearly separable clusters on one axis.
+	var x [][]float64
+	var y []int
+	for i := 0; i < 30; i++ {
+		x = append(x, []float64{float64(i % 10)}, []float64{20 + float64(i%10)}, []float64{40 + float64(i%10)})
+		y = append(y, 0, 1, 2)
+	}
+	m := NewTree()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		v    float64
+		want int
+	}{{5, 0}, {25, 1}, {45, 2}} {
+		if got, _ := m.Predict([]float64{c.v}); got != c.want {
+			t.Errorf("Predict(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if m.Name() != "Tree" {
+		t.Error("name wrong")
+	}
+}
+
+func TestTreeXor(t *testing.T) {
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []int{0, 1, 1, 0}
+	m := &Tree{MaxDepth: 2, MinSamplesLeaf: 1}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if got, _ := m.Predict(x[i]); got != y[i] {
+			t.Errorf("xor(%v) = %d, want %d", x[i], got, y[i])
+		}
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	var untrained Tree
+	if _, err := untrained.Predict([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("want ErrNotTrained, got %v", err)
+	}
+	bad := &Tree{MaxDepth: 0}
+	if err := bad.Fit([][]float64{{1}}, []int{0}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("want ErrBadParam, got %v", err)
+	}
+	m := NewTree()
+	m.Fit([][]float64{{1}, {2}}, []int{0, 1})
+	if _, err := m.Predict([]float64{1, 2}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("want ErrBadShape, got %v", err)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	c := NewConfusionMatrix(3)
+	if !math.IsNaN(c.Accuracy()) {
+		t.Error("empty accuracy should be NaN")
+	}
+	c.Add(0, 0)
+	c.Add(0, 1)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	if c.Total() != 4 {
+		t.Errorf("total = %d", c.Total())
+	}
+	if got := c.Accuracy(); got != 0.75 {
+		t.Errorf("accuracy = %v", got)
+	}
+	f1 := c.MacroF1()
+	if math.IsNaN(f1) || f1 <= 0 || f1 > 1 {
+		t.Errorf("macro F1 = %v", f1)
+	}
+	// Out-of-range labels clamp.
+	c.Add(-1, 99)
+	if c.Counts[0][2] != 1 {
+		t.Error("clamping failed")
+	}
+}
+
+func TestMacroF1PerfectAndAbsent(t *testing.T) {
+	c := NewConfusionMatrix(4)
+	c.Add(0, 0)
+	c.Add(1, 1)
+	// Classes 2 and 3 absent: excluded from the macro average.
+	if got := c.MacroF1(); got != 1 {
+		t.Errorf("perfect F1 = %v", got)
+	}
+	empty := NewConfusionMatrix(2)
+	if !math.IsNaN(empty.MacroF1()) {
+		t.Error("empty macro F1 should be NaN")
+	}
+}
+
+func TestNewClassifier(t *testing.T) {
+	if m, err := NewClassifier("Tree"); err != nil || m.Name() != "Tree" {
+		t.Errorf("Tree: %v %v", m, err)
+	}
+	if m, err := NewClassifier("Majority"); err != nil || m.Name() != "Majority" {
+		t.Errorf("Majority: %v %v", m, err)
+	}
+	if _, err := NewClassifier("bogus"); !errors.Is(err, ErrBadParam) {
+		t.Errorf("want ErrBadParam, got %v", err)
+	}
+}
+
+func testDataset(t *testing.T, seed int64, days int) *etl.VehicleDataset {
+	t.Helper()
+	rng := randx.New(seed)
+	v := fleet.Vehicle{ID: "veh-0", Model: fleet.Model{Type: fleet.RefuseCompactor, Index: 0}, Country: "IT"}
+	u := fleet.Unit{Vehicle: v, Model: fleet.NewUsageModel(v, seed, rng.Split())}
+	usage := u.Model.Simulate(fleet.StudyStart, days)
+	d, err := etl.FromUsage(u, usage, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func levelConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.W = 90
+	cfg.K = 10
+	cfg.MaxLag = 21
+	cfg.Stride = 5
+	cfg.Channels = []string{canbus.ChanFuelRate}
+	return cfg
+}
+
+func TestEvaluateVehicleLevels(t *testing.T) {
+	d := testDataset(t, 1, 450)
+	res, err := EvaluateVehicle(d, levelConfig(), "Tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confusion.Total() == 0 || math.IsNaN(res.Accuracy) {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Accuracy < 0 || res.Accuracy > 1 {
+		t.Errorf("accuracy = %v", res.Accuracy)
+	}
+}
+
+func TestTreeBeatsMajorityOnLevels(t *testing.T) {
+	// The future-work claim only makes sense if the classifier
+	// extracts signal the majority baseline cannot.
+	d := testDataset(t, 2, 500)
+	cfg := levelConfig()
+	tree, err := EvaluateVehicle(d, cfg, "Tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	maj, err := EvaluateVehicle(d, cfg, "Majority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Accuracy <= maj.Accuracy {
+		t.Errorf("tree accuracy (%v) not above majority (%v)", tree.Accuracy, maj.Accuracy)
+	}
+}
+
+func TestEvaluateVehicleNextWorkingDayLevels(t *testing.T) {
+	d := testDataset(t, 3, 600)
+	cfg := levelConfig()
+	cfg.Scenario = core.NextWorkingDay
+	cfg.W = 60
+	res, err := EvaluateVehicle(d, cfg, "Tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the working-day view the idle class disappears.
+	for p := 0; p < int(NumLevels); p++ {
+		if res.Confusion.Counts[int(Idle)][p] != 0 {
+			t.Errorf("idle day leaked into working-day view: %v", res.Confusion.Counts[int(Idle)])
+		}
+	}
+}
+
+func TestEvaluateVehicleErrors(t *testing.T) {
+	d := testDataset(t, 4, 450)
+	if _, err := EvaluateVehicle(d, levelConfig(), "bogus"); !errors.Is(err, ErrBadParam) {
+		t.Errorf("want ErrBadParam, got %v", err)
+	}
+	bad := levelConfig()
+	bad.W = 0
+	if _, err := EvaluateVehicle(d, bad, "Tree"); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := EvaluateVehicle(&etl.VehicleDataset{}, levelConfig(), "Tree"); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	// All-idle vehicle in the working-day scenario.
+	idle := testDataset(t, 5, 450)
+	for i := range idle.Hours {
+		idle.Hours[i] = 0
+	}
+	cfg := levelConfig()
+	cfg.Scenario = core.NextWorkingDay
+	if _, err := EvaluateVehicle(idle, cfg, "Tree"); err == nil {
+		t.Error("all-idle vehicle accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package classify
+
+import (
+	"fmt"
+
+	"vup/internal/core"
+	"vup/internal/etl"
+	"vup/internal/featsel"
+	"vup/internal/stats"
+	"vup/internal/timeseries"
+)
+
+// Result is the hold-out evaluation of a level classifier on one
+// vehicle.
+type Result struct {
+	VehicleID string
+	Model     string
+	Confusion *ConfusionMatrix
+	// Accuracy and MacroF1 are copied from the confusion matrix for
+	// convenience.
+	Accuracy float64
+	MacroF1  float64
+	Skipped  int
+}
+
+// NewClassifier builds a classifier by name ("Tree" or "Majority").
+func NewClassifier(name string) (Classifier, error) {
+	switch name {
+	case "Tree":
+		return NewTree(), nil
+	case "Majority":
+		return NewMajority(), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown classifier %q", ErrBadParam, name)
+	}
+}
+
+// EvaluateVehicle runs the paper's hold-out procedure with a discrete
+// target: for every window the features are built exactly as in the
+// regression pipeline (lag selection included), but the target is the
+// usage level of the test day. cfg reuses the regression pipeline
+// configuration (scenario, window, K, channels, stride).
+func EvaluateVehicle(d *etl.VehicleDataset, cfg core.Config, classifierName string) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := NewClassifier(classifierName); err != nil {
+		return nil, err
+	}
+	view := d
+	if cfg.Scenario == core.NextWorkingDay {
+		var keep []int
+		for i, h := range d.Hours {
+			if h >= cfg.ActiveThreshold {
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) == 0 {
+			return nil, fmt.Errorf("classify: vehicle %s has no working days", d.VehicleID)
+		}
+		var err error
+		if view, err = d.Subset(keep); err != nil {
+			return nil, err
+		}
+	}
+	windows, err := timeseries.Enumerate(view.Len(), cfg.W, cfg.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("classify: vehicle %s: %w", d.VehicleID, err)
+	}
+
+	res := &Result{VehicleID: d.VehicleID, Model: classifierName, Confusion: NewConfusionMatrix(int(NumLevels))}
+	for wi := 0; wi < len(windows); wi += cfg.Stride {
+		win := windows[wi]
+		trainHours := view.Hours[win.TrainFrom:win.TrainTo]
+		maxLag := cfg.MaxLag
+		if maxLag >= len(trainHours) {
+			maxLag = len(trainHours) - 1
+		}
+		lags := stats.TopLags(trainHours, maxLag, cfg.K)
+		if len(lags) == 0 {
+			lags = []int{1}
+		}
+		spec := featsel.Spec{
+			Lags:           lags,
+			Channels:       cfg.Channels,
+			IncludeHours:   true,
+			IncludeContext: cfg.IncludeContext,
+			TargetChannels: cfg.TargetChannels,
+		}
+		x, hours, _, err := spec.Matrix(view, win.TrainFrom, win.TrainTo)
+		if err != nil || len(x) < cfg.MinTrainRows {
+			res.Skipped++
+			continue
+		}
+		labels := make([]int, len(hours))
+		for i, h := range hours {
+			labels[i] = int(LevelOf(h))
+		}
+		row, ok := spec.Row(view, win.Test)
+		if !ok {
+			res.Skipped++
+			continue
+		}
+		model, err := NewClassifier(classifierName)
+		if err != nil {
+			return nil, err
+		}
+		if err := model.Fit(x, labels); err != nil {
+			res.Skipped++
+			continue
+		}
+		pred, err := model.Predict(row)
+		if err != nil {
+			return nil, err
+		}
+		res.Confusion.Add(int(LevelOf(view.Hours[win.Test])), pred)
+	}
+	if res.Confusion.Total() == 0 {
+		return nil, fmt.Errorf("classify: vehicle %s: no predictions (%d windows skipped)", d.VehicleID, res.Skipped)
+	}
+	res.Accuracy = res.Confusion.Accuracy()
+	res.MacroF1 = res.Confusion.MacroF1()
+	return res, nil
+}

@@ -1,0 +1,187 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tree is a CART classification tree with Gini-impurity splits.
+type Tree struct {
+	// MaxDepth limits the tree (default 4). Must be >= 1 at Fit time.
+	MaxDepth int
+	// MinSamplesLeaf is the per-leaf minimum (default 1).
+	MinSamplesLeaf int
+
+	root *cnode
+	k    int // number of classes = max label + 1
+	p    int
+}
+
+type cnode struct {
+	feature   int
+	threshold float64
+	left      *cnode
+	right     *cnode
+	leaf      bool
+	class     int
+}
+
+// NewTree returns a depth-4 classification tree.
+func NewTree() *Tree { return &Tree{MaxDepth: 4, MinSamplesLeaf: 1} }
+
+// Name implements Classifier.
+func (m *Tree) Name() string { return "Tree" }
+
+// Fit implements Classifier.
+func (m *Tree) Fit(x [][]float64, y []int) error {
+	_, p, err := checkXY(x, y)
+	if err != nil {
+		return err
+	}
+	if m.MaxDepth < 1 {
+		return fmt.Errorf("%w: tree depth %d", ErrBadParam, m.MaxDepth)
+	}
+	minLeaf := m.MinSamplesLeaf
+	if minLeaf < 1 {
+		minLeaf = 1
+	}
+	m.k = 0
+	for _, c := range y {
+		if c+1 > m.k {
+			m.k = c + 1
+		}
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	m.p = p
+	m.root = m.grow(x, y, idx, m.MaxDepth, minLeaf)
+	return nil
+}
+
+func (m *Tree) grow(x [][]float64, y []int, idx []int, depth, minLeaf int) *cnode {
+	if depth == 0 || len(idx) < 2*minLeaf || pureLabels(y, idx) {
+		return &cnode{leaf: true, class: majorityOf(y, idx, m.k)}
+	}
+	feature, threshold, ok := bestGiniSplit(x, y, idx, minLeaf, m.k)
+	if !ok {
+		return &cnode{leaf: true, class: majorityOf(y, idx, m.k)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &cnode{
+		feature:   feature,
+		threshold: threshold,
+		left:      m.grow(x, y, left, depth-1, minLeaf),
+		right:     m.grow(x, y, right, depth-1, minLeaf),
+	}
+}
+
+func pureLabels(y []int, idx []int) bool {
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+func majorityOf(y []int, idx []int, k int) int {
+	counts := make([]int, k)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	best, bestN := 0, -1
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// gini returns the Gini impurity of the counts times the sample count
+// (so sums are comparable across split sides without normalizing).
+func giniWeighted(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	sumSq := 0.0
+	for _, c := range counts {
+		sumSq += float64(c) * float64(c)
+	}
+	return float64(n) - sumSq/float64(n)
+}
+
+// bestGiniSplit scans every feature's sorted values, maintaining
+// running class counts, and returns the split minimizing the weighted
+// Gini impurity.
+func bestGiniSplit(x [][]float64, y []int, idx []int, minLeaf, k int) (feature int, threshold float64, ok bool) {
+	n := len(idx)
+	p := len(x[idx[0]])
+	best := float64(n) + 1 // impurity upper bound
+
+	order := make([]int, n)
+	leftCounts := make([]int, k)
+	totalCounts := make([]int, k)
+	rightCounts := make([]int, k)
+	for f := 0; f < p; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		for i := range leftCounts {
+			leftCounts[i] = 0
+			totalCounts[i] = 0
+		}
+		for _, i := range order {
+			totalCounts[y[i]]++
+		}
+		for pos := 0; pos < n-1; pos++ {
+			i := order[pos]
+			leftCounts[y[i]]++
+			if x[order[pos+1]][f] == x[i][f] {
+				continue
+			}
+			nl, nr := pos+1, n-pos-1
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			for c := range rightCounts {
+				rightCounts[c] = totalCounts[c] - leftCounts[c]
+			}
+			impurity := giniWeighted(leftCounts, nl) + giniWeighted(rightCounts, nr)
+			if impurity < best-1e-12 {
+				best = impurity
+				feature = f
+				threshold = (x[i][f] + x[order[pos+1]][f]) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// Predict implements Classifier.
+func (m *Tree) Predict(x []float64) (int, error) {
+	if m.root == nil {
+		return 0, ErrNotTrained
+	}
+	if len(x) != m.p {
+		return 0, fmt.Errorf("%w: row has %d features, model trained on %d", ErrBadShape, len(x), m.p)
+	}
+	node := m.root
+	for !node.leaf {
+		if x[node.feature] <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.class, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vup/internal/etl"
+	"vup/internal/stats"
+)
+
+// FleetResult aggregates per-vehicle evaluations (evaluation step 6:
+// "evaluate the overall prediction error by averaging the prediction
+// errors over all the vehicles").
+type FleetResult struct {
+	Results []*Result
+	// MeanPE is the average of the per-vehicle Percentage Errors
+	// (NaN-PE vehicles excluded).
+	MeanPE float64
+	// MedianPE is the median per-vehicle PE.
+	MedianPE float64
+	// PEs are the finite per-vehicle PE values, one per evaluated
+	// vehicle, for distribution plots (Figure 5).
+	PEs []float64
+	// Failed maps vehicle IDs to the error that prevented their
+	// evaluation (e.g. too little data for the window).
+	Failed map[string]error
+}
+
+// EvaluateFleet evaluates cfg on every dataset concurrently with the
+// given number of workers (<=0 selects GOMAXPROCS). Vehicles that
+// cannot be evaluated (short series, all-idle) are collected in
+// Failed rather than aborting the fleet run.
+func EvaluateFleet(datasets []*etl.VehicleDataset, cfg Config, workers int) (*FleetResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(datasets) == 0 {
+		return nil, fmt.Errorf("%w: empty fleet", ErrNoPredictions)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type outcome struct {
+		idx int
+		res *Result
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				res, err := EvaluateVehicle(datasets[idx], cfg)
+				results <- outcome{idx: idx, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range datasets {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	fr := &FleetResult{Failed: map[string]error{}}
+	ordered := make([]*Result, len(datasets))
+	for oc := range results {
+		if oc.err != nil {
+			fr.Failed[datasets[oc.idx].VehicleID] = oc.err
+			continue
+		}
+		ordered[oc.idx] = oc.res
+	}
+	for _, res := range ordered {
+		if res == nil {
+			continue
+		}
+		fr.Results = append(fr.Results, res)
+		if !isNaN(res.PE) {
+			fr.PEs = append(fr.PEs, res.PE)
+		}
+	}
+	if len(fr.PEs) == 0 {
+		return nil, fmt.Errorf("%w: no vehicle produced a finite PE", ErrNoPredictions)
+	}
+	sort.Float64s(fr.PEs)
+	fr.MeanPE = stats.Mean(fr.PEs)
+	fr.MedianPE = stats.Median(fr.PEs)
+	return fr, nil
+}
+
+func isNaN(v float64) bool { return v != v }

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoPredictions is returned when a metric has nothing to average.
+var ErrNoPredictions = errors.New("core: no predictions to evaluate")
+
+// PE computes the paper's Percentage Error,
+//
+//	PE = 100 · Σ|pred_i − actual_i| / Σ|actual_i|
+//
+// It returns an error for empty input and NaN when the actuals sum to
+// zero (no utilization in the evaluation period).
+func PE(pred, actual []float64) (float64, error) {
+	if len(pred) == 0 || len(pred) != len(actual) {
+		return 0, ErrNoPredictions
+	}
+	var num, den float64
+	for i := range pred {
+		num += math.Abs(pred[i] - actual[i])
+		den += math.Abs(actual[i])
+	}
+	if den == 0 {
+		return math.NaN(), nil
+	}
+	return 100 * num / den, nil
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, actual []float64) (float64, error) {
+	if len(pred) == 0 || len(pred) != len(actual) {
+		return 0, ErrNoPredictions
+	}
+	var sum float64
+	for i := range pred {
+		sum += math.Abs(pred[i] - actual[i])
+	}
+	return sum / float64(len(pred)), nil
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(pred, actual []float64) (float64, error) {
+	if len(pred) == 0 || len(pred) != len(actual) {
+		return 0, ErrNoPredictions
+	}
+	var sum float64
+	for i := range pred {
+		d := pred[i] - actual[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred))), nil
+}

@@ -1,0 +1,135 @@
+package etl
+
+import (
+	"testing"
+
+	"vup/internal/fleet"
+	"vup/internal/weather"
+)
+
+func TestAttachWeather(t *testing.T) {
+	d := testDataset(t, 60)
+	gen := weather.NewGenerator(d.Country, 1)
+	wx, err := gen.Simulate(fleet.StudyStart, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttachWeather(wx); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	temp := d.Channels[weather.ChanTemp]
+	precip := d.Channels[weather.ChanPrecip]
+	if len(temp) != 60 || len(precip) != 60 {
+		t.Fatalf("weather channels misaligned: %d %d", len(temp), len(precip))
+	}
+	for i := range temp {
+		if temp[i] != wx[i].TempC || precip[i] != wx[i].PrecipMM {
+			t.Fatalf("day %d mismatch", i)
+		}
+	}
+	// A longer weather series is fine; a shorter one is not.
+	if err := d.AttachWeather(wx[:59]); err == nil {
+		t.Error("short weather series accepted")
+	}
+	empty := &VehicleDataset{}
+	if err := empty.AttachWeather(wx); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestAttachFaults(t *testing.T) {
+	d := testDataset(t, 30)
+	counts := make([]int, 30)
+	counts[3] = 2
+	counts[10] = 1
+	if err := d.AttachFaults(counts); err != nil {
+		t.Fatal(err)
+	}
+	vals := d.Channels[ChanFaultCount]
+	if vals[3] != 2 || vals[10] != 1 || vals[0] != 0 {
+		t.Errorf("fault channel = %v", vals[:12])
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttachFaults(counts[:10]); err == nil {
+		t.Error("short fault series accepted")
+	}
+}
+
+// Property: Clean is idempotent — a second pass with the same policy
+// changes nothing.
+func TestCleanIdempotentProperty(t *testing.T) {
+	for _, policy := range []MissingPolicy{MissingZero, MissingForwardFill, MissingInterpolate} {
+		d := testDataset(t, 120)
+		// Degrade: unobserved stretches and bad values.
+		for i := 20; i < 27; i++ {
+			d.Observed[i] = false
+		}
+		d.Observed[0] = false
+		d.Observed[119] = false
+		d.Hours[50] = -3
+		d.Hours[51] = 99
+		if _, err := Clean(d, policy); err != nil {
+			t.Fatal(err)
+		}
+		snapshot := append([]float64(nil), d.Hours...)
+		chanSnap := map[string][]float64{}
+		for name, vals := range d.Channels {
+			chanSnap[name] = append([]float64(nil), vals...)
+		}
+		repaired, err := Clean(d, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The second pass still "repairs" the same unobserved days but
+		// must not change any value.
+		_ = repaired
+		for i := range snapshot {
+			if d.Hours[i] != snapshot[i] {
+				t.Fatalf("policy %v: hours changed at %d on second pass", policy, i)
+			}
+		}
+		for name, vals := range d.Channels {
+			for i := range vals {
+				if vals[i] != chanSnap[name][i] {
+					t.Fatalf("policy %v: channel %s changed at %d", policy, name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := testDataset(t, 40)
+	sub, err := d.Subset([]int{5, 7, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 3 {
+		t.Fatalf("len = %d", sub.Len())
+	}
+	if sub.Hours[0] != d.Hours[5] || sub.Hours[2] != d.Hours[20] {
+		t.Error("hours not copied by index")
+	}
+	if sub.Context[1] != d.Context[7] {
+		t.Error("context not carried over")
+	}
+	if !sub.Start.Equal(d.Date(5)) {
+		t.Errorf("start = %v", sub.Start)
+	}
+	for name := range d.Channels {
+		if sub.Channels[name][2] != d.Channels[name][20] {
+			t.Fatalf("channel %s not subset correctly", name)
+		}
+	}
+	if _, err := d.Subset(nil); err == nil {
+		t.Error("empty subset accepted")
+	}
+	if _, err := d.Subset([]int{99}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package etl
+
+import (
+	"fmt"
+	"math"
+)
+
+// MissingPolicy selects how Clean repairs unobserved days — days whose
+// reports were lost to connectivity outages (preparation step i: "the
+// sudden absence of connectivity may affect data collection").
+type MissingPolicy int
+
+const (
+	// MissingZero treats missing days as idle: hours and engine
+	// channels are zeroed. This matches the study's derivation of
+	// utilization from received samples.
+	MissingZero MissingPolicy = iota
+	// MissingForwardFill copies the previous observed day's values.
+	MissingForwardFill
+	// MissingInterpolate fills gaps linearly between observed
+	// neighbours (hours and channels alike).
+	MissingInterpolate
+)
+
+// String implements fmt.Stringer.
+func (p MissingPolicy) String() string {
+	switch p {
+	case MissingZero:
+		return "zero"
+	case MissingForwardFill:
+		return "ffill"
+	case MissingInterpolate:
+		return "interpolate"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Clean repairs the dataset in place: NaN and infinite values are
+// removed, hours are clamped to [0, 24] and unobserved days are filled
+// according to policy (preparation step i). It returns the number of
+// repaired days.
+func Clean(d *VehicleDataset, policy MissingPolicy) (int, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	repaired := 0
+	// Value sanitation first.
+	for i := range d.Hours {
+		if math.IsNaN(d.Hours[i]) || math.IsInf(d.Hours[i], 0) || d.Hours[i] < 0 {
+			d.Hours[i] = 0
+		}
+		if d.Hours[i] > 24 {
+			d.Hours[i] = 24
+		}
+	}
+	for _, vals := range d.Channels {
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 0
+			}
+		}
+	}
+	// Missing-day repair.
+	for i := range d.Observed {
+		if d.Observed[i] {
+			continue
+		}
+		repaired++
+		switch policy {
+		case MissingZero:
+			d.Hours[i] = 0
+			for _, vals := range d.Channels {
+				vals[i] = 0
+			}
+		case MissingForwardFill:
+			if prev := lastObservedBefore(d, i); prev >= 0 {
+				d.Hours[i] = d.Hours[prev]
+				for _, vals := range d.Channels {
+					vals[i] = vals[prev]
+				}
+			} else {
+				d.Hours[i] = 0
+			}
+		case MissingInterpolate:
+			prev, next := lastObservedBefore(d, i), firstObservedAfter(d, i)
+			switch {
+			case prev >= 0 && next >= 0:
+				frac := float64(i-prev) / float64(next-prev)
+				d.Hours[i] = lerp(d.Hours[prev], d.Hours[next], frac)
+				for _, vals := range d.Channels {
+					vals[i] = lerp(vals[prev], vals[next], frac)
+				}
+			case prev >= 0:
+				d.Hours[i] = d.Hours[prev]
+				for _, vals := range d.Channels {
+					vals[i] = vals[prev]
+				}
+			case next >= 0:
+				d.Hours[i] = d.Hours[next]
+				for _, vals := range d.Channels {
+					vals[i] = vals[next]
+				}
+			}
+		default:
+			return repaired, fmt.Errorf("etl: unknown missing policy %v", policy)
+		}
+	}
+	return repaired, nil
+}
+
+func lastObservedBefore(d *VehicleDataset, i int) int {
+	for j := i - 1; j >= 0; j-- {
+		if d.Observed[j] {
+			return j
+		}
+	}
+	return -1
+}
+
+func firstObservedAfter(d *VehicleDataset, i int) int {
+	for j := i + 1; j < len(d.Observed); j++ {
+		if d.Observed[j] {
+			return j
+		}
+	}
+	return -1
+}
+
+func lerp(a, b, frac float64) float64 { return a + (b-a)*frac }

@@ -1,0 +1,337 @@
+// Package etl implements the paper's data-preparation pipeline
+// (Section 2): (i) cleaning of missing and inconsistent reports,
+// (ii) normalization of continuous features, (iii) aggregation to a
+// daily granularity, (iv) enrichment with contextual information and
+// (v) transformation into a relational format.
+package etl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"vup/internal/canbus"
+	"vup/internal/fleet"
+	"vup/internal/geo"
+	"vup/internal/randx"
+	"vup/internal/relational"
+	"vup/internal/weather"
+)
+
+// ErrEmptyDataset is returned when an operation needs at least one day.
+var ErrEmptyDataset = errors.New("etl: empty dataset")
+
+// Context holds the contextual enrichment of one day (temporal
+// features are per-country: holidays and weekends differ).
+type Context struct {
+	DayOfWeek  time.Weekday
+	WeekOfYear int
+	Month      time.Month
+	Season     geo.Season
+	Year       int
+	Holiday    bool
+	WorkingDay bool
+}
+
+// VehicleDataset is the per-vehicle daily relation the models consume:
+// aligned arrays of utilization hours, CAN channel aggregates and
+// contextual features, one entry per calendar day.
+type VehicleDataset struct {
+	VehicleID string
+	Type      fleet.Type
+	ModelID   string
+	Country   string
+	Start     time.Time
+	Hours     []float64
+	// Channels maps channel name to its aligned daily aggregate.
+	Channels map[string][]float64
+	// Context holds the per-day contextual enrichment.
+	Context []Context
+	// Observed flags days for which at least one report arrived; days
+	// lost to connectivity outages are false and are repaired by the
+	// cleaning step.
+	Observed []bool
+	// Dates, when non-nil, holds the explicit calendar date of every
+	// day. It is nil for contiguous datasets (date = Start + i days)
+	// and populated by Subset, whose kept days are generally not
+	// contiguous (the next-working-day view).
+	Dates []time.Time
+}
+
+// Len returns the number of days.
+func (d *VehicleDataset) Len() int { return len(d.Hours) }
+
+// Date returns the calendar date of day index i.
+func (d *VehicleDataset) Date(i int) time.Time {
+	if d.Dates != nil && i >= 0 && i < len(d.Dates) {
+		return d.Dates[i]
+	}
+	return d.Start.AddDate(0, 0, i)
+}
+
+// Validate checks internal alignment.
+func (d *VehicleDataset) Validate() error {
+	n := len(d.Hours)
+	if n == 0 {
+		return ErrEmptyDataset
+	}
+	if len(d.Context) != n || len(d.Observed) != n {
+		return fmt.Errorf("etl: misaligned dataset: hours %d, context %d, observed %d", n, len(d.Context), len(d.Observed))
+	}
+	for name, vals := range d.Channels {
+		if len(vals) != n {
+			return fmt.Errorf("etl: misaligned channel %q: %d values for %d days", name, len(vals), n)
+		}
+	}
+	if d.Dates != nil && len(d.Dates) != n {
+		return fmt.Errorf("etl: misaligned dates: %d for %d days", len(d.Dates), n)
+	}
+	return nil
+}
+
+// Enrich fills the Context array from the dataset's country and dates
+// (preparation step iv).
+func (d *VehicleDataset) Enrich() {
+	n := len(d.Hours)
+	d.Context = make([]Context, n)
+	country, err := geo.Lookup(d.Country)
+	hemisphere := geo.Northern
+	if err == nil {
+		hemisphere = country.Hemisphere
+	}
+	for i := 0; i < n; i++ {
+		date := d.Date(i)
+		holiday, _ := geo.IsHoliday(d.Country, date)
+		d.Context[i] = Context{
+			DayOfWeek:  date.Weekday(),
+			WeekOfYear: geo.WeekOfYear(date),
+			Month:      date.Month(),
+			Season:     geo.SeasonOf(date, hemisphere),
+			Year:       date.Year(),
+			Holiday:    holiday,
+			WorkingDay: geo.IsWorkingDay(d.Country, date),
+		}
+	}
+}
+
+// FromUsage builds a dataset from a generated usage series using the
+// fast channel path. rng drives the per-day sensor noise.
+func FromUsage(u fleet.Unit, usage []fleet.DayUsage, rng *randx.RNG) (*VehicleDataset, error) {
+	if len(usage) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	d := &VehicleDataset{
+		VehicleID: u.Vehicle.ID,
+		Type:      u.Vehicle.Model.Type,
+		ModelID:   u.Vehicle.Model.ID(),
+		Country:   u.Vehicle.Country,
+		Start:     usage[0].Date,
+		Hours:     make([]float64, len(usage)),
+		Channels:  map[string][]float64{},
+		Observed:  make([]bool, len(usage)),
+	}
+	for _, ch := range canbus.AnalogChannels() {
+		d.Channels[ch] = make([]float64, len(usage))
+	}
+	for i, day := range usage {
+		d.Hours[i] = day.Hours
+		d.Observed[i] = true
+		for name, v := range fleet.DailyChannels(u.Vehicle.Model.Type, day.Hours, rng) {
+			d.Channels[name][i] = v
+		}
+	}
+	d.Enrich()
+	return d, nil
+}
+
+// FromReports builds a dataset by daily aggregation of 10-minute
+// reports (preparation step iii): daily utilization hours are the sum
+// of engine-on time, channel aggregates are sample-weighted means.
+// Days in [start, start+days) without any report are marked
+// unobserved, to be repaired by Clean.
+func FromReports(v fleet.Vehicle, reports []canbus.Report, start time.Time, days int) (*VehicleDataset, error) {
+	if days <= 0 {
+		return nil, fmt.Errorf("etl: non-positive day count %d", days)
+	}
+	start = time.Date(start.Year(), start.Month(), start.Day(), 0, 0, 0, 0, time.UTC)
+	d := &VehicleDataset{
+		VehicleID: v.ID,
+		Type:      v.Model.Type,
+		ModelID:   v.Model.ID(),
+		Country:   v.Country,
+		Start:     start,
+		Hours:     make([]float64, days),
+		Channels:  map[string][]float64{},
+		Observed:  make([]bool, days),
+	}
+	sums := map[string][]float64{}
+	weights := map[string][]float64{}
+	for _, ch := range canbus.AnalogChannels() {
+		d.Channels[ch] = make([]float64, days)
+		sums[ch] = make([]float64, days)
+		weights[ch] = make([]float64, days)
+	}
+	for _, r := range reports {
+		idx := int(r.Start.Sub(start).Hours() / 24)
+		if idx < 0 || idx >= days {
+			continue // outside the observation period
+		}
+		d.Observed[idx] = true
+		d.Hours[idx] += r.EngineOnSeconds / 3600
+		for name, cs := range r.Channels {
+			if _, ok := sums[name]; !ok {
+				continue // channel outside the study's feature set
+			}
+			if cs.Samples <= 0 || math.IsNaN(cs.Mean) {
+				continue
+			}
+			sums[name][idx] += cs.Mean * float64(cs.Samples)
+			weights[name][idx] += float64(cs.Samples)
+		}
+	}
+	for name := range sums {
+		for i := 0; i < days; i++ {
+			if weights[name][i] > 0 {
+				d.Channels[name][i] = sums[name][i] / weights[name][i]
+			}
+		}
+	}
+	d.Enrich()
+	return d, nil
+}
+
+// ChanFaultCount is the channel name under which the daily count of
+// active diagnostic trouble codes is attached.
+const ChanFaultCount = "fault_count"
+
+// AttachFaults adds the aligned per-day active-fault counts as the
+// ChanFaultCount channel (the study's "Diagnostic Messages" feature
+// class). counts must cover at least Len() days.
+func (d *VehicleDataset) AttachFaults(counts []int) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if len(counts) < d.Len() {
+		return fmt.Errorf("etl: fault series of %d days for %d-day dataset", len(counts), d.Len())
+	}
+	vals := make([]float64, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		vals[i] = float64(counts[i])
+	}
+	d.Channels[ChanFaultCount] = vals
+	return nil
+}
+
+// AttachWeather adds the aligned daily weather series as the channels
+// weather.ChanTemp and weather.ChanPrecip (the paper's future-work
+// enrichment). wx must cover at least Len() days.
+func (d *VehicleDataset) AttachWeather(wx []weather.Day) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if len(wx) < d.Len() {
+		return fmt.Errorf("etl: weather series of %d days for %d-day dataset", len(wx), d.Len())
+	}
+	temp := make([]float64, d.Len())
+	precip := make([]float64, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		temp[i] = wx[i].TempC
+		precip[i] = wx[i].PrecipMM
+	}
+	d.Channels[weather.ChanTemp] = temp
+	d.Channels[weather.ChanPrecip] = precip
+	return nil
+}
+
+// Subset returns a new dataset holding only the days at the given
+// indices, in the given order. Each kept day retains its true calendar
+// date (the Dates array) and context, so a compacted next-working-day
+// series still knows each day's weekday, holiday status and date.
+func (d *VehicleDataset) Subset(indices []int) (*VehicleDataset, error) {
+	if len(indices) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	out := &VehicleDataset{
+		VehicleID: d.VehicleID,
+		Type:      d.Type,
+		ModelID:   d.ModelID,
+		Country:   d.Country,
+		Start:     d.Date(indices[0]),
+		Hours:     make([]float64, len(indices)),
+		Channels:  make(map[string][]float64, len(d.Channels)),
+		Context:   make([]Context, len(indices)),
+		Observed:  make([]bool, len(indices)),
+		Dates:     make([]time.Time, len(indices)),
+	}
+	for name := range d.Channels {
+		out.Channels[name] = make([]float64, len(indices))
+	}
+	for k, i := range indices {
+		if i < 0 || i >= d.Len() {
+			return nil, fmt.Errorf("etl: subset index %d out of range [0,%d)", i, d.Len())
+		}
+		out.Hours[k] = d.Hours[i]
+		out.Context[k] = d.Context[i]
+		out.Observed[k] = d.Observed[i]
+		out.Dates[k] = d.Date(i)
+		for name, vals := range d.Channels {
+			out.Channels[name][k] = vals[i]
+		}
+	}
+	return out, nil
+}
+
+// ToTable transforms the dataset into its relational form
+// (preparation step v). The schema is one row per day with the
+// utilization target, every channel and the contextual features.
+func (d *VehicleDataset) ToTable() (*relational.Table, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cols := []relational.Column{
+		{Name: "vehicle_id", Type: relational.String},
+		{Name: "date", Type: relational.Time},
+		{Name: "hours", Type: relational.Float},
+		{Name: "observed", Type: relational.Bool},
+		{Name: "day_of_week", Type: relational.Int},
+		{Name: "week_of_year", Type: relational.Int},
+		{Name: "month", Type: relational.Int},
+		{Name: "season", Type: relational.Int},
+		{Name: "year", Type: relational.Int},
+		{Name: "holiday", Type: relational.Bool},
+		{Name: "working_day", Type: relational.Bool},
+	}
+	channels := canbus.AnalogChannels()
+	for _, ch := range channels {
+		cols = append(cols, relational.Column{Name: ch, Type: relational.Float})
+	}
+	schema, err := relational.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	tab := relational.NewTable(schema)
+	for i := 0; i < d.Len(); i++ {
+		ctx := d.Context[i]
+		row := []relational.Value{
+			d.VehicleID,
+			d.Date(i),
+			d.Hours[i],
+			d.Observed[i],
+			int64(ctx.DayOfWeek),
+			int64(ctx.WeekOfYear),
+			int64(ctx.Month),
+			int64(ctx.Season),
+			int64(ctx.Year),
+			ctx.Holiday,
+			ctx.WorkingDay,
+		}
+		for _, ch := range channels {
+			row = append(row, d.Channels[ch][i])
+		}
+		if err := tab.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}

@@ -1,0 +1,147 @@
+package etl
+
+import (
+	"errors"
+	"fmt"
+
+	"vup/internal/stats"
+)
+
+// ErrNotFitted is returned when Transform is called before Fit.
+var ErrNotFitted = errors.New("etl: scaler not fitted")
+
+// Scaler normalizes continuous features (preparation step ii: "to
+// normalize the values of continuous features in order to make them
+// comparable with each other").
+type Scaler interface {
+	// Fit learns the scaling parameters from xs.
+	Fit(xs []float64) error
+	// Transform maps xs into the normalized space.
+	Transform(xs []float64) ([]float64, error)
+	// Inverse maps normalized values back to the original space.
+	Inverse(xs []float64) ([]float64, error)
+}
+
+// StandardScaler normalizes to zero mean and unit variance. Constant
+// features transform to all zeros.
+type StandardScaler struct {
+	mean, std float64
+	fitted    bool
+}
+
+// Fit implements Scaler.
+func (s *StandardScaler) Fit(xs []float64) error {
+	if len(xs) == 0 {
+		return stats.ErrEmpty
+	}
+	s.mean = stats.Mean(xs)
+	s.std = stats.Std(xs)
+	if len(xs) < 2 || s.std == 0 || s.std != s.std { // NaN check
+		s.std = 0
+	}
+	s.fitted = true
+	return nil
+}
+
+// Transform implements Scaler.
+func (s *StandardScaler) Transform(xs []float64) ([]float64, error) {
+	if !s.fitted {
+		return nil, ErrNotFitted
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if s.std == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = (x - s.mean) / s.std
+	}
+	return out, nil
+}
+
+// Inverse implements Scaler.
+func (s *StandardScaler) Inverse(xs []float64) ([]float64, error) {
+	if !s.fitted {
+		return nil, ErrNotFitted
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if s.std == 0 {
+			out[i] = s.mean
+			continue
+		}
+		out[i] = x*s.std + s.mean
+	}
+	return out, nil
+}
+
+// MinMaxScaler normalizes to [0, 1]. Constant features transform to
+// all zeros.
+type MinMaxScaler struct {
+	min, max float64
+	fitted   bool
+}
+
+// Fit implements Scaler.
+func (s *MinMaxScaler) Fit(xs []float64) error {
+	if len(xs) == 0 {
+		return stats.ErrEmpty
+	}
+	s.min, s.max = stats.Min(xs), stats.Max(xs)
+	s.fitted = true
+	return nil
+}
+
+// Transform implements Scaler.
+func (s *MinMaxScaler) Transform(xs []float64) ([]float64, error) {
+	if !s.fitted {
+		return nil, ErrNotFitted
+	}
+	span := s.max - s.min
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if span == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = (x - s.min) / span
+	}
+	return out, nil
+}
+
+// Inverse implements Scaler.
+func (s *MinMaxScaler) Inverse(xs []float64) ([]float64, error) {
+	if !s.fitted {
+		return nil, ErrNotFitted
+	}
+	span := s.max - s.min
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x*span + s.min
+	}
+	return out, nil
+}
+
+// NormalizeChannels fits a fresh scaler per channel and replaces each
+// channel with its normalized values, returning the fitted scalers by
+// channel name. make(Scaler) is supplied by the caller, e.g.
+// func() Scaler { return &StandardScaler{} }.
+func NormalizeChannels(d *VehicleDataset, make func() Scaler) (map[string]Scaler, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	out := map[string]Scaler{}
+	for name, vals := range d.Channels {
+		sc := make()
+		if err := sc.Fit(vals); err != nil {
+			return nil, fmt.Errorf("etl: fitting scaler for %q: %w", name, err)
+		}
+		scaled, err := sc.Transform(vals)
+		if err != nil {
+			return nil, err
+		}
+		copy(vals, scaled)
+		out[name] = sc
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vup/internal/fleet"
+	"vup/internal/stats"
+	"vup/internal/textplot"
+	"vup/internal/timeseries"
+)
+
+func init() {
+	register("fig1a", "CDF of daily utilization hours per vehicle type (inactive days removed)", runFig1a)
+	register("fig1b", "Box plots of daily utilization hours across refuse-compactor models", runFig1b)
+	register("fig1c", "Box plots of daily utilization hours across units of one model", runFig1c)
+	register("fig1d", "Weekly utilization-hours series of 5 vehicle units", runFig1d)
+	register("fig2", "Autocorrelation function of one unit's utilization series", runFig2)
+	register("fig3", "Sliding vs expanding evaluation windows", runFig3)
+}
+
+// generateFleet builds the fleet and its usage series for cfg.
+func generateFleet(cfg Config) (*fleet.Fleet, map[string][]fleet.DayUsage, error) {
+	f, err := fleet.Generate(fleet.Config{Units: cfg.Units, Start: fleet.StudyStart, Days: cfg.Days, Seed: cfg.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.SimulateAll(), nil
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+func runFig1a(cfg Config) (*Report, error) {
+	f, usage, err := generateFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Pool active-day hours per type.
+	byType := map[string][]float64{}
+	for _, u := range f.Units {
+		name := u.Vehicle.Model.Type.String()
+		for _, d := range usage[u.Vehicle.ID] {
+			if d.Hours > 0 {
+				byType[name] = append(byType[name], d.Hours)
+			}
+		}
+	}
+	rep := &Report{ID: "fig1a", Title: Title("fig1a")}
+	rep.Text = textplot.CDFPlot("F(x): fraction of active days with utilization <= x hours", byType, 70, 18)
+
+	table := Table{Name: "fig1a_quantiles", Header: []string{"type", "n_days", "p25", "median", "p75", "p95", "max"}}
+	names := make([]string, 0, len(byType))
+	for name := range byType {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		xs := byType[name]
+		table.Rows = append(table.Rows, []string{
+			name,
+			strconv.Itoa(len(xs)),
+			fmtF(stats.Quantile(xs, 0.25)),
+			fmtF(stats.Median(xs)),
+			fmtF(stats.Quantile(xs, 0.75)),
+			fmtF(stats.Quantile(xs, 0.95)),
+			fmtF(stats.Max(xs)),
+		})
+	}
+	rep.Tables = append(rep.Tables, table)
+	return rep, nil
+}
+
+// modelBoxes computes per-key box stats of daily hours, sorted by
+// ascending median (the paper's presentation order).
+func modelBoxes(samples map[string][]float64) (labels []string, boxes []stats.BoxStats) {
+	type entry struct {
+		label string
+		box   stats.BoxStats
+	}
+	var entries []entry
+	for label, xs := range samples {
+		if len(xs) == 0 {
+			continue
+		}
+		b, err := stats.Box(xs)
+		if err != nil {
+			continue
+		}
+		entries = append(entries, entry{label, b})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].box.Median != entries[j].box.Median {
+			return entries[i].box.Median < entries[j].box.Median
+		}
+		return entries[i].label < entries[j].label
+	})
+	for _, e := range entries {
+		labels = append(labels, e.label)
+		boxes = append(boxes, e.box)
+	}
+	return labels, boxes
+}
+
+func boxTable(name string, labels []string, boxes []stats.BoxStats) Table {
+	t := Table{Name: name, Header: []string{"label", "n", "min", "q1", "median", "q3", "max", "outliers"}}
+	for i, b := range boxes {
+		t.Rows = append(t.Rows, []string{
+			labels[i], strconv.Itoa(b.N), fmtF(b.Min), fmtF(b.Q1), fmtF(b.Median), fmtF(b.Q3), fmtF(b.Max), strconv.Itoa(len(b.Outliers)),
+		})
+	}
+	return t
+}
+
+func runFig1b(cfg Config) (*Report, error) {
+	f, usage, err := generateFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Active-day hours per refuse-compactor model.
+	byModel := map[string][]float64{}
+	for _, u := range f.ByType(fleet.RefuseCompactor) {
+		id := u.Vehicle.Model.ID()
+		for _, d := range usage[u.Vehicle.ID] {
+			if d.Hours > 0 {
+				byModel[id] = append(byModel[id], d.Hours)
+			}
+		}
+	}
+	if len(byModel) == 0 {
+		return nil, fmt.Errorf("experiments: fleet of %d units has no refuse compactors", cfg.Units)
+	}
+	labels, boxes := modelBoxes(byModel)
+	rep := &Report{ID: "fig1b", Title: Title("fig1b")}
+	rep.Text = textplot.BoxStrip("daily utilization hours per refuse-compactor model (ascending median)", labels, boxes, 60)
+	rep.Tables = append(rep.Tables, boxTable("fig1b_models", labels, boxes))
+	return rep, nil
+}
+
+func runFig1c(cfg Config) (*Report, error) {
+	f, usage, err := generateFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Pick the refuse-compactor model with the most units.
+	counts := map[fleet.Model]int{}
+	for _, u := range f.ByType(fleet.RefuseCompactor) {
+		counts[u.Vehicle.Model]++
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("experiments: fleet of %d units has no refuse compactors", cfg.Units)
+	}
+	var best fleet.Model
+	bestN := -1
+	for m, n := range counts {
+		if n > bestN || (n == bestN && m.ID() < best.ID()) {
+			best, bestN = m, n
+		}
+	}
+	byUnit := map[string][]float64{}
+	for _, u := range f.ByModel(best) {
+		for _, d := range usage[u.Vehicle.ID] {
+			if d.Hours > 0 {
+				byUnit[u.Vehicle.ID] = append(byUnit[u.Vehicle.ID], d.Hours)
+			}
+		}
+	}
+	labels, boxes := modelBoxes(byUnit)
+	rep := &Report{ID: "fig1c", Title: Title("fig1c")}
+	rep.Text = textplot.BoxStrip(
+		fmt.Sprintf("daily utilization hours per unit of model %s (ascending median)", best.ID()),
+		labels, boxes, 60)
+	rep.Tables = append(rep.Tables, boxTable("fig1c_units", labels, boxes))
+	return rep, nil
+}
+
+func runFig1d(cfg Config) (*Report, error) {
+	f, usage, err := generateFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Five refuse-compactor units (or as many as exist).
+	units := f.ByType(fleet.RefuseCompactor)
+	if len(units) == 0 {
+		return nil, fmt.Errorf("experiments: fleet of %d units has no refuse compactors", cfg.Units)
+	}
+	if len(units) > 5 {
+		units = units[:5]
+	}
+	var lines []textplot.Line
+	table := Table{Name: "fig1d_weekly", Header: []string{"vehicle", "week", "hours"}}
+	for _, u := range units {
+		series := make([]float64, cfg.Days)
+		for i, d := range usage[u.Vehicle.ID] {
+			series[i] = d.Hours
+		}
+		weekly := timeseries.New(fleet.StudyStart, series).WeeklyTotals()
+		xs := make([]float64, len(weekly))
+		for i := range weekly {
+			xs[i] = float64(i)
+			table.Rows = append(table.Rows, []string{u.Vehicle.ID, strconv.Itoa(i), fmtF(weekly[i])})
+		}
+		lines = append(lines, textplot.Line{Name: u.Vehicle.ID, X: xs, Y: weekly})
+	}
+	rep := &Report{ID: "fig1d", Title: Title("fig1d")}
+	rep.Text = textplot.LinePlot("weekly utilization hours, 5 units (weeks on x)", lines, 70, 16)
+	rep.Tables = append(rep.Tables, table)
+	return rep, nil
+}
+
+func runFig2(cfg Config) (*Report, error) {
+	f, usage, err := generateFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	units := f.ByType(fleet.RefuseCompactor)
+	if len(units) == 0 {
+		return nil, fmt.Errorf("experiments: fleet of %d units has no refuse compactors", cfg.Units)
+	}
+	u := units[0]
+	series := make([]float64, cfg.Days)
+	for i, d := range usage[u.Vehicle.ID] {
+		series[i] = d.Hours
+	}
+	maxLag := 20
+	acf := stats.ACF(series, maxLag)
+	band := stats.ACFConfidence(len(series))
+
+	xs := make([]float64, maxLag+1)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	lines := []textplot.Line{
+		{Name: "ACF", X: xs, Y: acf},
+		{Name: "95% white-noise band", X: []float64{0, float64(maxLag)}, Y: []float64{band, band}, Marker: '-'},
+	}
+	rep := &Report{ID: "fig2", Title: Title("fig2")}
+	rep.Text = textplot.LinePlot(
+		fmt.Sprintf("autocorrelation of %s's daily utilization (lag on x)", u.Vehicle.ID),
+		lines, 64, 14)
+
+	table := Table{Name: "fig2_acf", Header: []string{"lag", "acf", "significant"}}
+	for l := 0; l <= maxLag; l++ {
+		table.Rows = append(table.Rows, []string{
+			strconv.Itoa(l), fmtF(acf[l]), strconv.FormatBool(acf[l] > band),
+		})
+	}
+	rep.Tables = append(rep.Tables, table)
+	return rep, nil
+}
+
+func runFig3(cfg Config) (*Report, error) {
+	// Illustrative: enumerate both strategies over a short horizon, as
+	// the paper's Figure 3 sketch does.
+	const n, w = 12, 5
+	rep := &Report{ID: "fig3", Title: Title("fig3")}
+	var b strings.Builder
+	table := Table{Name: "fig3_windows", Header: []string{"strategy", "test_day", "train_from", "train_to", "train_size"}}
+	for _, strat := range []timeseries.Strategy{timeseries.Sliding, timeseries.Expanding} {
+		wins, err := timeseries.Enumerate(n, w, strat)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%s window (n=%d, w=%d):\n", strat, n, w)
+		for _, win := range wins {
+			row := []rune(strings.Repeat(".", n))
+			for i := win.TrainFrom; i < win.TrainTo; i++ {
+				row[i] = 'T'
+			}
+			row[win.Test] = 'P'
+			fmt.Fprintf(&b, "  |%s|\n", string(row))
+			table.Rows = append(table.Rows, []string{
+				strat.String(), strconv.Itoa(win.Test), strconv.Itoa(win.TrainFrom),
+				strconv.Itoa(win.TrainTo), strconv.Itoa(win.TrainTo - win.TrainFrom),
+			})
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("T = training day, P = predicted day\n")
+	rep.Text = b.String()
+	rep.Tables = append(rep.Tables, table)
+	return rep, nil
+}

@@ -1,0 +1,110 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 4) on the synthetic fleet: the data
+// characterization of Figure 1, the autocorrelation example of
+// Figure 2, the window strategies of Figure 3, the K×w parameter sweep
+// of Figure 4, the algorithm comparison of Figure 5, the predicted-vs-
+// actual series of Figure 6 and the training-time table of
+// Section 4.5. Each experiment returns structured rows (for CSV) plus
+// an ASCII rendering.
+package experiments
+
+import (
+	"fmt"
+
+	"vup/internal/canbus"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Seed drives every random draw; equal seeds give identical
+	// reports.
+	Seed int64
+	// Units is the fleet size used for the data characterization
+	// figures.
+	Units int
+	// Days is the observation period length.
+	Days int
+	// EvalVehicles is how many vehicles the model-evaluation figures
+	// train on (the characterization figures use the whole fleet).
+	EvalVehicles int
+	// Stride subsamples the test days during evaluation (1 = the
+	// paper's full evaluation).
+	Stride int
+	// W and K are the training-window and feature-selection settings
+	// (the paper's defaults are 140 and 20).
+	W, K int
+	// MaxLag is the lag budget for the feature selection.
+	MaxLag int
+	// Channels lagged alongside the hours series during evaluation.
+	Channels []string
+	// Workers bounds evaluation concurrency (<=0: GOMAXPROCS).
+	Workers int
+}
+
+// Small returns a laptop-scale configuration: tens of vehicles,
+// roughly two years, strided evaluation. Suitable for the runnable
+// examples and the default `vup-experiments` invocation.
+func Small() Config {
+	return Config{
+		Seed:         1,
+		Units:        60,
+		Days:         730,
+		EvalVehicles: 6,
+		Stride:       5,
+		W:            140,
+		K:            20,
+		MaxLag:       28,
+		Channels:     []string{canbus.ChanFuelRate, canbus.ChanEngineSpeed, canbus.ChanPercentLoad},
+		Workers:      0,
+	}
+}
+
+// Tiny returns the minimal configuration used by the test suite.
+func Tiny() Config {
+	return Config{
+		Seed:         1,
+		Units:        16,
+		Days:         500,
+		EvalVehicles: 2,
+		Stride:       15,
+		W:            90,
+		K:            10,
+		MaxLag:       21,
+		Channels:     []string{canbus.ChanFuelRate},
+		Workers:      0,
+	}
+}
+
+// Full returns the study-scale configuration: 2 239 vehicles over the
+// full 2015-01..2018-09 period, with every analog channel and the
+// paper's w=140, K=20. The evaluation figures still subsample the
+// fleet (EvalVehicles) — evaluating six algorithms on every unit of
+// the full fleet is a cluster-scale job the paper itself ran once.
+func Full() Config {
+	return Config{
+		Seed:         1,
+		Units:        2239,
+		Days:         1369,
+		EvalVehicles: 50,
+		Stride:       1,
+		W:            140,
+		K:            20,
+		MaxLag:       42,
+		Channels:     canbus.AnalogChannels(),
+		Workers:      0,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Units <= 0 || c.Days <= 0 || c.EvalVehicles <= 0 {
+		return fmt.Errorf("experiments: non-positive scale: %+v", c)
+	}
+	if c.EvalVehicles > c.Units {
+		return fmt.Errorf("experiments: EvalVehicles %d > Units %d", c.EvalVehicles, c.Units)
+	}
+	if c.W <= 1 || c.K <= 0 || c.Stride <= 0 || c.MaxLag <= 0 {
+		return fmt.Errorf("experiments: invalid pipeline settings: %+v", c)
+	}
+	return nil
+}

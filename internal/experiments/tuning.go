@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"vup/internal/featsel"
+	"vup/internal/regress"
+	"vup/internal/textplot"
+)
+
+func init() {
+	register("tuning", "Hyper-parameter grid search (Section 4.2)", runTuning)
+}
+
+// runTuning reproduces the algorithm-settings selection of
+// Section 4.2: for each tunable algorithm, a grid search over the
+// paper's plausible ranges with an ordered train/validation split,
+// reporting the selected point next to the paper's published choice.
+func runTuning(cfg Config) (*Report, error) {
+	datasets, err := evalDatasets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Pool training rows from the evaluated vehicles' final windows so
+	// the search sees heterogeneous usage.
+	var x [][]float64
+	var y []float64
+	for _, d := range datasets {
+		n := d.Len()
+		from := n - cfg.W
+		if from < 0 {
+			from = 0
+		}
+		lags := featsel.SelectLags(d.Hours[from:n], cfg.MaxLag, cfg.K)
+		spec := featsel.Spec{Lags: lags, Channels: cfg.Channels, IncludeHours: true, IncludeContext: true}
+		xs, ys, _, err := spec.Matrix(d, from, n)
+		if err != nil {
+			continue
+		}
+		x = append(x, xs...)
+		y = append(y, ys...)
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("experiments: tuning has no training rows")
+	}
+
+	type search struct {
+		name  string
+		paper string
+		grid  []regress.GridPoint
+		build func(regress.GridPoint) (regress.Regressor, error)
+	}
+	searches := []search{
+		{
+			name:  "Lasso",
+			paper: "alpha=0.1",
+			grid:  regress.ExpandGrid(map[string][]float64{"alpha": {0.01, 0.1, 1, 10}}),
+			build: func(gp regress.GridPoint) (regress.Regressor, error) {
+				return &regress.Lasso{Alpha: gp["alpha"]}, nil
+			},
+		},
+		{
+			name:  "SVR",
+			paper: "C=10 epsilon=0.1 gamma=1",
+			grid:  regress.ExpandGrid(map[string][]float64{"C": {1, 10}, "gamma": {0.5, 1, 2}}),
+			build: func(gp regress.GridPoint) (regress.Regressor, error) {
+				return &regress.SVR{C: gp["C"], Epsilon: 0.1, Gamma: gp["gamma"]}, nil
+			},
+		},
+		{
+			name:  "GB",
+			paper: "lr=0.1 n=100 depth=1",
+			grid:  regress.ExpandGrid(map[string][]float64{"lr": {0.05, 0.1, 0.3}, "depth": {1, 2}}),
+			build: func(gp regress.GridPoint) (regress.Regressor, error) {
+				return &regress.GradientBoosting{
+					LearningRate: gp["lr"],
+					NEstimators:  50, // half-size grid stages keep the search fast
+					MaxDepth:     int(gp["depth"]),
+					Loss:         regress.LossLAD,
+				}, nil
+			},
+		},
+		{
+			name:  "MA",
+			paper: "period=30",
+			grid:  regress.ExpandGrid(map[string][]float64{"period": {7, 14, 30, 60}}),
+			build: func(gp regress.GridPoint) (regress.Regressor, error) {
+				return &regress.MovingAverage{Period: int(gp["period"])}, nil
+			},
+		},
+	}
+
+	table := Table{Name: "tuning", Header: []string{"algorithm", "selected", "validation_mae", "paper_choice", "grid_size"}}
+	var labels []string
+	var maes []float64
+	for _, s := range searches {
+		best, bestMAE, err := regress.GridSearch(x, y, s.grid, s.build, 0.25)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tuning %s: %w", s.name, err)
+		}
+		table.Rows = append(table.Rows, []string{
+			s.name, formatGridPoint(best), fmtF(bestMAE), s.paper, strconv.Itoa(len(s.grid)),
+		})
+		labels = append(labels, s.name)
+		maes = append(maes, bestMAE)
+	}
+	rep := &Report{ID: "tuning", Title: Title("tuning")}
+	rep.Text = textplot.Histogram("best validation MAE (hours) per algorithm family", labels, maes, 40)
+	rep.Tables = append(rep.Tables, table)
+	return rep, nil
+}
+
+func formatGridPoint(gp regress.GridPoint) string {
+	// Deterministic order for the report.
+	names := make([]string, 0, len(gp))
+	for name := range gp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, name := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%g", name, gp[name])
+	}
+	return out
+}

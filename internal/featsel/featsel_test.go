@@ -1,0 +1,226 @@
+package featsel
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"vup/internal/canbus"
+	"vup/internal/etl"
+	"vup/internal/fleet"
+	"vup/internal/randx"
+)
+
+func testDataset(t *testing.T, days int) *etl.VehicleDataset {
+	t.Helper()
+	rng := randx.New(1)
+	v := fleet.Vehicle{ID: "veh-0", Model: fleet.Model{Type: fleet.RefuseCompactor, Index: 0}, Country: "IT"}
+	u := fleet.Unit{Vehicle: v, Model: fleet.NewUsageModel(v, 1, rng.Split())}
+	usage := u.Model.Simulate(fleet.StudyStart, days)
+	d, err := etl.FromUsage(u, usage, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSelectLagsWeekly(t *testing.T) {
+	// A weekly-periodic signal: the top lags must include 7.
+	series := make([]float64, 210)
+	for i := range series {
+		series[i] = 4 + 3*math.Sin(2*math.Pi*float64(i)/7)
+	}
+	lags := SelectLags(series, 21, 3)
+	found := false
+	for _, l := range lags {
+		if l == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lag 7 not selected: %v", lags)
+	}
+}
+
+func TestSelectLagsClampsMaxLag(t *testing.T) {
+	series := []float64{1, 2, 3, 4, 5}
+	lags := SelectLags(series, 100, 100)
+	if len(lags) != 4 { // maxLag clamped to len-1
+		t.Errorf("lags = %v", lags)
+	}
+}
+
+func TestAllLags(t *testing.T) {
+	lags := AllLags(5)
+	if len(lags) != 5 || lags[0] != 1 || lags[4] != 5 {
+		t.Errorf("AllLags = %v", lags)
+	}
+}
+
+func TestSpecWidth(t *testing.T) {
+	s := Spec{Lags: []int{1, 7}, Channels: []string{canbus.ChanFuelRate}, IncludeHours: true, IncludeContext: true}
+	// 2 lags × (1 hour + 1 channel) + 15 context = 19.
+	if got := s.Width(); got != 19 {
+		t.Errorf("Width = %d", got)
+	}
+	noCtx := Spec{Lags: []int{1}, IncludeHours: true}
+	if got := noCtx.Width(); got != 1 {
+		t.Errorf("Width = %d", got)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	d := testDataset(t, 50)
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{Lags: []int{1, 2}, IncludeHours: true}, true},
+		{Spec{Lags: nil, IncludeHours: true}, false},
+		{Spec{Lags: []int{2, 1}, IncludeHours: true}, false},
+		{Spec{Lags: []int{0, 1}, IncludeHours: true}, false},
+		{Spec{Lags: []int{1}}, false}, // no features at all
+		{Spec{Lags: []int{1}, Channels: []string{"bogus"}}, false},
+		{Spec{Lags: []int{1}, Channels: []string{canbus.ChanSpeed}}, true},
+	}
+	for i, c := range cases {
+		err := c.spec.Validate(d)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: err = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestRowLayout(t *testing.T) {
+	d := testDataset(t, 40)
+	s := Spec{Lags: []int{1, 7}, Channels: []string{canbus.ChanFuelRate}, IncludeHours: true}
+	row, ok := s.Row(d, 10)
+	if !ok {
+		t.Fatal("row not available")
+	}
+	want := []float64{
+		d.Hours[9], d.Channels[canbus.ChanFuelRate][9],
+		d.Hours[3], d.Channels[canbus.ChanFuelRate][3],
+	}
+	if len(row) != 4 {
+		t.Fatalf("row = %v", row)
+	}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Errorf("row[%d] = %v, want %v", i, row[i], want[i])
+		}
+	}
+}
+
+func TestRowUnderflow(t *testing.T) {
+	d := testDataset(t, 40)
+	s := Spec{Lags: []int{7}, IncludeHours: true}
+	if _, ok := s.Row(d, 6); ok {
+		t.Error("row before max lag accepted")
+	}
+	if _, ok := s.Row(d, 7); !ok {
+		t.Error("first valid row rejected")
+	}
+	if _, ok := s.Row(d, 40); ok {
+		t.Error("row beyond dataset accepted")
+	}
+}
+
+func TestContextFeatures(t *testing.T) {
+	d := testDataset(t, 40)
+	s := Spec{Lags: []int{1}, IncludeHours: true, IncludeContext: true}
+	// Day 0 of the study is Thursday 2015-01-01 (a holiday); pick day
+	// t=8, Friday 2015-01-09.
+	row, ok := s.Row(d, 8)
+	if !ok {
+		t.Fatal("row not available")
+	}
+	ctx := row[1:] // 1 lag feature, then context
+	if len(ctx) != 15 {
+		t.Fatalf("context width = %d", len(ctx))
+	}
+	// One-hot weekday: exactly one flag set, at Friday (index 5).
+	sum := 0.0
+	for i := 0; i < 7; i++ {
+		sum += ctx[i]
+	}
+	if sum != 1 || ctx[5] != 1 {
+		t.Errorf("weekday one-hot = %v", ctx[:7])
+	}
+	// Holiday flag clear, working-day flag set.
+	if ctx[7] != 0 || ctx[8] != 1 {
+		t.Errorf("holiday/working = %v %v", ctx[7], ctx[8])
+	}
+	// Season one-hot: exactly one.
+	sSum := ctx[9] + ctx[10] + ctx[11] + ctx[12]
+	if sSum != 1 {
+		t.Errorf("season one-hot = %v", ctx[9:13])
+	}
+	// Month circle is on the unit circle.
+	if r := ctx[13]*ctx[13] + ctx[14]*ctx[14]; math.Abs(r-1) > 1e-9 {
+		t.Errorf("month circle radius² = %v", r)
+	}
+}
+
+func TestMonthCircleAdjacency(t *testing.T) {
+	dx, dy := monthCircle(12)
+	jx, jy := monthCircle(1)
+	jux, juy := monthCircle(6)
+	distDecJan := math.Hypot(dx-jx, dy-jy)
+	distDecJun := math.Hypot(dx-jux, dy-juy)
+	if distDecJan >= distDecJun {
+		t.Errorf("December-January (%v) not closer than December-June (%v)", distDecJan, distDecJun)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	d := testDataset(t, 60)
+	s := Spec{Lags: []int{1, 2, 7}, Channels: []string{canbus.ChanEngineSpeed}, IncludeHours: true, IncludeContext: true}
+	x, y, idx, err := s.Matrix(d, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Targets 7..59 are buildable.
+	if len(x) != 53 || len(y) != 53 || len(idx) != 53 {
+		t.Fatalf("rows = %d", len(x))
+	}
+	if idx[0] != 7 || idx[len(idx)-1] != 59 {
+		t.Errorf("target idx range = %d..%d", idx[0], idx[len(idx)-1])
+	}
+	for i := range x {
+		if len(x[i]) != s.Width() {
+			t.Fatalf("row %d width = %d, want %d", i, len(x[i]), s.Width())
+		}
+		if y[i] != d.Hours[idx[i]] {
+			t.Fatalf("target mismatch at %d", i)
+		}
+	}
+}
+
+func TestMatrixClampsRange(t *testing.T) {
+	d := testDataset(t, 30)
+	s := Spec{Lags: []int{1}, IncludeHours: true}
+	x, _, idx, err := s.Matrix(d, -5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 29 || idx[0] != 1 {
+		t.Errorf("clamped matrix rows = %d, first idx = %d", len(x), idx[0])
+	}
+}
+
+func TestMatrixNoRows(t *testing.T) {
+	d := testDataset(t, 30)
+	s := Spec{Lags: []int{25}, IncludeHours: true}
+	if _, _, _, err := s.Matrix(d, 0, 10); !errors.Is(err, ErrNoRows) {
+		t.Errorf("want ErrNoRows, got %v", err)
+	}
+}
+
+func TestMatrixInvalidSpec(t *testing.T) {
+	d := testDataset(t, 30)
+	s := Spec{Lags: nil, IncludeHours: true}
+	if _, _, _, err := s.Matrix(d, 0, 30); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

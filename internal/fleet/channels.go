@@ -1,0 +1,57 @@
+package fleet
+
+import (
+	"vup/internal/canbus"
+	"vup/internal/randx"
+)
+
+// DailyChannels derives the daily aggregate of every CAN analog
+// channel for a day with the given utilization hours. The channels are
+// correlated with the utilization level — busier days show higher mean
+// rpm, load and fuel rate, and lower end-of-day fuel level — with
+// per-day sensor noise, mirroring the multivariate structure of the
+// reports the regression models consume.
+//
+// This is the fast generation path, statistically equivalent to
+// running the full telematics stack (internal/telematics exercises the
+// frame-level path); both are fed by the same usage series.
+func DailyChannels(t Type, hours float64, rng *randx.RNG) map[string]float64 {
+	busy := hours / 8 // normalized duty for an 8-hour reference shift
+	if busy > 3 {
+		busy = 3
+	}
+	out := make(map[string]float64, 10)
+	if hours <= 0 {
+		// Inactive day: everything at rest, ambient temperatures.
+		out[canbus.ChanEngineSpeed] = 0
+		out[canbus.ChanPercentLoad] = 0
+		out[canbus.ChanFuelRate] = 0
+		out[canbus.ChanSpeed] = 0
+		out[canbus.ChanOilPressure] = 0
+		out[canbus.ChanCoolantTemp] = rng.Normal(15, 8)
+		out[canbus.ChanPumpDriveTemp] = rng.Normal(15, 8)
+		out[canbus.ChanOilTankTemp] = rng.Normal(15, 8)
+		out[canbus.ChanFuelLevel] = clamp(rng.Normal(60, 15), 2, 100)
+		out[canbus.ChanDiggingPress] = 0
+		return out
+	}
+	out[canbus.ChanEngineSpeed] = clamp(rng.Normal(900+700*busy, 120), 600, 2600)
+	out[canbus.ChanPercentLoad] = clamp(rng.Normal(25+35*busy, 8), 5, 110)
+	out[canbus.ChanFuelRate] = clamp(rng.Normal(4+9*busy, 1.5), 0.5, 60)
+	out[canbus.ChanOilPressure] = clamp(rng.Normal(280+60*busy, 25), 120, 700)
+	out[canbus.ChanCoolantTemp] = clamp(rng.Normal(70+12*busy, 5), 20, 115)
+	out[canbus.ChanPumpDriveTemp] = clamp(rng.Normal(55+15*busy, 6), 15, 130)
+	out[canbus.ChanOilTankTemp] = clamp(rng.Normal(50+12*busy, 6), 15, 120)
+	// Fuel level drops with consumption; refills reset it randomly.
+	out[canbus.ChanFuelLevel] = clamp(rng.Normal(75-18*busy, 12), 2, 100)
+	// Machine-control channels are type-dependent: only digging/rolling
+	// machines build meaningful hydraulic pressure.
+	switch t {
+	case CoringMachine, Excavator:
+		out[canbus.ChanDiggingPress] = clamp(rng.Normal(12000+9000*busy, 2500), 0, 45000)
+	default:
+		out[canbus.ChanDiggingPress] = clamp(rng.Normal(2500+1500*busy, 800), 0, 20000)
+	}
+	out[canbus.ChanSpeed] = clamp(rng.Normal(3+4*busy, 1.5), 0, 40)
+	return out
+}

@@ -1,0 +1,336 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vup/internal/canbus"
+	"vup/internal/randx"
+	"vup/internal/stats"
+)
+
+func TestTypesAndStrings(t *testing.T) {
+	ts := Types()
+	if len(ts) != 10 {
+		t.Fatalf("types = %d, want 10", len(ts))
+	}
+	if RefuseCompactor.String() != "refuse compactor" || Grader.String() != "grader" {
+		t.Error("type names wrong")
+	}
+	if Type(99).String() != "type(99)" {
+		t.Error("invalid type name wrong")
+	}
+}
+
+func TestModelCounts(t *testing.T) {
+	// The paper: 44 refuse-compactor models, 65 single-drum-roller
+	// models, 10 recycler models.
+	if ModelCount(RefuseCompactor) != 44 {
+		t.Errorf("refuse compactor models = %d", ModelCount(RefuseCompactor))
+	}
+	if ModelCount(SingleDrumRoller) != 65 {
+		t.Errorf("single drum roller models = %d", ModelCount(SingleDrumRoller))
+	}
+	if ModelCount(Recycler) != 10 {
+		t.Errorf("recycler models = %d", ModelCount(Recycler))
+	}
+}
+
+func TestModelID(t *testing.T) {
+	m := Model{Type: RefuseCompactor, Index: 7}
+	if m.ID() != "RC-07" {
+		t.Errorf("ID = %s", m.ID())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Units: 0, Days: 10}); err == nil {
+		t.Error("expected error for zero units")
+	}
+	if _, err := Generate(Config{Units: 10, Days: 0}); err == nil {
+		t.Error("expected error for zero days")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Units: 30, Days: 100, Seed: 5}
+	f1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := Generate(cfg)
+	u1 := f1.SimulateAll()
+	u2 := f2.SimulateAll()
+	for id, s1 := range u1 {
+		s2 := u2[id]
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("vehicle %s day %d differs", id, i)
+			}
+		}
+	}
+}
+
+func TestGeneratePopulation(t *testing.T) {
+	f, err := Generate(Config{Units: 500, Days: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Units) != 500 {
+		t.Fatalf("units = %d", len(f.Units))
+	}
+	// Refuse compactors should be the most common type (the paper
+	// calls it "the mostly used vehicle type").
+	counts := map[Type]int{}
+	for _, u := range f.Units {
+		counts[u.Vehicle.Model.Type]++
+		if u.Vehicle.Country == "" {
+			t.Fatal("unit without country")
+		}
+	}
+	for _, typ := range Types() {
+		if typ == RefuseCompactor {
+			continue
+		}
+		if counts[typ] > counts[RefuseCompactor] {
+			t.Errorf("type %v (%d) more common than refuse compactor (%d)", typ, counts[typ], counts[RefuseCompactor])
+		}
+	}
+}
+
+func TestByTypeByModel(t *testing.T) {
+	f, err := Generate(Config{Units: 200, Days: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcs := f.ByType(RefuseCompactor)
+	if len(rcs) == 0 {
+		t.Fatal("no refuse compactors in 200 units")
+	}
+	m := rcs[0].Vehicle.Model
+	units := f.ByModel(m)
+	if len(units) == 0 {
+		t.Fatal("ByModel empty")
+	}
+	for _, u := range units {
+		if u.Vehicle.Model != m {
+			t.Fatal("ByModel returned wrong model")
+		}
+	}
+	if len(f.Models()) == 0 {
+		t.Fatal("Models empty")
+	}
+}
+
+// simulateHours pools active-day hours across several units of a type.
+func simulateHours(t *testing.T, typ Type, units, days int, seed int64) []float64 {
+	t.Helper()
+	rng := randx.New(seed)
+	var all []float64
+	for i := 0; i < units; i++ {
+		v := Vehicle{ID: "t", Model: Model{Type: typ, Index: i % profiles[typ].models}, Country: "IT"}
+		m := NewUsageModel(v, seed+int64(i%5), rng.Split())
+		for _, d := range m.Simulate(StudyStart, days) {
+			if d.Hours > 0 {
+				all = append(all, d.Hours)
+			}
+		}
+	}
+	return all
+}
+
+func TestTypeMedianOrdering(t *testing.T) {
+	// Figure 1(a): graders and refuse compactors above 6h median,
+	// coring machines below ~1h.
+	grader := stats.Median(simulateHours(t, Grader, 40, 365, 10))
+	rc := stats.Median(simulateHours(t, RefuseCompactor, 40, 365, 11))
+	coring := stats.Median(simulateHours(t, CoringMachine, 40, 365, 12))
+	if grader < 5 {
+		t.Errorf("grader median = %v, want > 5", grader)
+	}
+	if rc < 5 {
+		t.Errorf("refuse compactor median = %v, want > 5", rc)
+	}
+	if coring > 1.6 {
+		t.Errorf("coring machine median = %v, want < 1.6", coring)
+	}
+	if !(grader > coring && rc > coring) {
+		t.Errorf("ordering violated: grader %v rc %v coring %v", grader, rc, coring)
+	}
+}
+
+func TestLongTail(t *testing.T) {
+	// Some types work up to ~24h/day: the pooled max must exceed 16h.
+	hours := simulateHours(t, SingleDrumRoller, 60, 365, 13)
+	if stats.Max(hours) < 16 {
+		t.Errorf("max hours = %v, no long tail", stats.Max(hours))
+	}
+	if stats.Max(hours) > 24 {
+		t.Errorf("hours exceed 24: %v", stats.Max(hours))
+	}
+}
+
+func TestRefuseCompactorActivityRate(t *testing.T) {
+	// The paper: refuse compactors were used ~36% of days in 2017.
+	rng := randx.New(20)
+	active, total := 0, 0
+	start := time.Date(2017, time.January, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 60; i++ {
+		v := Vehicle{ID: "t", Model: Model{Type: RefuseCompactor, Index: i % 44}, Country: "IT"}
+		m := NewUsageModel(v, 100+int64(i%9), rng.Split())
+		for _, d := range m.Simulate(start, 365) {
+			total++
+			if d.Hours > 0 {
+				active++
+			}
+		}
+	}
+	rate := float64(active) / float64(total)
+	if rate < 0.22 || rate > 0.50 {
+		t.Errorf("activity rate = %v, want ~0.36", rate)
+	}
+}
+
+func TestWeeklyPeriodicityInACF(t *testing.T) {
+	// The autocorrelation of a unit's daily series must show the
+	// weekly structure Figure 2 relies on.
+	rng := randx.New(30)
+	v := Vehicle{ID: "t", Model: Model{Type: RefuseCompactor, Index: 0}, Country: "IT"}
+	m := NewUsageModel(v, 7, rng.Split())
+	usage := m.Simulate(StudyStart, 730)
+	series := make([]float64, len(usage))
+	for i, d := range usage {
+		series[i] = d.Hours
+	}
+	acf := stats.ACF(series, 21)
+	if acf[7] < 0.05 {
+		t.Errorf("weekly lag-7 ACF = %v, want positive structure", acf[7])
+	}
+	// Lag 7 should beat mid-week lags on average.
+	mid := (math.Abs(acf[3]) + math.Abs(acf[4])) / 2
+	if acf[7] <= mid-0.05 {
+		t.Errorf("lag 7 (%v) not stronger than mid-week (%v)", acf[7], mid)
+	}
+}
+
+func TestHolidayDip(t *testing.T) {
+	// December/January activity for a northern-hemisphere unit must be
+	// lower than June activity (Christmas + winter dip).
+	rng := randx.New(40)
+	activeIn := func(month time.Month, years int) float64 {
+		act, tot := 0, 0
+		for y := 0; y < years; y++ {
+			v := Vehicle{ID: "t", Model: Model{Type: SingleDrumRoller, Index: y % 65}, Country: "DE"}
+			m := NewUsageModel(v, int64(200+y), rng.Split())
+			for _, d := range m.Simulate(StudyStart, 1095) {
+				if d.Date.Month() != month {
+					continue
+				}
+				tot++
+				if d.Hours > 0 {
+					act++
+				}
+			}
+		}
+		return float64(act) / float64(tot)
+	}
+	dec := activeIn(time.December, 8)
+	jun := activeIn(time.June, 8)
+	if dec >= jun {
+		t.Errorf("December activity (%v) not below June (%v)", dec, jun)
+	}
+}
+
+func TestUnitsOfSameModelDiffer(t *testing.T) {
+	rng := randx.New(50)
+	v := Vehicle{ID: "a", Model: Model{Type: RefuseCompactor, Index: 3}, Country: "IT"}
+	m1 := NewUsageModel(v, 999, rng.Split())
+	m2 := NewUsageModel(v, 999, rng.Split())
+	if m1.MedianHours() == m2.MedianHours() {
+		t.Error("unit-level factors identical across units")
+	}
+}
+
+func TestUsageBounds(t *testing.T) {
+	rng := randx.New(60)
+	for _, typ := range Types() {
+		v := Vehicle{ID: "t", Model: Model{Type: typ, Index: 0}, Country: "AU"}
+		m := NewUsageModel(v, int64(typ), rng.Split())
+		for _, d := range m.Simulate(StudyStart, 400) {
+			if d.Hours < 0 || d.Hours > 24 {
+				t.Fatalf("type %v hours out of range: %v", typ, d.Hours)
+			}
+		}
+	}
+}
+
+func TestUnknownCountryFallsBack(t *testing.T) {
+	rng := randx.New(70)
+	v := Vehicle{ID: "t", Model: Model{Type: Paver, Index: 0}, Country: "ZZ"}
+	m := NewUsageModel(v, 1, rng.Split())
+	if got := m.Country().Code; got != "ZZ" {
+		t.Errorf("country code = %q", got)
+	}
+	usage := m.Simulate(StudyStart, 60)
+	if len(usage) != 60 {
+		t.Fatalf("len = %d", len(usage))
+	}
+}
+
+func TestDailyChannelsCorrelation(t *testing.T) {
+	rng := randx.New(80)
+	var hours, fuel, rpm []float64
+	for i := 0; i < 2000; i++ {
+		h := rng.Uniform(0.5, 12)
+		ch := DailyChannels(RefuseCompactor, h, rng)
+		hours = append(hours, h)
+		fuel = append(fuel, ch[canbus.ChanFuelRate])
+		rpm = append(rpm, ch[canbus.ChanEngineSpeed])
+	}
+	if r := stats.Pearson(hours, fuel); r < 0.5 {
+		t.Errorf("fuel-rate correlation = %v, want strong", r)
+	}
+	if r := stats.Pearson(hours, rpm); r < 0.5 {
+		t.Errorf("rpm correlation = %v, want strong", r)
+	}
+}
+
+func TestDailyChannelsInactive(t *testing.T) {
+	rng := randx.New(90)
+	ch := DailyChannels(Grader, 0, rng)
+	if ch[canbus.ChanEngineSpeed] != 0 || ch[canbus.ChanFuelRate] != 0 {
+		t.Errorf("inactive day with engine activity: %+v", ch)
+	}
+	if len(ch) != 10 {
+		t.Errorf("channels = %d, want 10", len(ch))
+	}
+}
+
+func TestDailyChannelsTypeDependent(t *testing.T) {
+	rng := randx.New(100)
+	var digger, roller float64
+	for i := 0; i < 500; i++ {
+		digger += DailyChannels(Excavator, 8, rng)[canbus.ChanDiggingPress]
+		roller += DailyChannels(TandemRoller, 8, rng)[canbus.ChanDiggingPress]
+	}
+	if digger <= roller {
+		t.Errorf("excavator digging pressure (%v) not above roller (%v)", digger, roller)
+	}
+}
+
+func TestDefaultAndSmallConfig(t *testing.T) {
+	d := DefaultConfig()
+	if d.Units != 2239 || d.Days != StudyDays || !d.Start.Equal(StudyStart) {
+		t.Errorf("DefaultConfig = %+v", d)
+	}
+	s := SmallConfig()
+	if s.Units <= 0 || s.Days <= 0 {
+		t.Errorf("SmallConfig = %+v", s)
+	}
+	// StudyDays covers 2015-01-01..2018-09-30.
+	end := StudyStart.AddDate(0, 0, StudyDays-1)
+	if end.Year() != 2018 || end.Month() != time.September || end.Day() != 30 {
+		t.Errorf("study end = %v", end)
+	}
+}

@@ -1,0 +1,330 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Errorf("At wrong")
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Errorf("Set wrong")
+	}
+	r := m.Row(2)
+	r[0] = 42
+	if m.At(2, 0) != 42 {
+		t.Errorf("Row should be a view")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Errorf("transpose wrong: %+v", tr)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul = %v", c.Data)
+			}
+		}
+	}
+	if _, err := a.Mul(FromRows([][]float64{{1, 2}})); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(4, 4)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	c, err := a.Mul(Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if c.Data[i] != a.Data[i] {
+			t.Fatal("A·I != A")
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := a.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("MulVec = %v", y)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	if !almost(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Error("Norm2 wrong")
+	}
+	if Norm2(nil) != 0 {
+		t.Error("Norm2(nil) should be 0")
+	}
+	// Norm2 must not overflow for huge entries.
+	big := math.MaxFloat64 / 2
+	if v := Norm2([]float64{big, big}); math.IsInf(v, 1) {
+		t.Error("Norm2 overflowed")
+	}
+}
+
+func TestAXPYScale(t *testing.T) {
+	y := []float64{1, 2}
+	AXPY(2, []float64{10, 20}, y)
+	if y[0] != 21 || y[1] != 42 {
+		t.Errorf("AXPY = %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 10.5 || y[1] != 21 {
+		t.Errorf("Scale = %v", y)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Square nonsingular system: solve exactly.
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := LeastSquares(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(x[0], 1, 1e-10) || !almost(x[1], 3, 1e-10) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 exactly through noisy-free points.
+	xs := []float64{0, 1, 2, 3, 4}
+	rows := make([][]float64, len(xs))
+	b := make([]float64, len(xs))
+	for i, v := range xs {
+		rows[i] = []float64{1, v}
+		b[i] = 2*v + 1
+	}
+	x, err := LeastSquares(FromRows(rows), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(x[0], 1, 1e-10) || !almost(x[1], 2, 1e-10) {
+		t.Errorf("coef = %v", x)
+	}
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// Property: at the LS optimum, Aᵀ(Ax - b) = 0.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		m := 10 + rng.Intn(40)
+		n := 2 + rng.Intn(6)
+		a := NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ax, _ := a.MulVec(x)
+		res := make([]float64, m)
+		for i := range res {
+			res[i] = ax[i] - b[i]
+		}
+		atr, _ := a.T().MulVec(res)
+		for _, v := range atr {
+			if math.Abs(v) > 1e-8 {
+				t.Fatalf("normal equations violated: %v", atr)
+			}
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := LeastSquares(a, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+	under := FromRows([][]float64{{1, 2, 3}})
+	if _, err := LeastSquares(under, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape for underdetermined, got %v", err)
+	}
+	sing := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(sing, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("want ErrSingular, got %v", err)
+	}
+	zero := FromRows([][]float64{{0, 1}, {0, 2}})
+	if _, err := LeastSquares(zero, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("want ErrSingular for zero column, got %v", err)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := c.Solve([]float64{10, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify A·x = b.
+	ax, _ := a.MulVec(x)
+	if !almost(ax[0], 10, 1e-10) || !almost(ax[1], 9, 1e-10) {
+		t.Errorf("A·x = %v", ax)
+	}
+}
+
+func TestCholeskyFactorReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		// Build SPD matrix A = MᵀM + I.
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		mt := m.T()
+		a, _ := mt.Mul(m)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		c, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := c.L()
+		llt, _ := l.Mul(l.T())
+		for i := range a.Data {
+			if !almost(llt.Data[i], a.Data[i], 1e-8) {
+				t.Fatalf("L·Lᵀ != A at %d: %v vs %v", i, llt.Data[i], a.Data[i])
+			}
+		}
+		// Random solve round-trip.
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := c.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ax, _ := a.MulVec(x)
+		for i := range b {
+			if !almost(ax[i], b[i], 1e-8) {
+				t.Fatalf("solve wrong at %d", i)
+			}
+		}
+	}
+}
+
+func TestCholeskyErrors(t *testing.T) {
+	if _, err := NewCholesky(FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+	// Not positive definite.
+	if _, err := NewCholesky(FromRows([][]float64{{1, 2}, {2, 1}})); !errors.Is(err, ErrSingular) {
+		t.Errorf("want ErrSingular, got %v", err)
+	}
+	c, err := NewCholesky(FromRows([][]float64{{2, 0}, {0, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape on solve, got %v", err)
+	}
+}
+
+func TestLeastSquaresAgainstCholesky(t *testing.T) {
+	// Property: QR least squares equals normal-equation solution for
+	// well-conditioned problems.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 30, 4
+		a := NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xqr, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := a.T()
+		ata, _ := at.Mul(a)
+		atb, _ := at.MulVec(b)
+		c, err := NewCholesky(ata)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xch, err := c.Solve(atb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xqr {
+			if !almost(xqr[i], xch[i], 1e-7) {
+				t.Fatalf("QR vs Cholesky mismatch: %v vs %v", xqr, xch)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeastSquares solves min ||A·x - b||₂ for a full-column-rank A with
+// Rows >= Cols using Householder QR. It returns ErrShape on dimension
+// mismatch or an underdetermined system, and ErrSingular when A is
+// column-rank-deficient to working precision.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("%w: A is %dx%d, b has %d entries", ErrShape, a.Rows, a.Cols, len(b))
+	}
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("%w: underdetermined system %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	m, n := a.Rows, a.Cols
+	r := a.Clone()
+	qtb := append([]float64(nil), b...)
+
+	// Householder triangularization, applying each reflector to qtb.
+	for k := 0; k < n; k++ {
+		// Build the reflector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, r.At(i, k))
+		}
+		if norm == 0 {
+			return nil, fmt.Errorf("%w: zero column %d", ErrSingular, k)
+		}
+		// LINPACK sign transfer: give norm the sign of the pivot so the
+		// scaled pivot is positive and the reflector v_k = 1 + |x_k|/‖x‖
+		// stays away from zero.
+		if r.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			r.Set(i, k, r.At(i, k)/norm)
+		}
+		r.Set(k, k, r.At(k, k)+1)
+
+		// Apply the reflector to the remaining columns and to qtb.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += r.At(i, k) * r.At(i, j)
+			}
+			s = -s / r.At(k, k)
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)+s*r.At(i, k))
+			}
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += r.At(i, k) * qtb[i]
+		}
+		s = -s / r.At(k, k)
+		for i := k; i < m; i++ {
+			qtb[i] += s * r.At(i, k)
+		}
+		// Store the diagonal of R (the reflector occupied it).
+		r.Set(k, k, norm)
+	}
+
+	// Back substitution on the upper triangle. The stored diagonal
+	// entries are -||column|| after reflection; reconstruct R(k,k).
+	x := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		diag := r.At(k, k)
+		// The diagonal stored above is `norm`, whose sign encodes the
+		// reflector; R(k,k) is -norm in the standard formulation. The
+		// sign cancels in the solve as long as we are consistent.
+		if math.Abs(diag) < 1e-12 {
+			return nil, fmt.Errorf("%w: tiny pivot at column %d", ErrSingular, k)
+		}
+		s := qtb[k]
+		for j := k + 1; j < n; j++ {
+			s -= r.At(k, j) * x[j]
+		}
+		x[k] = s / -diag
+	}
+	return x, nil
+}

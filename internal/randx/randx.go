@@ -1,0 +1,200 @@
+// Package randx provides a deterministic, seedable random source with
+// the distribution families needed by the synthetic fleet generator:
+// normal, log-normal, gamma, beta, Poisson, Bernoulli, exponential and
+// truncated normal, plus shuffling and categorical choice.
+//
+// All generators are deterministic for a given seed so every experiment
+// in the repository is reproducible bit-for-bit.
+package randx
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a seedable pseudo-random generator. It is not safe for
+// concurrent use; create one RNG per goroutine (see Split).
+type RNG struct {
+	src *rand.Rand
+}
+
+// New returns an RNG seeded with seed.
+func New(seed int64) *RNG {
+	return &RNG{src: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives a new, independent RNG from r. The derived generator's
+// seed is drawn from r, so distinct calls yield distinct streams while
+// remaining reproducible.
+func (r *RNG) Split() *RNG {
+	return New(r.src.Int63())
+}
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (r *RNG) Int63() int64 { return r.src.Int63() }
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Uniform returns a pseudo-random float64 in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation. It panics if sigma < 0.
+func (r *RNG) Normal(mean, sigma float64) float64 {
+	if sigma < 0 {
+		panic("randx: Normal with negative sigma")
+	}
+	return mean + sigma*r.src.NormFloat64()
+}
+
+// LogNormal returns exp(N(mu, sigma)).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exponential returns an exponentially distributed value with the given
+// rate lambda. It panics if lambda <= 0.
+func (r *RNG) Exponential(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("randx: Exponential with non-positive rate")
+	}
+	return r.src.ExpFloat64() / lambda
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.src.Float64() < p
+}
+
+// Poisson returns a Poisson-distributed count with mean lambda, using
+// inversion for small lambda and a normal approximation for large
+// lambda. It panics if lambda < 0.
+func (r *RNG) Poisson(lambda float64) int {
+	switch {
+	case lambda < 0:
+		panic("randx: Poisson with negative mean")
+	case lambda == 0:
+		return 0
+	case lambda > 500:
+		// Normal approximation keeps inversion from looping forever.
+		n := int(math.Round(r.Normal(lambda, math.Sqrt(lambda))))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	limit := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= r.src.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// Gamma returns a gamma-distributed value with the given shape and
+// scale, using the Marsaglia-Tsang method. It panics unless both
+// parameters are positive.
+func (r *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("randx: Gamma with non-positive parameter")
+	}
+	if shape < 1 {
+		// Boost: gamma(a) = gamma(a+1) * U^(1/a).
+		u := r.src.Float64()
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.src.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.src.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return scale * d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return scale * d * v
+		}
+	}
+}
+
+// Beta returns a Beta(a, b) distributed value in (0, 1). It panics
+// unless both parameters are positive.
+func (r *RNG) Beta(a, b float64) float64 {
+	x := r.Gamma(a, 1)
+	y := r.Gamma(b, 1)
+	return x / (x + y)
+}
+
+// TruncNormal returns a normal value with the given mean and sigma,
+// rejected until it falls inside [lo, hi]. It panics if lo > hi. When
+// the acceptance region is far in the tail it falls back to clamping
+// after a bounded number of rejections so the call always terminates.
+func (r *RNG) TruncNormal(mean, sigma, lo, hi float64) float64 {
+	if lo > hi {
+		panic("randx: TruncNormal with lo > hi")
+	}
+	for i := 0; i < 64; i++ {
+		v := r.Normal(mean, sigma)
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	return math.Min(hi, math.Max(lo, mean))
+}
+
+// Choice returns a pseudo-random index in [0, len(weights)) with
+// probability proportional to the weights. Non-positive weights are
+// treated as zero. It panics if the weights sum to zero or the slice is
+// empty.
+func (r *RNG) Choice(weights []float64) int {
+	if len(weights) == 0 {
+		panic("randx: Choice with empty weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("randx: Choice with non-positive total weight")
+	}
+	target := r.src.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }

@@ -1,0 +1,297 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+const sampleN = 200000
+
+func sampleMoments(t *testing.T, gen func() float64) (mean, variance float64) {
+	t.Helper()
+	var sum, sumSq float64
+	for i := 0; i < sampleN; i++ {
+		v := gen()
+		sum += v
+		sumSq += v * v
+	}
+	mean = sum / sampleN
+	variance = sumSq/sampleN - mean*mean
+	return mean, variance
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("split streams look identical: %d/100 equal draws", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform(-3,5) returned %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(2)
+	mean, variance := sampleMoments(t, func() float64 { return r.Normal(4, 2) })
+	if math.Abs(mean-4) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~4", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("Normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestNormalNegativeSigmaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative sigma")
+		}
+	}()
+	New(1).Normal(0, -1)
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(3)
+	below := 0
+	for i := 0; i < sampleN; i++ {
+		if r.LogNormal(1, 0.5) < math.E {
+			below++
+		}
+	}
+	frac := float64(below) / sampleN
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("LogNormal median fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(4)
+	mean, _ := sampleMoments(t, func() float64 { return r.Exponential(2) })
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Exponential(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive rate")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(5)
+	hits := 0
+	for i := 0; i < sampleN; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / sampleN
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate = %v", frac)
+	}
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	if r.Bernoulli(-0.5) {
+		t.Error("Bernoulli(-0.5) returned true")
+	}
+	if !r.Bernoulli(1.5) {
+		t.Error("Bernoulli(1.5) returned false")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(6)
+	mean, variance := sampleMoments(t, func() float64 { return float64(r.Poisson(3.5)) })
+	if math.Abs(mean-3.5) > 0.05 {
+		t.Errorf("Poisson mean = %v, want ~3.5", mean)
+	}
+	if math.Abs(variance-3.5) > 0.15 {
+		t.Errorf("Poisson variance = %v, want ~3.5", variance)
+	}
+}
+
+func TestPoissonEdges(t *testing.T) {
+	r := New(7)
+	if got := r.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+	// Large lambda goes through the normal approximation.
+	big := r.Poisson(1000)
+	if big < 800 || big > 1200 {
+		t.Errorf("Poisson(1000) = %d, far outside plausible range", big)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative lambda")
+		}
+	}()
+	r.Poisson(-1)
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(8)
+	shape, scale := 2.5, 1.5
+	mean, variance := sampleMoments(t, func() float64 { return r.Gamma(shape, scale) })
+	if math.Abs(mean-shape*scale) > 0.06 {
+		t.Errorf("Gamma mean = %v, want ~%v", mean, shape*scale)
+	}
+	if math.Abs(variance-shape*scale*scale) > 0.3 {
+		t.Errorf("Gamma variance = %v, want ~%v", variance, shape*scale*scale)
+	}
+}
+
+func TestGammaSmallShape(t *testing.T) {
+	r := New(9)
+	mean, _ := sampleMoments(t, func() float64 { return r.Gamma(0.5, 2) })
+	if math.Abs(mean-1.0) > 0.05 {
+		t.Errorf("Gamma(0.5,2) mean = %v, want ~1", mean)
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive shape")
+		}
+	}()
+	New(1).Gamma(-1, 1)
+}
+
+func TestBetaMomentsAndRange(t *testing.T) {
+	r := New(10)
+	a, b := 2.0, 5.0
+	var sum float64
+	for i := 0; i < sampleN; i++ {
+		v := r.Beta(a, b)
+		if v <= 0 || v >= 1 {
+			t.Fatalf("Beta out of (0,1): %v", v)
+		}
+		sum += v
+	}
+	mean := sum / sampleN
+	want := a / (a + b)
+	if math.Abs(mean-want) > 0.01 {
+		t.Errorf("Beta mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 20000; i++ {
+		v := r.TruncNormal(0, 1, -0.5, 0.5)
+		if v < -0.5 || v > 0.5 {
+			t.Fatalf("TruncNormal out of bounds: %v", v)
+		}
+	}
+	// A region far in the tail must still terminate (clamp fallback).
+	v := r.TruncNormal(0, 1, 50, 60)
+	if v < 50 || v > 60 {
+		t.Fatalf("TruncNormal tail fallback out of bounds: %v", v)
+	}
+}
+
+func TestTruncNormalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inverted bounds")
+		}
+	}()
+	New(1).TruncNormal(0, 1, 1, -1)
+}
+
+func TestChoiceDistribution(t *testing.T) {
+	r := New(12)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < sampleN; i++ {
+		counts[r.Choice(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index chosen %d times", counts[1])
+	}
+	frac0 := float64(counts[0]) / sampleN
+	if math.Abs(frac0-0.25) > 0.01 {
+		t.Errorf("Choice weight-1 fraction = %v, want ~0.25", frac0)
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	r := New(13)
+	for _, weights := range [][]float64{{}, {0, 0}, {-1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for weights %v", weights)
+				}
+			}()
+			r.Choice(weights)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(14)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(15)
+	vals := make([]int, 50)
+	for i := range vals {
+		vals[i] = i
+	}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	sum := 0
+	moved := false
+	for i, v := range vals {
+		sum += v
+		if v != i {
+			moved = true
+		}
+	}
+	if sum != 49*50/2 {
+		t.Errorf("shuffle lost elements: sum = %d", sum)
+	}
+	if !moved {
+		t.Error("shuffle left slice in identity order (astronomically unlikely)")
+	}
+}

@@ -1,0 +1,92 @@
+package regress
+
+import "fmt"
+
+// LastValue is the LV baseline: predict the last observed target.
+// It ignores features entirely and keeps the final training target.
+type LastValue struct {
+	last    float64
+	trained bool
+	p       int
+}
+
+// NewLastValue returns the LV baseline.
+func NewLastValue() *LastValue { return &LastValue{} }
+
+// Name implements Regressor.
+func (m *LastValue) Name() string { return "LV" }
+
+// Fit implements Regressor.
+func (m *LastValue) Fit(x [][]float64, y []float64) error {
+	_, p, err := checkXY(x, y)
+	if err != nil {
+		return err
+	}
+	m.last = y[len(y)-1]
+	m.p = p
+	m.trained = true
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *LastValue) Predict(x []float64) (float64, error) {
+	if !m.trained {
+		return 0, ErrNotTrained
+	}
+	if err := checkRow(x, m.p); err != nil {
+		return 0, err
+	}
+	return m.last, nil
+}
+
+// MovingAverage is the MA baseline: predict the mean of the last
+// Period training targets (the paper uses a 30-day period).
+type MovingAverage struct {
+	// Period is the averaging window in days (default 30).
+	Period int
+
+	mean    float64
+	trained bool
+	p       int
+}
+
+// NewMovingAverage returns the MA baseline with the paper's 30-day
+// period.
+func NewMovingAverage() *MovingAverage { return &MovingAverage{Period: 30} }
+
+// Name implements Regressor.
+func (m *MovingAverage) Name() string { return "MA" }
+
+// Fit implements Regressor.
+func (m *MovingAverage) Fit(x [][]float64, y []float64) error {
+	n, p, err := checkXY(x, y)
+	if err != nil {
+		return err
+	}
+	period := m.Period
+	if period <= 0 {
+		return fmt.Errorf("%w: moving-average period %d", ErrBadParam, period)
+	}
+	if period > n {
+		period = n
+	}
+	sum := 0.0
+	for _, v := range y[n-period:] {
+		sum += v
+	}
+	m.mean = sum / float64(period)
+	m.p = p
+	m.trained = true
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *MovingAverage) Predict(x []float64) (float64, error) {
+	if !m.trained {
+		return 0, ErrNotTrained
+	}
+	if err := checkRow(x, m.p); err != nil {
+		return 0, err
+	}
+	return m.mean, nil
+}

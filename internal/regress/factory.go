@@ -1,0 +1,143 @@
+package regress
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Algorithm identifies one of the study's algorithms.
+type Algorithm string
+
+// The algorithms compared in Figure 5, plus the plain tree used by
+// ablations.
+const (
+	AlgLastValue     Algorithm = "LV"
+	AlgMovingAverage Algorithm = "MA"
+	AlgLinear        Algorithm = "LR"
+	AlgLasso         Algorithm = "Lasso"
+	AlgSVR           Algorithm = "SVR"
+	AlgGB            Algorithm = "GB"
+	AlgTree          Algorithm = "Tree"
+	// AlgForest and AlgRidge are not part of the paper's comparison;
+	// they serve the related-work baseline ([8], [14], [3] use Random
+	// Forests) and the regularization ablations.
+	AlgForest Algorithm = "RF"
+	AlgRidge  Algorithm = "Ridge"
+)
+
+// Algorithms returns the six algorithms of the paper's comparison in
+// presentation order (baselines first).
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgLastValue, AlgMovingAverage, AlgLinear, AlgLasso, AlgSVR, AlgGB}
+}
+
+// New constructs a fresh regressor for the algorithm with the paper's
+// default hyper-parameters.
+func New(a Algorithm) (Regressor, error) {
+	switch a {
+	case AlgLastValue:
+		return NewLastValue(), nil
+	case AlgMovingAverage:
+		return NewMovingAverage(), nil
+	case AlgLinear:
+		return NewLinear(), nil
+	case AlgLasso:
+		return NewLasso(), nil
+	case AlgSVR:
+		return NewSVR(), nil
+	case AlgGB:
+		return NewGradientBoosting(), nil
+	case AlgTree:
+		return NewTree(), nil
+	case AlgForest:
+		return NewRandomForest(), nil
+	case AlgRidge:
+		return NewRidge(), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown algorithm %q", ErrBadParam, a)
+	}
+}
+
+// GridPoint is one hyper-parameter assignment.
+type GridPoint map[string]float64
+
+// GridSearch fits factory-built models for every grid point using an
+// ordered train/validation split (the last valFrac of rows validate,
+// preserving time order as required for series data) and returns the
+// point minimizing mean absolute error. apply configures a fresh model
+// from a grid point.
+func GridSearch(
+	x [][]float64, y []float64,
+	grid []GridPoint,
+	build func(GridPoint) (Regressor, error),
+	valFrac float64,
+) (best GridPoint, bestErr float64, err error) {
+	n, _, err := checkXY(x, y)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(grid) == 0 {
+		return nil, 0, fmt.Errorf("%w: empty grid", ErrBadParam)
+	}
+	if valFrac <= 0 || valFrac >= 1 {
+		return nil, 0, fmt.Errorf("%w: validation fraction %v", ErrBadParam, valFrac)
+	}
+	split := n - int(float64(n)*valFrac)
+	if split < 1 || split >= n {
+		return nil, 0, fmt.Errorf("%w: %d rows leave no train/validation split", ErrBadShape, n)
+	}
+	bestErr = -1
+	for _, point := range grid {
+		model, err := build(point)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := model.Fit(x[:split], y[:split]); err != nil {
+			return nil, 0, err
+		}
+		var mae float64
+		for i := split; i < n; i++ {
+			pred, err := model.Predict(x[i])
+			if err != nil {
+				return nil, 0, err
+			}
+			d := pred - y[i]
+			if d < 0 {
+				d = -d
+			}
+			mae += d
+		}
+		mae /= float64(n - split)
+		if bestErr < 0 || mae < bestErr {
+			bestErr = mae
+			best = point
+		}
+	}
+	return best, bestErr, nil
+}
+
+// ExpandGrid builds the cross product of the named parameter values,
+// in deterministic order.
+func ExpandGrid(params map[string][]float64) []GridPoint {
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	points := []GridPoint{{}}
+	for _, name := range names {
+		var next []GridPoint
+		for _, base := range points {
+			for _, v := range params[name] {
+				gp := GridPoint{}
+				for k, val := range base {
+					gp[k] = val
+				}
+				gp[name] = v
+				next = append(next, gp)
+			}
+		}
+		points = next
+	}
+	return points
+}

@@ -1,0 +1,182 @@
+package regress
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomForestFitsNonlinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	n := 300
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+		y[i] = math.Sin(x[i][0]) + 0.5*x[i][1] + 0.1*rng.NormFloat64()
+	}
+	m := NewRandomForest()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	for i := range x {
+		pred, err := m.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		mae += math.Abs(pred - y[i])
+	}
+	mae /= float64(n)
+	if mae > 0.4 {
+		t.Errorf("forest MAE = %v", mae)
+	}
+	if m.NumTrees() != 100 {
+		t.Errorf("trees = %d", m.NumTrees())
+	}
+}
+
+func TestRandomForestBeatsSingleTreeOOS(t *testing.T) {
+	// Out-of-sample, the bagged ensemble should not be worse than a
+	// single deep tree on a noisy target.
+	rng := rand.New(rand.NewSource(21))
+	gen := func(n int) ([][]float64, []float64) {
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = []float64{rng.Float64() * 6, rng.Float64() * 6, rng.Float64() * 6}
+			y[i] = x[i][0]*x[i][1] + 2*rng.NormFloat64()
+		}
+		return x, y
+	}
+	trainX, trainY := gen(250)
+	testX, testY := gen(120)
+
+	forest := NewRandomForest()
+	if err := forest.Fit(trainX, trainY); err != nil {
+		t.Fatal(err)
+	}
+	tree := &Tree{MaxDepth: 12, MinSamplesLeaf: 1}
+	if err := tree.Fit(trainX, trainY); err != nil {
+		t.Fatal(err)
+	}
+	mae := func(m Regressor) float64 {
+		var e float64
+		for i := range testX {
+			pred, _ := m.Predict(testX[i])
+			e += math.Abs(pred - testY[i])
+		}
+		return e / float64(len(testX))
+	}
+	if ef, et := mae(forest), mae(tree); ef > et*1.05 {
+		t.Errorf("forest OOS MAE %v worse than single tree %v", ef, et)
+	}
+}
+
+func TestRandomForestDeterministicForSeed(t *testing.T) {
+	x := [][]float64{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}}
+	y := []float64{1, 2, 3, 4, 5, 6}
+	a := &RandomForest{NTrees: 20, MaxDepth: 3, Seed: 7}
+	b := &RandomForest{NTrees: 20, MaxDepth: 3, Seed: 7}
+	a.Fit(x, y)
+	b.Fit(x, y)
+	pa, _ := a.Predict([]float64{3.5, 4.5})
+	pb, _ := b.Predict([]float64{3.5, 4.5})
+	if pa != pb {
+		t.Errorf("same seed, different predictions: %v vs %v", pa, pb)
+	}
+	c := &RandomForest{NTrees: 20, MaxDepth: 3, Seed: 8}
+	c.Fit(x, y)
+	pc, _ := c.Predict([]float64{3.5, 4.5})
+	if pa == pc {
+		t.Log("different seeds coincidentally equal; acceptable but unusual")
+	}
+}
+
+func TestRandomForestErrors(t *testing.T) {
+	var untrained RandomForest
+	if _, err := untrained.Predict([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("want ErrNotTrained, got %v", err)
+	}
+	x := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	for _, m := range []*RandomForest{
+		{NTrees: 0, MaxDepth: 3},
+		{NTrees: 10, MaxDepth: 0},
+	} {
+		if err := m.Fit(x, y); !errors.Is(err, ErrBadParam) {
+			t.Errorf("%+v: want ErrBadParam, got %v", m, err)
+		}
+	}
+	m := NewRandomForest()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1, 2}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("want ErrBadShape, got %v", err)
+	}
+	if m.Name() != "RF" {
+		t.Error("name wrong")
+	}
+	// MaxFeatures larger than p is clamped.
+	wide := &RandomForest{NTrees: 5, MaxDepth: 2, MaxFeatures: 99, Seed: 1}
+	if err := wide.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRidgeShrinksTowardZero(t *testing.T) {
+	x, y := makeLinearData(100, 0.1, 22)
+	ols := NewLinear()
+	ols.Fit(x, y)
+	strong := &Ridge{Alpha: 1e5}
+	if err := strong.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	oc, rc := ols.Coefficients(), strong.Coefficients()
+	for j := range rc {
+		if math.Abs(rc[j]) > math.Abs(oc[j])*0.1 {
+			t.Errorf("coef %d not shrunk: ridge %v vs ols %v", j, rc[j], oc[j])
+		}
+	}
+	// Mild ridge stays close to OLS.
+	mild := &Ridge{Alpha: 1e-6}
+	mild.Fit(x, y)
+	mc := mild.Coefficients()
+	for j := range mc {
+		if math.Abs(mc[j]-oc[j]) > 1e-3 {
+			t.Errorf("mild ridge diverges: %v vs %v", mc[j], oc[j])
+		}
+	}
+}
+
+func TestRidgeErrors(t *testing.T) {
+	bad := &Ridge{Alpha: 0}
+	if err := bad.Fit([][]float64{{1}}, []float64{1}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("want ErrBadParam, got %v", err)
+	}
+	var untrained Ridge
+	untrained.Alpha = 1
+	if _, err := untrained.Predict([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("want ErrNotTrained, got %v", err)
+	}
+	if NewRidge().Name() != "Ridge" {
+		t.Error("name wrong")
+	}
+}
+
+func TestFactoryExtensions(t *testing.T) {
+	rf, err := New(AlgForest)
+	if err != nil || rf.Name() != "RF" {
+		t.Errorf("New(RF) = %v %v", rf, err)
+	}
+	rg, err := New(AlgRidge)
+	if err != nil || rg.Name() != "Ridge" {
+		t.Errorf("New(Ridge) = %v %v", rg, err)
+	}
+	// The paper's comparison list stays at six.
+	if len(Algorithms()) != 6 {
+		t.Errorf("Algorithms() = %v", Algorithms())
+	}
+}

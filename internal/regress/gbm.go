@@ -1,0 +1,190 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GBLoss selects the gradient-boosting loss function.
+type GBLoss int
+
+const (
+	// LossLAD is least absolute deviation, the paper's setting
+	// (loss = lad): robust to the spiky utilization series.
+	LossLAD GBLoss = iota
+	// LossLS is least squares.
+	LossLS
+)
+
+// String implements fmt.Stringer.
+func (l GBLoss) String() string {
+	if l == LossLS {
+		return "ls"
+	}
+	return "lad"
+}
+
+// GradientBoosting is a gradient-boosted ensemble of CART regression
+// trees. With the paper's parameters (learning rate 0.1, 100
+// estimators, max depth 1, LAD loss) each stage is a stump fitted to
+// the loss gradient, with leaf values re-optimized for the loss
+// (medians for LAD).
+type GradientBoosting struct {
+	// LearningRate shrinks each stage (default 0.1).
+	LearningRate float64
+	// NEstimators is the number of boosting stages (default 100).
+	NEstimators int
+	// MaxDepth is the per-stage tree depth (default 1).
+	MaxDepth int
+	// Loss selects LAD (default) or LS.
+	Loss GBLoss
+
+	init   float64
+	stages []*Tree
+	p      int
+}
+
+// NewGradientBoosting returns a GB model with the paper's settings.
+func NewGradientBoosting() *GradientBoosting {
+	return &GradientBoosting{LearningRate: 0.1, NEstimators: 100, MaxDepth: 1, Loss: LossLAD}
+}
+
+// Name implements Regressor.
+func (m *GradientBoosting) Name() string { return "GB" }
+
+// Fit implements Regressor.
+func (m *GradientBoosting) Fit(x [][]float64, y []float64) error {
+	n, p, err := checkXY(x, y)
+	if err != nil {
+		return err
+	}
+	if m.LearningRate <= 0 || m.LearningRate > 1 {
+		return fmt.Errorf("%w: learning rate %v", ErrBadParam, m.LearningRate)
+	}
+	if m.NEstimators <= 0 {
+		return fmt.Errorf("%w: %d estimators", ErrBadParam, m.NEstimators)
+	}
+	if m.MaxDepth < 1 {
+		return fmt.Errorf("%w: max depth %d", ErrBadParam, m.MaxDepth)
+	}
+
+	// Initial prediction: loss minimizer of the raw targets.
+	switch m.Loss {
+	case LossLAD:
+		m.init = median(y)
+	case LossLS:
+		sum := 0.0
+		for _, v := range y {
+			sum += v
+		}
+		m.init = sum / float64(n)
+	default:
+		return fmt.Errorf("%w: unknown loss %v", ErrBadParam, m.Loss)
+	}
+
+	current := make([]float64, n)
+	for i := range current {
+		current[i] = m.init
+	}
+	grad := make([]float64, n)
+	m.stages = make([]*Tree, 0, m.NEstimators)
+	m.p = p
+
+	for stage := 0; stage < m.NEstimators; stage++ {
+		// Negative gradient of the loss at the current predictions.
+		for i := 0; i < n; i++ {
+			r := y[i] - current[i]
+			if m.Loss == LossLAD {
+				grad[i] = sign(r)
+			} else {
+				grad[i] = r
+			}
+		}
+		tree := &Tree{MaxDepth: m.MaxDepth, MinSamplesLeaf: 1}
+		if err := tree.Fit(x, grad); err != nil {
+			return fmt.Errorf("regress: gbm stage %d: %w", stage, err)
+		}
+		if m.Loss == LossLAD {
+			// LAD leaf re-optimization: each leaf predicts the median
+			// of the actual residuals y − F of its samples, not the
+			// mean of the gradient signs.
+			relabelLeavesLAD(tree.root, x, y, current)
+		}
+		for i := 0; i < n; i++ {
+			v, err := tree.Predict(x[i])
+			if err != nil {
+				return err
+			}
+			current[i] += m.LearningRate * v
+		}
+		m.stages = append(m.stages, tree)
+	}
+	return nil
+}
+
+func sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// relabelLeavesLAD walks the fitted tree, routes every training sample
+// to its leaf and replaces the leaf value with the median residual.
+func relabelLeavesLAD(root *treeNode, x [][]float64, y, current []float64) {
+	groups := map[*treeNode][]float64{}
+	for i := range x {
+		node := root
+		for !node.leaf {
+			if x[i][node.feature] <= node.threshold {
+				node = node.left
+			} else {
+				node = node.right
+			}
+		}
+		groups[node] = append(groups[node], y[i]-current[i])
+	}
+	for node, residuals := range groups {
+		node.value = median(residuals)
+	}
+}
+
+// Predict implements Regressor.
+func (m *GradientBoosting) Predict(x []float64) (float64, error) {
+	if m.stages == nil {
+		return 0, ErrNotTrained
+	}
+	if err := checkRow(x, m.p); err != nil {
+		return 0, err
+	}
+	out := m.init
+	for _, tree := range m.stages {
+		v, err := tree.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		out += m.LearningRate * v
+	}
+	return out, nil
+}
+
+// NumStages returns the number of fitted boosting stages.
+func (m *GradientBoosting) NumStages() int { return len(m.stages) }

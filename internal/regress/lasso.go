@@ -1,0 +1,180 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+)
+
+// Lasso is L1-regularized linear regression fitted by cyclic
+// coordinate descent on standardized features, matching scikit-learn's
+// objective
+//
+//	(1/(2n))·||y − Xβ||² + α·||β||₁
+//
+// The paper's grid search selected α = 0.1 (Section 4.2).
+type Lasso struct {
+	// Alpha is the L1 penalty. Must be >= 0.
+	Alpha float64
+	// MaxIter bounds the coordinate-descent sweeps (default 1000).
+	MaxIter int
+	// Tol is the convergence threshold on the max coefficient change
+	// (default 1e-6).
+	Tol float64
+
+	coef      []float64
+	intercept float64
+	means     []float64
+	stds      []float64
+	p         int
+}
+
+// NewLasso returns a Lasso model with the paper's α = 0.1.
+func NewLasso() *Lasso { return &Lasso{Alpha: 0.1} }
+
+// Name implements Regressor.
+func (m *Lasso) Name() string { return "Lasso" }
+
+// Fit implements Regressor.
+func (m *Lasso) Fit(x [][]float64, y []float64) error {
+	n, p, err := checkXY(x, y)
+	if err != nil {
+		return err
+	}
+	if m.Alpha < 0 {
+		return fmt.Errorf("%w: lasso alpha %v < 0", ErrBadParam, m.Alpha)
+	}
+	maxIter := m.MaxIter
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	tol := m.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+
+	// Standardize features and center the target: coordinate descent
+	// is only well-behaved on comparable scales.
+	m.means = make([]float64, p)
+	m.stds = make([]float64, p)
+	cols := make([][]float64, p)
+	for j := 0; j < p; j++ {
+		col := make([]float64, n)
+		var sum float64
+		for i := 0; i < n; i++ {
+			col[i] = x[i][j]
+			sum += col[i]
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for i := range col {
+			col[i] -= mean
+			ss += col[i] * col[i]
+		}
+		std := math.Sqrt(ss / float64(n))
+		if std > 0 {
+			for i := range col {
+				col[i] /= std
+			}
+		}
+		m.means[j], m.stds[j] = mean, std
+		cols[j] = col
+	}
+	var ySum float64
+	for _, v := range y {
+		ySum += v
+	}
+	yMean := ySum / float64(n)
+	resid := make([]float64, n)
+	for i := range resid {
+		resid[i] = y[i] - yMean
+	}
+
+	// Cyclic coordinate descent with soft thresholding. With unit-
+	// variance columns, each column's squared norm is n.
+	beta := make([]float64, p)
+	threshold := m.Alpha * float64(n)
+	for iter := 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for j := 0; j < p; j++ {
+			if m.stds[j] == 0 {
+				continue // constant feature stays at zero
+			}
+			col := cols[j]
+			// rho = Xⱼᵀ(resid + Xⱼβⱼ)
+			rho := 0.0
+			for i := range col {
+				rho += col[i] * resid[i]
+			}
+			rho += float64(n) * beta[j]
+			newBeta := softThreshold(rho, threshold) / float64(n)
+			if delta := newBeta - beta[j]; delta != 0 {
+				for i := range col {
+					resid[i] -= delta * col[i]
+				}
+				if ad := math.Abs(delta); ad > maxDelta {
+					maxDelta = ad
+				}
+				beta[j] = newBeta
+			}
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+
+	// Fold the standardization back into original-space coefficients.
+	m.coef = make([]float64, p)
+	m.intercept = yMean
+	for j := 0; j < p; j++ {
+		if m.stds[j] == 0 {
+			continue
+		}
+		m.coef[j] = beta[j] / m.stds[j]
+		m.intercept -= m.coef[j] * m.means[j]
+	}
+	m.p = p
+	return nil
+}
+
+func softThreshold(z, gamma float64) float64 {
+	switch {
+	case z > gamma:
+		return z - gamma
+	case z < -gamma:
+		return z + gamma
+	default:
+		return 0
+	}
+}
+
+// Predict implements Regressor.
+func (m *Lasso) Predict(x []float64) (float64, error) {
+	if m.coef == nil {
+		return 0, ErrNotTrained
+	}
+	if err := checkRow(x, m.p); err != nil {
+		return 0, err
+	}
+	out := m.intercept
+	for j, c := range m.coef {
+		out += c * x[j]
+	}
+	return out, nil
+}
+
+// Coefficients returns the fitted original-space weights.
+func (m *Lasso) Coefficients() []float64 { return append([]float64(nil), m.coef...) }
+
+// Intercept returns the fitted intercept.
+func (m *Lasso) Intercept() float64 { return m.intercept }
+
+// NumNonZero returns the number of active (non-zero) coefficients.
+func (m *Lasso) NumNonZero() int {
+	count := 0
+	for _, c := range m.coef {
+		if c != 0 {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,125 @@
+package regress
+
+import (
+	"errors"
+
+	"vup/internal/linalg"
+)
+
+// Linear is ordinary least squares linear regression with an
+// intercept, solved by Householder QR. When the design matrix is
+// column-rank-deficient (common with tiny training windows and
+// correlated lags), it falls back to ridge-regularized normal
+// equations with a small penalty so training never fails outright.
+type Linear struct {
+	// RidgeFallback is the L2 penalty used only when the QR solve
+	// reports a singular design. Zero selects a tiny default.
+	RidgeFallback float64
+
+	coef      []float64 // p weights
+	intercept float64
+	p         int
+}
+
+// NewLinear returns an OLS model.
+func NewLinear() *Linear { return &Linear{} }
+
+// Name implements Regressor.
+func (m *Linear) Name() string { return "LR" }
+
+// Fit implements Regressor.
+func (m *Linear) Fit(x [][]float64, y []float64) error {
+	n, p, err := checkXY(x, y)
+	if err != nil {
+		return err
+	}
+	a := buildDesign(x, p)
+	var beta []float64
+	if n >= p+1 {
+		beta, err = linalg.LeastSquares(a, y)
+	}
+	if n < p+1 || err != nil {
+		if err != nil && !errors.Is(err, linalg.ErrSingular) && !errors.Is(err, linalg.ErrShape) {
+			return err
+		}
+		beta, err = ridgeSolve(a, y, m.ridge())
+		if err != nil {
+			return err
+		}
+	}
+	m.intercept = beta[0]
+	m.coef = beta[1:]
+	m.p = p
+	return nil
+}
+
+// buildDesign assembles the design matrix with a leading intercept
+// column.
+func buildDesign(x [][]float64, p int) *linalg.Matrix {
+	a := linalg.NewMatrix(len(x), p+1)
+	for i, row := range x {
+		a.Set(i, 0, 1)
+		copy(a.Row(i)[1:], row)
+	}
+	return a
+}
+
+func (m *Linear) ridge() float64 {
+	if m.RidgeFallback > 0 {
+		return m.RidgeFallback
+	}
+	return 1e-8
+}
+
+// ridgeSolve solves (AᵀA + λI)β = Aᵀy, leaving the intercept column
+// unpenalized.
+func ridgeSolve(a *linalg.Matrix, y []float64, lambda float64) ([]float64, error) {
+	at := a.T()
+	ata, err := at.Mul(a)
+	if err != nil {
+		return nil, err
+	}
+	for j := 1; j < ata.Cols; j++ {
+		ata.Set(j, j, ata.At(j, j)+lambda)
+	}
+	// A tiny jitter on the intercept keeps the factorization positive
+	// definite even for pathological designs.
+	ata.Set(0, 0, ata.At(0, 0)+1e-12)
+	aty, err := at.MulVec(y)
+	if err != nil {
+		return nil, err
+	}
+	chol, err := linalg.NewCholesky(ata)
+	if err != nil {
+		// Last resort: strengthen the penalty until it factorizes.
+		for boost := lambda * 10; boost < 1e6; boost *= 10 {
+			for j := 0; j < ata.Cols; j++ {
+				ata.Set(j, j, ata.At(j, j)+boost)
+			}
+			if chol, err = linalg.NewCholesky(ata); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return chol.Solve(aty)
+}
+
+// Predict implements Regressor.
+func (m *Linear) Predict(x []float64) (float64, error) {
+	if m.coef == nil {
+		return 0, ErrNotTrained
+	}
+	if err := checkRow(x, m.p); err != nil {
+		return 0, err
+	}
+	return m.intercept + linalg.Dot(m.coef, x), nil
+}
+
+// Coefficients returns the fitted weights (excluding the intercept).
+func (m *Linear) Coefficients() []float64 { return append([]float64(nil), m.coef...) }
+
+// Intercept returns the fitted intercept.
+func (m *Linear) Intercept() float64 { return m.intercept }

@@ -1,0 +1,425 @@
+package regress
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Model persistence: trained regressors serialize to a
+// JSON envelope {kind, state} and load back ready to predict, so a
+// fleet backend can train offline and serve forecasts without
+// refitting.
+
+// ErrPersist is wrapped by serialization failures.
+var ErrPersist = errors.New("regress: persistence error")
+
+// envelope is the on-disk wrapper.
+type envelope struct {
+	Kind  string          `json:"kind"`
+	State json.RawMessage `json:"state"`
+}
+
+// persistable is implemented by models that support Save/Load.
+type persistable interface {
+	// state returns the JSON-serializable trained state.
+	state() (any, error)
+	// restore loads trained state produced by state().
+	restore(raw json.RawMessage) error
+}
+
+// Save writes the trained model as JSON.
+func Save(w io.Writer, m Regressor) error {
+	p, ok := m.(persistable)
+	if !ok {
+		return fmt.Errorf("%w: %T does not support persistence", ErrPersist, m)
+	}
+	st, err := p.state()
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(envelope{Kind: m.Name(), State: raw})
+}
+
+// Load reads a model saved by Save and returns it ready to predict.
+func Load(r io.Reader) (Regressor, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	m, err := New(Algorithm(env.Kind))
+	if err != nil {
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrPersist, env.Kind)
+	}
+	p, ok := m.(persistable)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T does not support persistence", ErrPersist, m)
+	}
+	if err := p.restore(env.State); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// --- Linear ---
+
+type linearState struct {
+	Coef      []float64 `json:"coef"`
+	Intercept float64   `json:"intercept"`
+	P         int       `json:"p"`
+}
+
+func (m *Linear) state() (any, error) {
+	if m.coef == nil {
+		return nil, ErrNotTrained
+	}
+	return linearState{Coef: m.coef, Intercept: m.intercept, P: m.p}, nil
+}
+
+func (m *Linear) restore(raw json.RawMessage) error {
+	var st linearState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	if len(st.Coef) != st.P || st.P == 0 {
+		return fmt.Errorf("%w: inconsistent linear state", ErrPersist)
+	}
+	m.coef, m.intercept, m.p = st.Coef, st.Intercept, st.P
+	return nil
+}
+
+// --- Lasso ---
+
+type lassoState struct {
+	Coef      []float64 `json:"coef"`
+	Intercept float64   `json:"intercept"`
+	P         int       `json:"p"`
+	Alpha     float64   `json:"alpha"`
+}
+
+func (m *Lasso) state() (any, error) {
+	if m.coef == nil {
+		return nil, ErrNotTrained
+	}
+	return lassoState{Coef: m.coef, Intercept: m.intercept, P: m.p, Alpha: m.Alpha}, nil
+}
+
+func (m *Lasso) restore(raw json.RawMessage) error {
+	var st lassoState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	if len(st.Coef) != st.P || st.P == 0 {
+		return fmt.Errorf("%w: inconsistent lasso state", ErrPersist)
+	}
+	m.coef, m.intercept, m.p, m.Alpha = st.Coef, st.Intercept, st.P, st.Alpha
+	return nil
+}
+
+// --- baselines ---
+
+type lastValueState struct {
+	Last float64 `json:"last"`
+	P    int     `json:"p"`
+}
+
+func (m *LastValue) state() (any, error) {
+	if !m.trained {
+		return nil, ErrNotTrained
+	}
+	return lastValueState{Last: m.last, P: m.p}, nil
+}
+
+func (m *LastValue) restore(raw json.RawMessage) error {
+	var st lastValueState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	if st.P == 0 {
+		return fmt.Errorf("%w: inconsistent LV state", ErrPersist)
+	}
+	m.last, m.p, m.trained = st.Last, st.P, true
+	return nil
+}
+
+type movingAverageState struct {
+	Mean   float64 `json:"mean"`
+	P      int     `json:"p"`
+	Period int     `json:"period"`
+}
+
+func (m *MovingAverage) state() (any, error) {
+	if !m.trained {
+		return nil, ErrNotTrained
+	}
+	return movingAverageState{Mean: m.mean, P: m.p, Period: m.Period}, nil
+}
+
+func (m *MovingAverage) restore(raw json.RawMessage) error {
+	var st movingAverageState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	if st.P == 0 {
+		return fmt.Errorf("%w: inconsistent MA state", ErrPersist)
+	}
+	m.mean, m.p, m.Period, m.trained = st.Mean, st.P, st.Period, true
+	return nil
+}
+
+// --- SVR ---
+
+type svrState struct {
+	SupportX [][]float64 `json:"support_x"`
+	Beta     []float64   `json:"beta"`
+	B        float64     `json:"b"`
+	Means    []float64   `json:"means"`
+	Stds     []float64   `json:"stds"`
+	P        int         `json:"p"`
+	C        float64     `json:"c"`
+	Epsilon  float64     `json:"epsilon"`
+	Gamma    float64     `json:"gamma"`
+}
+
+func (m *SVR) state() (any, error) {
+	if m.p == 0 {
+		return nil, ErrNotTrained
+	}
+	return svrState{
+		SupportX: m.supportX, Beta: m.beta, B: m.b,
+		Means: m.means, Stds: m.stds, P: m.p,
+		C: m.C, Epsilon: m.Epsilon, Gamma: m.Gamma,
+	}, nil
+}
+
+func (m *SVR) restore(raw json.RawMessage) error {
+	var st svrState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	if st.P == 0 || len(st.SupportX) != len(st.Beta) || len(st.Means) != st.P || len(st.Stds) != st.P {
+		return fmt.Errorf("%w: inconsistent svr state", ErrPersist)
+	}
+	for _, sv := range st.SupportX {
+		if len(sv) != st.P {
+			return fmt.Errorf("%w: support vector width mismatch", ErrPersist)
+		}
+	}
+	m.supportX, m.beta, m.b = st.SupportX, st.Beta, st.B
+	m.means, m.stds, m.p = st.Means, st.Stds, st.P
+	m.C, m.Epsilon, m.Gamma = st.C, st.Epsilon, st.Gamma
+	return nil
+}
+
+// --- trees ---
+
+// nodeState is one flattened tree node; children are indices into the
+// node slice (-1 for leaves).
+type nodeState struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Left      int     `json:"l"`
+	Right     int     `json:"r"`
+	Leaf      bool    `json:"leaf"`
+	Value     float64 `json:"v"`
+}
+
+func flattenTree(root *treeNode) []nodeState {
+	var nodes []nodeState
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		idx := len(nodes)
+		nodes = append(nodes, nodeState{Left: -1, Right: -1})
+		if n.leaf {
+			nodes[idx].Leaf = true
+			nodes[idx].Value = n.value
+			return idx
+		}
+		nodes[idx].Feature = n.feature
+		nodes[idx].Threshold = n.threshold
+		nodes[idx].Left = walk(n.left)
+		nodes[idx].Right = walk(n.right)
+		return idx
+	}
+	if root != nil {
+		walk(root)
+	}
+	return nodes
+}
+
+func rebuildTree(nodes []nodeState, idx, p int) (*treeNode, error) {
+	if idx < 0 || idx >= len(nodes) {
+		return nil, fmt.Errorf("%w: tree node index %d out of range", ErrPersist, idx)
+	}
+	st := nodes[idx]
+	if st.Leaf {
+		return &treeNode{leaf: true, value: st.Value}, nil
+	}
+	if st.Feature < 0 || st.Feature >= p {
+		return nil, fmt.Errorf("%w: tree split on feature %d of %d", ErrPersist, st.Feature, p)
+	}
+	// flattenTree emits nodes in pre-order, so children always come
+	// after their parent; anything else is a malformed (possibly
+	// cyclic) payload.
+	if st.Left <= idx || st.Right <= idx {
+		return nil, fmt.Errorf("%w: tree node %d has backward child reference", ErrPersist, idx)
+	}
+	left, err := rebuildTree(nodes, st.Left, p)
+	if err != nil {
+		return nil, err
+	}
+	right, err := rebuildTree(nodes, st.Right, p)
+	if err != nil {
+		return nil, err
+	}
+	return &treeNode{feature: st.Feature, threshold: st.Threshold, left: left, right: right}, nil
+}
+
+type treeState struct {
+	Nodes []nodeState `json:"nodes"`
+	P     int         `json:"p"`
+}
+
+func (m *Tree) state() (any, error) {
+	if m.root == nil {
+		return nil, ErrNotTrained
+	}
+	return treeState{Nodes: flattenTree(m.root), P: m.p}, nil
+}
+
+func (m *Tree) restore(raw json.RawMessage) error {
+	var st treeState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	return m.restoreState(st)
+}
+
+func (m *Tree) restoreState(st treeState) error {
+	if st.P == 0 || len(st.Nodes) == 0 {
+		return fmt.Errorf("%w: inconsistent tree state", ErrPersist)
+	}
+	root, err := rebuildTree(st.Nodes, 0, st.P)
+	if err != nil {
+		return err
+	}
+	m.root, m.p = root, st.P
+	return nil
+}
+
+// --- gradient boosting ---
+
+type gbState struct {
+	Init         float64     `json:"init"`
+	LearningRate float64     `json:"lr"`
+	Loss         int         `json:"loss"`
+	P            int         `json:"p"`
+	Stages       []treeState `json:"stages"`
+}
+
+func (m *GradientBoosting) state() (any, error) {
+	if m.stages == nil {
+		return nil, ErrNotTrained
+	}
+	stages := make([]treeState, len(m.stages))
+	for i, t := range m.stages {
+		stages[i] = treeState{Nodes: flattenTree(t.root), P: t.p}
+	}
+	return gbState{Init: m.init, LearningRate: m.LearningRate, Loss: int(m.Loss), P: m.p, Stages: stages}, nil
+}
+
+func (m *GradientBoosting) restore(raw json.RawMessage) error {
+	var st gbState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	if st.P == 0 || len(st.Stages) == 0 {
+		return fmt.Errorf("%w: inconsistent gb state", ErrPersist)
+	}
+	m.stages = make([]*Tree, len(st.Stages))
+	for i, ts := range st.Stages {
+		tree := &Tree{MaxDepth: 1}
+		if err := tree.restoreState(ts); err != nil {
+			return err
+		}
+		m.stages[i] = tree
+	}
+	m.init, m.LearningRate, m.Loss, m.p = st.Init, st.LearningRate, GBLoss(st.Loss), st.P
+	m.NEstimators = len(m.stages)
+	return nil
+}
+
+// --- random forest ---
+
+type forestState struct {
+	P     int         `json:"p"`
+	Trees []treeState `json:"trees"`
+}
+
+func (m *RandomForest) state() (any, error) {
+	if m.trees == nil {
+		return nil, ErrNotTrained
+	}
+	trees := make([]treeState, len(m.trees))
+	for i, t := range m.trees {
+		trees[i] = treeState{Nodes: flattenTree(t.root), P: t.p}
+	}
+	return forestState{P: m.p, Trees: trees}, nil
+}
+
+func (m *RandomForest) restore(raw json.RawMessage) error {
+	var st forestState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	if st.P == 0 || len(st.Trees) == 0 {
+		return fmt.Errorf("%w: inconsistent forest state", ErrPersist)
+	}
+	m.trees = make([]*Tree, len(st.Trees))
+	for i, ts := range st.Trees {
+		tree := &Tree{MaxDepth: 1}
+		if err := tree.restoreState(ts); err != nil {
+			return err
+		}
+		m.trees[i] = tree
+	}
+	m.p = st.P
+	m.NTrees = len(m.trees)
+	return nil
+}
+
+// --- ridge ---
+
+type ridgeState struct {
+	Alpha  float64     `json:"alpha"`
+	Linear linearState `json:"linear"`
+}
+
+func (m *Ridge) state() (any, error) {
+	if m.linear.coef == nil {
+		return nil, ErrNotTrained
+	}
+	return ridgeState{
+		Alpha:  m.Alpha,
+		Linear: linearState{Coef: m.linear.coef, Intercept: m.linear.intercept, P: m.linear.p},
+	}, nil
+}
+
+func (m *Ridge) restore(raw json.RawMessage) error {
+	var st ridgeState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	if len(st.Linear.Coef) != st.Linear.P || st.Linear.P == 0 {
+		return fmt.Errorf("%w: inconsistent ridge state", ErrPersist)
+	}
+	m.Alpha = st.Alpha
+	m.linear = Linear{coef: st.Linear.Coef, intercept: st.Linear.Intercept, p: st.Linear.P}
+	return nil
+}

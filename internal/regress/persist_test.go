@@ -1,0 +1,123 @@
+package regress
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// saveLoadRoundTrip trains m, saves it, loads it back and verifies
+// identical predictions on fresh probes.
+func saveLoadRoundTrip(t *testing.T, m Regressor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(70))
+	x, y, _ := randomProblem(rng, 80, 3, 0.3)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatalf("%s: fit: %v", m.Name(), err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatalf("%s: save: %v", m.Name(), err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("%s: load: %v", m.Name(), err)
+	}
+	if loaded.Name() != m.Name() {
+		t.Fatalf("kind changed: %s -> %s", m.Name(), loaded.Name())
+	}
+	for trial := 0; trial < 25; trial++ {
+		probe := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		want, err1 := m.Predict(probe)
+		got, err2 := loaded.Predict(probe)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: predict: %v %v", m.Name(), err1, err2)
+		}
+		if math.Abs(want-got) > 1e-12 {
+			t.Fatalf("%s: prediction drifted: %v vs %v", m.Name(), want, got)
+		}
+	}
+}
+
+func TestSaveLoadAllModels(t *testing.T) {
+	models := []Regressor{
+		NewLinear(),
+		NewLasso(),
+		NewRidge(),
+		NewLastValue(),
+		NewMovingAverage(),
+		NewSVR(),
+		&GradientBoosting{LearningRate: 0.1, NEstimators: 20, MaxDepth: 2, Loss: LossLAD},
+		&RandomForest{NTrees: 10, MaxDepth: 3, Seed: 1},
+		&Tree{MaxDepth: 4},
+	}
+	for _, m := range models {
+		saveLoadRoundTrip(t, m)
+	}
+}
+
+func TestSaveUntrained(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, NewLinear()); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("untrained save: %v", err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not json",
+		`{"kind":"bogus","state":{}}`,
+		`{"kind":"LR","state":{"coef":[1,2],"intercept":0,"p":5}}`,        // width mismatch
+		`{"kind":"SVR","state":{"p":2,"support_x":[[1]],"beta":[1,2]}}`,   // inconsistent
+		`{"kind":"GB","state":{"p":0,"stages":[]}}`,                       // empty
+		`{"kind":"Tree","state":{"p":1,"nodes":[{"f":5,"l":-1,"r":-1}]}}`, // bad feature
+		`{"kind":"LV","state":{"p":0}}`,
+		`{"kind":"MA","state":{"p":0}}`,
+		`{"kind":"RF","state":{"p":0,"trees":[]}}`,
+		`{"kind":"Ridge","state":{"alpha":1,"linear":{"coef":[],"p":0}}}`,
+		`{"kind":"Lasso","state":{"coef":[1],"p":2}}`,
+	}
+	for _, src := range cases {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestTreeCycleGuard(t *testing.T) {
+	// The pre-order format requires child indices to come after their
+	// parent; a self- or backward reference (a cycle) must be rejected
+	// rather than recursed into.
+	for _, src := range []string{
+		`{"kind":"Tree","state":{"p":1,"nodes":[{"f":0,"t":1,"l":0,"r":-1}]}}`,
+		`{"kind":"Tree","state":{"p":1,"nodes":[{"f":0,"t":1,"l":1,"r":1},{"f":0,"t":2,"l":0,"r":0}]}}`,
+	} {
+		if _, err := Load(strings.NewReader(src)); !errors.Is(err, ErrPersist) {
+			t.Errorf("cyclic tree: %v", err)
+		}
+	}
+}
+
+func TestSaveLoadPreservesHyperparameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	x, y, _ := randomProblem(rng, 50, 3, 0.2)
+	m := &MovingAverage{Period: 14}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.(*MovingAverage).Period != 14 {
+		t.Errorf("period = %d", loaded.(*MovingAverage).Period)
+	}
+}

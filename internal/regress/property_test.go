@@ -1,0 +1,203 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests on model invariants, run with testing/quick over
+// randomized problem instances.
+
+// randomProblem builds an n×p training set with a planted linear
+// signal plus noise.
+func randomProblem(rng *rand.Rand, n, p int, noise float64) ([][]float64, []float64, []float64) {
+	coef := make([]float64, p)
+	for j := range coef {
+		coef[j] = rng.NormFloat64() * 2
+	}
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, p)
+		dot := 0.0
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			dot += row[j] * coef[j]
+		}
+		x[i] = row
+		y[i] = 1 + dot + noise*rng.NormFloat64()
+	}
+	return x, y, coef
+}
+
+// Property: OLS predictions are invariant under feature scaling (the
+// coefficients rescale exactly).
+func TestLinearScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y, _ := randomProblem(r, 60, 3, 0.3)
+		scale := []float64{2, 0.5, 10}
+		xs := make([][]float64, len(x))
+		for i, row := range x {
+			s := make([]float64, len(row))
+			for j := range row {
+				s[j] = row[j] * scale[j]
+			}
+			xs[i] = s
+		}
+		a, b := NewLinear(), NewLinear()
+		if a.Fit(x, y) != nil || b.Fit(xs, y) != nil {
+			return false
+		}
+		probe := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		probeScaled := []float64{probe[0] * scale[0], probe[1] * scale[1], probe[2] * scale[2]}
+		pa, _ := a.Predict(probe)
+		pb, _ := b.Predict(probeScaled)
+		return math.Abs(pa-pb) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a constant to the targets shifts every model's
+// predictions by that constant (location equivariance) for the linear
+// family and the baselines.
+func TestLocationEquivariance(t *testing.T) {
+	models := map[string]func() Regressor{
+		"LR":    func() Regressor { return NewLinear() },
+		"Lasso": func() Regressor { return NewLasso() },
+		"Ridge": func() Regressor { return NewRidge() },
+		"LV":    func() Regressor { return NewLastValue() },
+		"MA":    func() Regressor { return NewMovingAverage() },
+	}
+	rng := rand.New(rand.NewSource(61))
+	x, y, _ := randomProblem(rng, 80, 4, 0.5)
+	const shift = 7.5
+	yShift := make([]float64, len(y))
+	for i := range y {
+		yShift[i] = y[i] + shift
+	}
+	probe := []float64{0.3, -0.2, 1.1, 0.7}
+	for name, build := range models {
+		a, b := build(), build()
+		if err := a.Fit(x, y); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := b.Fit(x, yShift); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pa, _ := a.Predict(probe)
+		pb, _ := b.Predict(probe)
+		if math.Abs((pb-pa)-shift) > 1e-6 {
+			t.Errorf("%s: shift %v instead of %v", name, pb-pa, shift)
+		}
+	}
+}
+
+// Property: GB training error decreases (weakly) as stages are added.
+func TestGBMonotoneStagesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	x, y, _ := randomProblem(rng, 120, 3, 0.2)
+	mae := func(stages int) float64 {
+		m := &GradientBoosting{LearningRate: 0.2, NEstimators: stages, MaxDepth: 2, Loss: LossLS}
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		var e float64
+		for i := range x {
+			p, _ := m.Predict(x[i])
+			e += math.Abs(p - y[i])
+		}
+		return e / float64(len(x))
+	}
+	prev := math.Inf(1)
+	for _, stages := range []int{1, 5, 20, 80} {
+		cur := mae(stages)
+		if cur > prev*1.02 {
+			t.Errorf("training MAE rose: %v stages -> %v", stages, cur)
+		}
+		prev = cur
+	}
+}
+
+// Property: tree predictions are always within the training target
+// range (trees cannot extrapolate), and so are forest predictions.
+func TestTreeRangeBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y, _ := randomProblem(r, 50, 2, 1)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range y {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		tree := &Tree{MaxDepth: 6}
+		if tree.Fit(x, y) != nil {
+			return false
+		}
+		forest := &RandomForest{NTrees: 10, MaxDepth: 4, Seed: seed}
+		if forest.Fit(x, y) != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			probe := []float64{r.NormFloat64() * 10, r.NormFloat64() * 10}
+			pt, _ := tree.Predict(probe)
+			pf, _ := forest.Predict(probe)
+			if pt < lo-1e-9 || pt > hi+1e-9 || pf < lo-1e-9 || pf > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SVR predictions are bounded by b ± C·#SV (a loose bound
+// from the dual box constraint), and the model never panics across
+// random inputs.
+func TestSVRBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y, _ := randomProblem(r, 40, 2, 0.5)
+		m := NewSVR()
+		if m.Fit(x, y) != nil {
+			return false
+		}
+		bound := 10*float64(m.NumSupportVectors()) + 100
+		for trial := 0; trial < 10; trial++ {
+			probe := []float64{r.NormFloat64() * 5, r.NormFloat64() * 5}
+			p, err := m.Predict(probe)
+			if err != nil || math.IsNaN(p) || math.Abs(p) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Lasso's active set shrinks (weakly) as alpha grows.
+func TestLassoPathMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	x, y, _ := randomProblem(rng, 100, 6, 0.5)
+	prev := math.MaxInt32
+	for _, alpha := range []float64{0.01, 0.1, 1, 10, 100} {
+		m := &Lasso{Alpha: alpha}
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		nz := m.NumNonZero()
+		if nz > prev {
+			t.Errorf("active set grew at alpha=%v: %d > %d", alpha, nz, prev)
+		}
+		prev = nz
+	}
+}

@@ -1,0 +1,74 @@
+// Package regress implements, from scratch on the standard library,
+// the regression algorithms the study compares (Section 3): ordinary
+// least squares Linear Regression, Lasso (coordinate descent), ε-SVR
+// with an RBF kernel (SMO solver), Gradient Boosting over CART
+// regression trees with LAD loss, and the two naive baselines — Last
+// Value and Moving Average. Default hyper-parameters are the paper's
+// grid-search winners (Section 4.2).
+package regress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Regressor is a supervised regression model over dense feature rows.
+type Regressor interface {
+	// Fit trains on rows x (n×p) and targets y (n). Implementations
+	// must not retain x or y.
+	Fit(x [][]float64, y []float64) error
+	// Predict returns the prediction for a single feature row.
+	Predict(x []float64) (float64, error)
+	// Name returns the short algorithm label used in the paper's
+	// figures (LR, Lasso, SVR, GB, LV, MA).
+	Name() string
+}
+
+// Errors shared by the implementations.
+var (
+	ErrNotTrained = errors.New("regress: model not trained")
+	ErrBadShape   = errors.New("regress: invalid training shape")
+	ErrBadParam   = errors.New("regress: invalid hyper-parameter")
+)
+
+// checkXY validates a training set and returns n, p.
+func checkXY(x [][]float64, y []float64) (n, p int, err error) {
+	n = len(x)
+	if n == 0 {
+		return 0, 0, fmt.Errorf("%w: no rows", ErrBadShape)
+	}
+	if len(y) != n {
+		return 0, 0, fmt.Errorf("%w: %d rows vs %d targets", ErrBadShape, n, len(y))
+	}
+	p = len(x[0])
+	if p == 0 {
+		return 0, 0, fmt.Errorf("%w: zero-width rows", ErrBadShape)
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return 0, 0, fmt.Errorf("%w: ragged row %d (%d vs %d)", ErrBadShape, i, len(row), p)
+		}
+	}
+	return n, p, nil
+}
+
+// checkRow validates a prediction row against the trained width.
+func checkRow(x []float64, p int) error {
+	if len(x) != p {
+		return fmt.Errorf("%w: row has %d features, model trained on %d", ErrBadShape, len(x), p)
+	}
+	return nil
+}
+
+// PredictAll is a convenience helper applying m to every row.
+func PredictAll(m Regressor, rows [][]float64) ([]float64, error) {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		v, err := m.Predict(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

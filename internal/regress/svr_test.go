@@ -1,0 +1,405 @@
+package regress
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSVRFitsSine(t *testing.T) {
+	// A smooth nonlinear function: SVR with RBF must track it closely,
+	// far better than a linear fit could.
+	n := 120
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := float64(i) / float64(n) * 4 * math.Pi
+		x[i] = []float64{v}
+		y[i] = 3 * math.Sin(v)
+	}
+	m := NewSVR()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	for i := range x {
+		pred, err := m.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		mae += math.Abs(pred - y[i])
+	}
+	mae /= float64(n)
+	if mae > 0.35 {
+		t.Errorf("SVR sine MAE = %v", mae)
+	}
+	if m.NumSupportVectors() == 0 {
+		t.Error("no support vectors")
+	}
+}
+
+func TestSVRLinearTrend(t *testing.T) {
+	x, y := makeLinearData(150, 0.1, 8)
+	m := NewSVR()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	for i := range x {
+		pred, _ := m.Predict(x[i])
+		mae += math.Abs(pred - y[i])
+	}
+	mae /= float64(len(x))
+	if mae > 1.0 {
+		t.Errorf("SVR linear MAE = %v", mae)
+	}
+}
+
+func TestSVRConstantTarget(t *testing.T) {
+	// All targets inside one ε tube: the model must predict the
+	// constant via the bias.
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{5, 5, 5, 5}
+	m := NewSVR()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict([]float64{2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred-5) > 0.2 {
+		t.Errorf("constant pred = %v", pred)
+	}
+}
+
+func TestSVREpsilonTubeSparsity(t *testing.T) {
+	// With a huge ε every point is inside the tube: no support vectors.
+	x, y := makeLinearData(50, 0.1, 9)
+	m := &SVR{C: 10, Epsilon: 1e6, Gamma: 1}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSupportVectors() != 0 {
+		t.Errorf("support vectors = %d, want 0", m.NumSupportVectors())
+	}
+	// Larger ε must not yield more SVs than smaller ε.
+	tight := &SVR{C: 10, Epsilon: 0.01, Gamma: 1}
+	tight.Fit(x, y)
+	loose := &SVR{C: 10, Epsilon: 1.0, Gamma: 1}
+	loose.Fit(x, y)
+	if loose.NumSupportVectors() > tight.NumSupportVectors() {
+		t.Errorf("sv count not monotone in epsilon: %d > %d", loose.NumSupportVectors(), tight.NumSupportVectors())
+	}
+}
+
+func TestSVRParamErrors(t *testing.T) {
+	x := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	for _, m := range []*SVR{
+		{C: 0, Epsilon: 0.1, Gamma: 1},
+		{C: 10, Epsilon: -1, Gamma: 1},
+		{C: 10, Epsilon: 0.1, Gamma: 0},
+	} {
+		if err := m.Fit(x, y); !errors.Is(err, ErrBadParam) {
+			t.Errorf("%+v: want ErrBadParam, got %v", m, err)
+		}
+	}
+	var untrained SVR
+	if _, err := untrained.Predict([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("want ErrNotTrained, got %v", err)
+	}
+	m := NewSVR()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1, 2}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("want ErrBadShape, got %v", err)
+	}
+	if m.Name() != "SVR" {
+		t.Error("name wrong")
+	}
+}
+
+func TestTreeFitsStep(t *testing.T) {
+	// A step function is exactly representable by a stump.
+	x := [][]float64{{1}, {2}, {3}, {10}, {11}, {12}}
+	y := []float64{1, 1, 1, 9, 9, 9}
+	m := &Tree{MaxDepth: 1, MinSamplesLeaf: 1}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := m.Predict([]float64{2})
+	hi, _ := m.Predict([]float64{11})
+	if lo != 1 || hi != 9 {
+		t.Errorf("stump = %v / %v", lo, hi)
+	}
+	if m.Depth() != 1 {
+		t.Errorf("depth = %d", m.Depth())
+	}
+}
+
+func TestTreeDeepFitsXor(t *testing.T) {
+	// XOR-like interaction needs depth 2.
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []float64{0, 1, 1, 0}
+	m := &Tree{MaxDepth: 2, MinSamplesLeaf: 1}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		pred, _ := m.Predict(x[i])
+		if math.Abs(pred-y[i]) > 1e-9 {
+			t.Errorf("xor(%v) = %v, want %v", x[i], pred, y[i])
+		}
+	}
+}
+
+func TestTreeMedianLeaves(t *testing.T) {
+	x := [][]float64{{1}, {1}, {1}}
+	y := []float64{1, 2, 100}
+	mean := &Tree{MaxDepth: 1}
+	mean.Fit(x, y)
+	med := &Tree{MaxDepth: 1, LeafMedian: true}
+	med.Fit(x, y)
+	pm, _ := mean.Predict([]float64{1})
+	pd, _ := med.Predict([]float64{1})
+	if math.Abs(pm-103.0/3) > 1e-9 {
+		t.Errorf("mean leaf = %v", pm)
+	}
+	if pd != 2 {
+		t.Errorf("median leaf = %v", pd)
+	}
+}
+
+func TestTreeMinSamplesLeaf(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{1, 2, 3, 4}
+	m := &Tree{MaxDepth: 5, MinSamplesLeaf: 2}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// With minLeaf=2 the deepest possible split structure still keeps
+	// leaves of >= 2 samples: predictions come from pair means.
+	pred, _ := m.Predict([]float64{1})
+	if pred != 1.5 {
+		t.Errorf("pred = %v, want pair mean 1.5", pred)
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	m := NewTree()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := m.Predict([]float64{99})
+	if pred != 7 {
+		t.Errorf("pred = %v", pred)
+	}
+	if m.Depth() != 0 {
+		t.Errorf("constant tree depth = %d", m.Depth())
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	var untrained Tree
+	if _, err := untrained.Predict([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("want ErrNotTrained, got %v", err)
+	}
+	bad := &Tree{MaxDepth: 0}
+	if err := bad.Fit([][]float64{{1}}, []float64{1}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("want ErrBadParam, got %v", err)
+	}
+	if (&Tree{}).Name() != "Tree" {
+		t.Error("name wrong")
+	}
+}
+
+func TestGBMReducesTrainingError(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 200
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{rng.Float64() * 10}
+		y[i] = math.Sin(x[i][0]) * 5
+	}
+	mae := func(stages int) float64 {
+		m := &GradientBoosting{LearningRate: 0.1, NEstimators: stages, MaxDepth: 2, Loss: LossLAD}
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		var e float64
+		for i := range x {
+			pred, _ := m.Predict(x[i])
+			e += math.Abs(pred - y[i])
+		}
+		return e / float64(n)
+	}
+	few, many := mae(5), mae(150)
+	if many >= few {
+		t.Errorf("boosting did not reduce error: %v -> %v", few, many)
+	}
+	if many > 0.8 {
+		t.Errorf("GBM final MAE = %v", many)
+	}
+}
+
+func TestGBMLADRobustToOutliers(t *testing.T) {
+	// One gross outlier: LAD's median-based fit must stay near the
+	// clean trend while LS is dragged away.
+	n := 60
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{float64(i % 2)}
+		y[i] = 1 + 2*x[i][0]
+	}
+	y[0] = 500 // outlier at x=0
+	lad := &GradientBoosting{LearningRate: 0.5, NEstimators: 60, MaxDepth: 1, Loss: LossLAD}
+	if err := lad.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	ls := &GradientBoosting{LearningRate: 0.5, NEstimators: 60, MaxDepth: 1, Loss: LossLS}
+	if err := ls.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pLAD, _ := lad.Predict([]float64{0})
+	pLS, _ := ls.Predict([]float64{0})
+	if math.Abs(pLAD-1) > 0.3 {
+		t.Errorf("LAD pred = %v, want ~1", pLAD)
+	}
+	if math.Abs(pLS-1) < math.Abs(pLAD-1) {
+		t.Errorf("LS (%v) more robust than LAD (%v)?", pLS, pLAD)
+	}
+}
+
+func TestGBMPaperDefaults(t *testing.T) {
+	m := NewGradientBoosting()
+	if m.LearningRate != 0.1 || m.NEstimators != 100 || m.MaxDepth != 1 || m.Loss != LossLAD {
+		t.Errorf("defaults = %+v", m)
+	}
+	if LossLAD.String() != "lad" || LossLS.String() != "ls" {
+		t.Error("loss names wrong")
+	}
+}
+
+func TestGBMErrors(t *testing.T) {
+	x := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	for _, m := range []*GradientBoosting{
+		{LearningRate: 0, NEstimators: 10, MaxDepth: 1},
+		{LearningRate: 2, NEstimators: 10, MaxDepth: 1},
+		{LearningRate: 0.1, NEstimators: 0, MaxDepth: 1},
+		{LearningRate: 0.1, NEstimators: 10, MaxDepth: 0},
+		{LearningRate: 0.1, NEstimators: 10, MaxDepth: 1, Loss: GBLoss(9)},
+	} {
+		if err := m.Fit(x, y); !errors.Is(err, ErrBadParam) {
+			t.Errorf("%+v: want ErrBadParam, got %v", m, err)
+		}
+	}
+	var untrained GradientBoosting
+	if _, err := untrained.Predict([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("want ErrNotTrained, got %v", err)
+	}
+	m := NewGradientBoosting()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStages() != 100 {
+		t.Errorf("stages = %d", m.NumStages())
+	}
+	if m.Name() != "GB" {
+		t.Error("name wrong")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	algs := Algorithms()
+	if len(algs) != 6 {
+		t.Fatalf("algorithms = %v", algs)
+	}
+	for _, a := range algs {
+		m, err := New(a)
+		if err != nil {
+			t.Fatalf("New(%s): %v", a, err)
+		}
+		if m.Name() != string(a) {
+			t.Errorf("New(%s).Name() = %s", a, m.Name())
+		}
+	}
+	if m, err := New(AlgTree); err != nil || m.Name() != "Tree" {
+		t.Errorf("New(Tree) = %v %v", m, err)
+	}
+	if _, err := New("bogus"); !errors.Is(err, ErrBadParam) {
+		t.Errorf("want ErrBadParam, got %v", err)
+	}
+}
+
+func TestExpandGrid(t *testing.T) {
+	grid := ExpandGrid(map[string][]float64{"a": {1, 2}, "b": {10, 20, 30}})
+	if len(grid) != 6 {
+		t.Fatalf("grid size = %d", len(grid))
+	}
+	seen := map[[2]float64]bool{}
+	for _, gp := range grid {
+		seen[[2]float64{gp["a"], gp["b"]}] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("grid has duplicates: %v", grid)
+	}
+	if got := ExpandGrid(nil); len(got) != 1 {
+		t.Errorf("empty grid = %v", got)
+	}
+}
+
+func TestGridSearchPicksBestAlpha(t *testing.T) {
+	// Sparse ground truth: moderate alpha should beat alpha=0 (which
+	// overfits noise) and huge alpha (which kills the signal).
+	rng := rand.New(rand.NewSource(11))
+	n := 120
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, 12)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = 3*row[0] + rng.NormFloat64()
+	}
+	grid := ExpandGrid(map[string][]float64{"alpha": {0.05, 1000}})
+	best, bestErr, err := GridSearch(x, y, grid, func(gp GridPoint) (Regressor, error) {
+		return &Lasso{Alpha: gp["alpha"]}, nil
+	}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best["alpha"] != 0.05 {
+		t.Errorf("best alpha = %v", best["alpha"])
+	}
+	if bestErr <= 0 {
+		t.Errorf("best err = %v", bestErr)
+	}
+}
+
+func TestGridSearchErrors(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{1, 2, 3, 4}
+	build := func(GridPoint) (Regressor, error) { return NewLinear(), nil }
+	if _, _, err := GridSearch(nil, nil, []GridPoint{{}}, build, 0.2); !errors.Is(err, ErrBadShape) {
+		t.Errorf("want ErrBadShape, got %v", err)
+	}
+	if _, _, err := GridSearch(x, y, nil, build, 0.2); !errors.Is(err, ErrBadParam) {
+		t.Errorf("want ErrBadParam (empty grid), got %v", err)
+	}
+	if _, _, err := GridSearch(x, y, []GridPoint{{}}, build, 0); !errors.Is(err, ErrBadParam) {
+		t.Errorf("want ErrBadParam (frac), got %v", err)
+	}
+	if _, _, err := GridSearch([][]float64{{1}}, []float64{1}, []GridPoint{{}}, build, 0.5); !errors.Is(err, ErrBadShape) {
+		t.Errorf("want ErrBadShape (no split), got %v", err)
+	}
+}

@@ -1,0 +1,218 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tree is a CART regression tree grown with variance-reduction splits.
+// Leaf values are the mean (LeafMean) or median (LeafMedian) of the
+// targets reaching the leaf; gradient boosting with LAD loss uses
+// median leaves.
+type Tree struct {
+	// MaxDepth limits the tree depth; depth 1 is a stump (the paper's
+	// Gradient Boosting setting). Must be >= 1.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum number of samples per leaf
+	// (default 1).
+	MinSamplesLeaf int
+	// LeafMedian selects median leaf values instead of means.
+	LeafMedian bool
+
+	// splitFeatures, when set, returns the candidate feature indices
+	// for one split (random-forest-style per-split subsampling).
+	splitFeatures func(p int) []int
+
+	root *treeNode
+	p    int
+}
+
+type treeNode struct {
+	// Internal nodes.
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	// Leaves.
+	leaf  bool
+	value float64
+}
+
+// NewTree returns a depth-3 mean-leaf regression tree.
+func NewTree() *Tree { return &Tree{MaxDepth: 3, MinSamplesLeaf: 1} }
+
+// Name implements Regressor.
+func (m *Tree) Name() string { return "Tree" }
+
+// Fit implements Regressor.
+func (m *Tree) Fit(x [][]float64, y []float64) error {
+	_, p, err := checkXY(x, y)
+	if err != nil {
+		return err
+	}
+	if m.MaxDepth < 1 {
+		return fmt.Errorf("%w: tree depth %d", ErrBadParam, m.MaxDepth)
+	}
+	minLeaf := m.MinSamplesLeaf
+	if minLeaf < 1 {
+		minLeaf = 1
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	m.p = p
+	m.root = m.grow(x, y, idx, m.MaxDepth, minLeaf)
+	return nil
+}
+
+// grow builds a node over the sample indices idx.
+func (m *Tree) grow(x [][]float64, y []float64, idx []int, depth, minLeaf int) *treeNode {
+	if depth == 0 || len(idx) < 2*minLeaf || constantTargets(y, idx) {
+		return &treeNode{leaf: true, value: m.leafValue(y, idx)}
+	}
+	candidates := allFeatures(len(x[idx[0]]))
+	if m.splitFeatures != nil {
+		candidates = m.splitFeatures(len(x[idx[0]]))
+	}
+	feature, threshold, ok := bestSplit(x, y, idx, minLeaf, candidates)
+	if !ok {
+		return &treeNode{leaf: true, value: m.leafValue(y, idx)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &treeNode{
+		feature:   feature,
+		threshold: threshold,
+		left:      m.grow(x, y, left, depth-1, minLeaf),
+		right:     m.grow(x, y, right, depth-1, minLeaf),
+	}
+}
+
+func constantTargets(y []float64, idx []int) bool {
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Tree) leafValue(y []float64, idx []int) float64 {
+	vals := make([]float64, len(idx))
+	for k, i := range idx {
+		vals[k] = y[i]
+	}
+	if m.LeafMedian {
+		sort.Float64s(vals)
+		n := len(vals)
+		if n%2 == 1 {
+			return vals[n/2]
+		}
+		return (vals[n/2-1] + vals[n/2]) / 2
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+func allFeatures(p int) []int {
+	out := make([]int, p)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// bestSplit finds the (feature, threshold) among the candidate
+// features maximizing the reduction of the sum of squared errors,
+// scanning sorted feature values with prefix sums. Splits leaving
+// fewer than minLeaf samples on a side are rejected.
+func bestSplit(x [][]float64, y []float64, idx []int, minLeaf int, candidates []int) (feature int, threshold float64, ok bool) {
+	n := len(idx)
+	// Zero-gain splits are allowed (as in scikit-learn's CART): a
+	// split that doesn't reduce SSE can still enable a deeper split
+	// that does (e.g. XOR interactions).
+	bestGain := math.Inf(-1)
+
+	order := make([]int, n)
+	for _, f := range candidates {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+
+		var totalSum float64
+		for _, i := range order {
+			totalSum += y[i]
+		}
+		var totalSq float64
+		for _, i := range order {
+			totalSq += y[i] * y[i]
+		}
+		sseAll := totalSq - totalSum*totalSum/float64(n)
+
+		var leftSum, leftSq float64
+		for k := 0; k < n-1; k++ {
+			i := order[k]
+			leftSum += y[i]
+			leftSq += y[i] * y[i]
+			// Only split between distinct feature values.
+			if x[order[k+1]][f] == x[i][f] {
+				continue
+			}
+			nl, nr := k+1, n-k-1
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			sse := (leftSq - leftSum*leftSum/float64(nl)) + (rightSq - rightSum*rightSum/float64(nr))
+			gain := sseAll - sse
+			if gain > bestGain {
+				bestGain = gain
+				feature = f
+				threshold = (x[i][f] + x[order[k+1]][f]) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// Predict implements Regressor.
+func (m *Tree) Predict(x []float64) (float64, error) {
+	if m.root == nil {
+		return 0, ErrNotTrained
+	}
+	if err := checkRow(x, m.p); err != nil {
+		return 0, err
+	}
+	node := m.root
+	for !node.leaf {
+		if x[node.feature] <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.value, nil
+}
+
+// Depth returns the depth of the fitted tree (0 for a single leaf).
+func (m *Tree) Depth() int { return nodeDepth(m.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := nodeDepth(n.left), nodeDepth(n.right)
+	return 1 + int(math.Max(float64(l), float64(r)))
+}

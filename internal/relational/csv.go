@@ -1,0 +1,115 @@
+package relational
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// timeLayout is the CSV serialization of Time cells.
+const timeLayout = time.RFC3339
+
+// WriteCSV serializes the table with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.schema.Len())
+	for i, c := range t.schema.cols {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("relational: writing header: %w", err)
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return t.WriteCSVRows(w)
+}
+
+// WriteCSVRows serializes only the data rows (no header), for
+// appending several same-schema tables into one CSV stream.
+func (t *Table) WriteCSVRows(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	record := make([]string, t.schema.Len())
+	for i := 0; i < t.rows; i++ {
+		row, _ := t.Row(i)
+		for j, v := range row {
+			switch t.schema.cols[j].Type {
+			case Float:
+				record[j] = strconv.FormatFloat(v.(float64), 'g', -1, 64)
+			case Int:
+				record[j] = strconv.FormatInt(v.(int64), 10)
+			case String:
+				record[j] = v.(string)
+			case Bool:
+				record[j] = strconv.FormatBool(v.(bool))
+			case Time:
+				record[j] = v.(time.Time).Format(timeLayout)
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("relational: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table with the given schema from CSV data written
+// by WriteCSV. The header must match the schema's column names.
+func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadCSV, err)
+	}
+	if len(header) != schema.Len() {
+		return nil, fmt.Errorf("%w: header has %d columns, schema %d", ErrBadCSV, len(header), schema.Len())
+	}
+	for i, name := range header {
+		if schema.cols[i].Name != name {
+			return nil, fmt.Errorf("%w: header column %d is %q, schema says %q", ErrBadCSV, i, name, schema.cols[i].Name)
+		}
+	}
+	t := NewTable(schema)
+	for line := 2; ; line++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadCSV, line, err)
+		}
+		values := make([]Value, len(record))
+		for j, field := range record {
+			v, err := parseCell(schema.cols[j].Type, field)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d column %q: %v", ErrBadCSV, line, schema.cols[j].Name, err)
+			}
+			values[j] = v
+		}
+		if err := t.Append(values...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func parseCell(ct ColType, field string) (Value, error) {
+	switch ct {
+	case Float:
+		return strconv.ParseFloat(field, 64)
+	case Int:
+		return strconv.ParseInt(field, 10, 64)
+	case String:
+		return field, nil
+	case Bool:
+		return strconv.ParseBool(field)
+	case Time:
+		return time.Parse(timeLayout, field)
+	default:
+		return nil, fmt.Errorf("unknown column type %v", ct)
+	}
+}

@@ -1,0 +1,163 @@
+package relational
+
+import (
+	"fmt"
+	"time"
+)
+
+// Project returns a new table holding only the named columns, in the
+// given order.
+func (t *Table) Project(cols ...string) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("relational: projection onto no columns")
+	}
+	defs := make([]Column, 0, len(cols))
+	idx := make([]int, 0, len(cols))
+	for _, name := range cols {
+		i, c, err := t.schema.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		defs = append(defs, c)
+		idx = append(idx, i)
+	}
+	schema, err := NewSchema(defs...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(schema)
+	for r := 0; r < t.rows; r++ {
+		row, _ := t.Row(r)
+		projected := make([]Value, len(idx))
+		for j, i := range idx {
+			projected[j] = row[i]
+		}
+		if err := out.Append(projected...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Join performs an inner hash equi-join of t and other on the named
+// key columns (which must have identical types). The result carries
+// every column of t followed by every column of other except its key;
+// name collisions on non-key columns get a "right_" prefix.
+func (t *Table) Join(other *Table, leftKey, rightKey string) (*Table, error) {
+	li, lc, err := t.schema.Lookup(leftKey)
+	if err != nil {
+		return nil, err
+	}
+	ri, rc, err := other.schema.Lookup(rightKey)
+	if err != nil {
+		return nil, err
+	}
+	if lc.Type != rc.Type {
+		return nil, fmt.Errorf("%w: join keys %q (%s) and %q (%s)", ErrTypeClash, leftKey, lc.Type, rightKey, rc.Type)
+	}
+
+	// Result schema: left columns, then right columns minus the key.
+	defs := t.schema.Columns()
+	taken := map[string]bool{}
+	for _, c := range defs {
+		taken[c.Name] = true
+	}
+	var rightCols []int
+	for j, c := range other.schema.Columns() {
+		if j == ri {
+			continue
+		}
+		name := c.Name
+		if taken[name] {
+			name = "right_" + name
+		}
+		if taken[name] {
+			return nil, fmt.Errorf("%w: join output column %q", ErrDupColumn, name)
+		}
+		taken[name] = true
+		defs = append(defs, Column{Name: name, Type: c.Type})
+		rightCols = append(rightCols, j)
+	}
+	schema, err := NewSchema(defs...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build phase over the smaller conceptual side (other).
+	index := map[string][]int{}
+	for r := 0; r < other.rows; r++ {
+		row, _ := other.Row(r)
+		index[joinKey(row[ri])] = append(index[joinKey(row[ri])], r)
+	}
+
+	out := NewTable(schema)
+	for r := 0; r < t.rows; r++ {
+		leftRow, _ := t.Row(r)
+		for _, rr := range index[joinKey(leftRow[li])] {
+			rightRow, _ := other.Row(rr)
+			joined := append([]Value(nil), leftRow...)
+			for _, j := range rightCols {
+				joined = append(joined, rightRow[j])
+			}
+			if err := out.Append(joined...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// joinKey canonicalizes a cell for hash-join lookup.
+func joinKey(v Value) string {
+	switch x := v.(type) {
+	case time.Time:
+		return "t:" + x.UTC().Format(time.RFC3339Nano)
+	default:
+		return fmt.Sprintf("%T:%v", v, v)
+	}
+}
+
+// GroupByMulti groups rows by the concatenation of several string key
+// columns and aggregates the float value column. Keys in the result
+// are joined with "\x1f" (unit separator).
+func (t *Table) GroupByMulti(keyCols []string, valCol string, fn Agg) (map[string]float64, error) {
+	if len(keyCols) == 0 {
+		return nil, fmt.Errorf("relational: group-by with no keys")
+	}
+	keys := make([][]string, len(keyCols))
+	for i, name := range keyCols {
+		col, err := t.StringCol(name)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = col
+	}
+	var vals []float64
+	if fn != AggCount {
+		var err error
+		if vals, err = t.FloatCol(valCol); err != nil {
+			return nil, err
+		}
+	}
+	composite := make([]string, t.rows)
+	for r := 0; r < t.rows; r++ {
+		key := keys[0][r]
+		for i := 1; i < len(keys); i++ {
+			key += "\x1f" + keys[i][r]
+		}
+		composite[r] = key
+	}
+	// Reuse the single-key aggregation machinery.
+	tmpSchema := MustSchema(Column{"k", String}, Column{"v", Float})
+	tmp := NewTable(tmpSchema)
+	for r := 0; r < t.rows; r++ {
+		v := 0.0
+		if fn != AggCount {
+			v = vals[r]
+		}
+		if err := tmp.Append(composite[r], v); err != nil {
+			return nil, err
+		}
+	}
+	return tmp.GroupBy("k", "v", fn)
+}

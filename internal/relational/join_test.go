@@ -1,0 +1,161 @@
+package relational
+
+import (
+	"errors"
+	"testing"
+)
+
+func vehiclesTable(t *testing.T) *Table {
+	t.Helper()
+	s := MustSchema(Column{"vehicle", String}, Column{"country", String})
+	tab := NewTable(s)
+	tab.Append("v1", "IT")
+	tab.Append("v2", "DE")
+	tab.Append("v3", "IT")
+	return tab
+}
+
+func usageTable(t *testing.T) *Table {
+	t.Helper()
+	s := MustSchema(Column{"vehicle", String}, Column{"hours", Float})
+	tab := NewTable(s)
+	tab.Append("v1", 5.0)
+	tab.Append("v1", 3.0)
+	tab.Append("v2", 8.0)
+	tab.Append("v9", 1.0) // no matching vehicle
+	return tab
+}
+
+func TestProject(t *testing.T) {
+	tab := usageTable(t)
+	out, err := tab.Project("hours")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema().Len() != 1 || out.Rows() != 4 {
+		t.Fatalf("projected = %d cols %d rows", out.Schema().Len(), out.Rows())
+	}
+	hours, _ := out.FloatCol("hours")
+	if hours[2] != 8 {
+		t.Errorf("hours = %v", hours)
+	}
+	// Reordering works.
+	both, err := tab.Project("hours", "vehicle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Schema().Columns()[0].Name != "hours" {
+		t.Error("projection order lost")
+	}
+	if _, err := tab.Project(); err == nil {
+		t.Error("empty projection accepted")
+	}
+	if _, err := tab.Project("nope"); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("unknown column: %v", err)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	usage := usageTable(t)
+	vehicles := vehiclesTable(t)
+	joined, err := usage.Join(vehicles, "vehicle", "vehicle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 matches twice, v2 once, v9 drops: 3 rows.
+	if joined.Rows() != 3 {
+		t.Fatalf("joined rows = %d", joined.Rows())
+	}
+	countries, err := joined.StringCol("country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, c := range countries {
+		counts[c]++
+	}
+	if counts["IT"] != 2 || counts["DE"] != 1 {
+		t.Errorf("countries = %v", counts)
+	}
+}
+
+func TestJoinNameCollision(t *testing.T) {
+	left := NewTable(MustSchema(Column{"k", String}, Column{"x", Float}))
+	left.Append("a", 1.0)
+	right := NewTable(MustSchema(Column{"k", String}, Column{"x", Float}))
+	right.Append("a", 2.0)
+	joined, err := left.Join(right, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := joined.Schema().Lookup("right_x"); err != nil {
+		t.Errorf("collision column missing: %v", err)
+	}
+	rx, _ := joined.FloatCol("right_x")
+	if rx[0] != 2 {
+		t.Errorf("right_x = %v", rx)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	usage := usageTable(t)
+	vehicles := vehiclesTable(t)
+	if _, err := usage.Join(vehicles, "nope", "vehicle"); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("unknown left key: %v", err)
+	}
+	if _, err := usage.Join(vehicles, "vehicle", "nope"); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("unknown right key: %v", err)
+	}
+	if _, err := usage.Join(usage, "vehicle", "hours"); !errors.Is(err, ErrTypeClash) {
+		t.Errorf("mismatched key types: %v", err)
+	}
+}
+
+func TestJoinOnTimeKeys(t *testing.T) {
+	left := NewTable(MustSchema(Column{"ts", Time}, Column{"a", Float}))
+	right := NewTable(MustSchema(Column{"ts", Time}, Column{"b", Float}))
+	left.Append(d(1), 1.0)
+	left.Append(d(2), 2.0)
+	right.Append(d(2), 20.0)
+	joined, err := left.Join(right, "ts", "ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Rows() != 1 {
+		t.Fatalf("rows = %d", joined.Rows())
+	}
+	b, _ := joined.FloatCol("b")
+	if b[0] != 20 {
+		t.Errorf("b = %v", b)
+	}
+}
+
+func TestGroupByMulti(t *testing.T) {
+	s := MustSchema(Column{"type", String}, Column{"country", String}, Column{"hours", Float})
+	tab := NewTable(s)
+	tab.Append("grader", "IT", 6.0)
+	tab.Append("grader", "IT", 8.0)
+	tab.Append("grader", "DE", 4.0)
+	tab.Append("paver", "IT", 2.0)
+
+	mean, err := tab.GroupByMulti([]string{"type", "country"}, "hours", AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean["grader\x1fIT"] != 7 || mean["grader\x1fDE"] != 4 || mean["paver\x1fIT"] != 2 {
+		t.Errorf("mean = %v", mean)
+	}
+	count, err := tab.GroupByMulti([]string{"type"}, "hours", AggCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count["grader"] != 3 {
+		t.Errorf("count = %v", count)
+	}
+	if _, err := tab.GroupByMulti(nil, "hours", AggMean); err == nil {
+		t.Error("no keys accepted")
+	}
+	if _, err := tab.GroupByMulti([]string{"nope"}, "hours", AggMean); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("unknown key: %v", err)
+	}
+}

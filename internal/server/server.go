@@ -1,0 +1,339 @@
+// Package server exposes the prediction pipeline as an HTTP API — the
+// shape a fleet-management backend would deploy: per-vehicle forecast,
+// hold-out evaluation and fleet listing endpoints over an in-memory
+// dataset store. Handlers are stdlib net/http only.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"vup/internal/classify"
+	"vup/internal/core"
+	"vup/internal/etl"
+	"vup/internal/regress"
+)
+
+// Store holds the per-vehicle datasets the API serves. It is safe for
+// concurrent readers once populated.
+type Store struct {
+	mu       sync.RWMutex
+	datasets map[string]*etl.VehicleDataset
+}
+
+// NewStore builds a store from datasets, keyed by vehicle ID.
+func NewStore(datasets []*etl.VehicleDataset) *Store {
+	s := &Store{datasets: make(map[string]*etl.VehicleDataset, len(datasets))}
+	for _, d := range datasets {
+		s.datasets[d.VehicleID] = d
+	}
+	return s
+}
+
+// Get returns the dataset of one vehicle.
+func (s *Store) Get(id string) (*etl.VehicleDataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.datasets[id]
+	return d, ok
+}
+
+// IDs returns every vehicle ID, sorted.
+func (s *Store) IDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.datasets))
+	for id := range s.datasets {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// API is the HTTP handler set.
+type API struct {
+	store *Store
+	// Base is the pipeline configuration requests start from.
+	Base core.Config
+}
+
+// New creates an API over the store with the given base configuration.
+func New(store *Store, base core.Config) *API {
+	return &API{store: store, Base: base}
+}
+
+// Handler returns the routed http.Handler.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", a.handleHealth)
+	mux.HandleFunc("GET /v1/vehicles", a.handleVehicles)
+	mux.HandleFunc("GET /v1/vehicles/{id}", a.handleVehicle)
+	mux.HandleFunc("GET /v1/vehicles/{id}/forecast", a.handleForecast)
+	mux.HandleFunc("GET /v1/vehicles/{id}/evaluation", a.handleEvaluation)
+	mux.HandleFunc("GET /v1/vehicles/{id}/levels", a.handleLevels)
+	return mux
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is written can only be logged;
+	// for these small payloads they do not occur.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "vehicles": len(a.store.IDs())})
+}
+
+// vehicleSummary is the listing payload.
+type vehicleSummary struct {
+	ID      string  `json:"id"`
+	Type    string  `json:"type"`
+	Model   string  `json:"model"`
+	Country string  `json:"country"`
+	Days    int     `json:"days"`
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	Active  float64 `json:"active_fraction"`
+}
+
+func summarize(d *etl.VehicleDataset) vehicleSummary {
+	active := 0
+	for _, h := range d.Hours {
+		if h > 0 {
+			active++
+		}
+	}
+	return vehicleSummary{
+		ID:      d.VehicleID,
+		Type:    d.Type.String(),
+		Model:   d.ModelID,
+		Country: d.Country,
+		Days:    d.Len(),
+		From:    d.Date(0).Format("2006-01-02"),
+		To:      d.Date(d.Len() - 1).Format("2006-01-02"),
+		Active:  float64(active) / float64(d.Len()),
+	}
+}
+
+func (a *API) handleVehicles(w http.ResponseWriter, _ *http.Request) {
+	ids := a.store.IDs()
+	out := make([]vehicleSummary, 0, len(ids))
+	for _, id := range ids {
+		if d, ok := a.store.Get(id); ok {
+			out = append(out, summarize(d))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) vehicle(w http.ResponseWriter, r *http.Request) (*etl.VehicleDataset, bool) {
+	id := r.PathValue("id")
+	d, ok := a.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown vehicle %q", id)
+		return nil, false
+	}
+	return d, true
+}
+
+func (a *API) handleVehicle(w http.ResponseWriter, r *http.Request) {
+	d, ok := a.vehicle(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, summarize(d))
+}
+
+// configFromQuery applies request overrides to the base configuration.
+func (a *API) configFromQuery(r *http.Request) (core.Config, error) {
+	cfg := a.Base
+	q := r.URL.Query()
+	if v := q.Get("alg"); v != "" {
+		if _, err := regress.New(regress.Algorithm(v)); err != nil {
+			return cfg, fmt.Errorf("unknown algorithm %q", v)
+		}
+		cfg.Algorithm = regress.Algorithm(v)
+	}
+	switch q.Get("scenario") {
+	case "":
+	case "next-day":
+		cfg.Scenario = core.NextDay
+	case "next-working-day":
+		cfg.Scenario = core.NextWorkingDay
+	default:
+		return cfg, fmt.Errorf("unknown scenario %q", q.Get("scenario"))
+	}
+	for name, dst := range map[string]*int{"w": &cfg.W, "k": &cfg.K, "stride": &cfg.Stride} {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return cfg, fmt.Errorf("parameter %s: %v", name, err)
+			}
+			*dst = n
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// forecastResponse is the forecast payload. Lo/Hi/Level are present
+// only when an interval was requested.
+type forecastResponse struct {
+	Vehicle   string   `json:"vehicle"`
+	Scenario  string   `json:"scenario"`
+	Algorithm string   `json:"algorithm"`
+	Hours     float64  `json:"hours"`
+	Lags      []int    `json:"lags"`
+	Lo        *float64 `json:"lo,omitempty"`
+	Hi        *float64 `json:"hi,omitempty"`
+	Level     *float64 `json:"level,omitempty"`
+	TookMS    float64  `json:"took_ms"`
+}
+
+func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
+	d, ok := a.vehicle(w, r)
+	if !ok {
+		return
+	}
+	cfg, err := a.configFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	resp := forecastResponse{
+		Vehicle:   d.VehicleID,
+		Scenario:  cfg.Scenario.String(),
+		Algorithm: string(cfg.Algorithm),
+	}
+	if levelStr := r.URL.Query().Get("interval"); levelStr != "" {
+		level, err := strconv.ParseFloat(levelStr, 64)
+		if err != nil || level <= 0 || level >= 1 {
+			writeError(w, http.StatusBadRequest, "interval must be in (0, 1), got %q", levelStr)
+			return
+		}
+		iv, err := core.ForecastInterval(d, cfg, level)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "forecast failed: %v", err)
+			return
+		}
+		resp.Hours = iv.Hours
+		resp.Lags = iv.Lags
+		resp.Lo, resp.Hi, resp.Level = &iv.Lo, &iv.Hi, &iv.Level
+	} else {
+		hours, lags, err := core.Forecast(d, cfg)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "forecast failed: %v", err)
+			return
+		}
+		resp.Hours = hours
+		resp.Lags = lags
+	}
+	resp.TookMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// evaluationResponse is the hold-out evaluation payload.
+type evaluationResponse struct {
+	Vehicle     string  `json:"vehicle"`
+	Scenario    string  `json:"scenario"`
+	Algorithm   string  `json:"algorithm"`
+	PE          float64 `json:"pe_percent"`
+	MAE         float64 `json:"mae_hours"`
+	Predictions int     `json:"predictions"`
+	Skipped     int     `json:"skipped_windows"`
+}
+
+// levelsResponse is the usage-level classification payload.
+type levelsResponse struct {
+	Vehicle    string   `json:"vehicle"`
+	Scenario   string   `json:"scenario"`
+	Classifier string   `json:"classifier"`
+	Accuracy   float64  `json:"accuracy"`
+	MacroF1    float64  `json:"macro_f1"`
+	Confusion  [][]int  `json:"confusion"`
+	Levels     []string `json:"levels"`
+}
+
+func (a *API) handleLevels(w http.ResponseWriter, r *http.Request) {
+	d, ok := a.vehicle(w, r)
+	if !ok {
+		return
+	}
+	cfg, err := a.configFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	name := r.URL.Query().Get("classifier")
+	if name == "" {
+		name = "Tree"
+	}
+	res, err := classify.EvaluateVehicle(d, cfg, name)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, classify.ErrBadParam) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, "classification failed: %v", err)
+		return
+	}
+	levels := make([]string, int(classify.NumLevels))
+	for l := classify.Idle; l < classify.NumLevels; l++ {
+		levels[int(l)] = l.String()
+	}
+	writeJSON(w, http.StatusOK, levelsResponse{
+		Vehicle:    d.VehicleID,
+		Scenario:   cfg.Scenario.String(),
+		Classifier: name,
+		Accuracy:   res.Accuracy,
+		MacroF1:    res.MacroF1,
+		Confusion:  res.Confusion.Counts,
+		Levels:     levels,
+	})
+}
+
+func (a *API) handleEvaluation(w http.ResponseWriter, r *http.Request) {
+	d, ok := a.vehicle(w, r)
+	if !ok {
+		return
+	}
+	cfg, err := a.configFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := core.EvaluateVehicle(d, cfg)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "evaluation failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, evaluationResponse{
+		Vehicle:     d.VehicleID,
+		Scenario:    cfg.Scenario.String(),
+		Algorithm:   string(cfg.Algorithm),
+		PE:          res.PE,
+		MAE:         res.MAE,
+		Predictions: len(res.Predictions),
+		Skipped:     res.SkippedWindows,
+	})
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ACF computes the sample autocorrelation function of xs for lags
+// 0..maxLag using the standard biased estimator
+//
+//	r(l) = sum_{t=l}^{n-1} (x_t - mean)(x_{t-l} - mean) / sum_t (x_t - mean)^2
+//
+// which is the estimator the paper's feature-selection step relies on
+// (Section 3, Figure 2). The returned slice has maxLag+1 entries with
+// r(0) == 1. Lags with no overlap (l >= n) are 0. A constant series has
+// an undefined ACF; all lags beyond 0 are returned as 0 so downstream
+// lag ranking degrades gracefully.
+func ACF(xs []float64, maxLag int) []float64 {
+	if maxLag < 0 {
+		panic("stats: negative maxLag")
+	}
+	out := make([]float64, maxLag+1)
+	n := len(xs)
+	if n == 0 {
+		return out
+	}
+	out[0] = 1
+	m := Mean(xs)
+	var denom float64
+	for _, x := range xs {
+		d := x - m
+		denom += d * d
+	}
+	if denom == 0 {
+		return out
+	}
+	for l := 1; l <= maxLag && l < n; l++ {
+		var num float64
+		for t := l; t < n; t++ {
+			num += (xs[t] - m) * (xs[t-l] - m)
+		}
+		out[l] = num / denom
+	}
+	return out
+}
+
+// ACFConfidence returns the approximate 95% white-noise confidence
+// band half-width for a series of length n: 1.96/sqrt(n). Lags whose
+// |r(l)| exceed this are significantly autocorrelated.
+func ACFConfidence(n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return 1.96 / math.Sqrt(float64(n))
+}
+
+// TopLags returns the k lags in [1, maxLag] with the largest
+// autocorrelation values of xs, in ascending lag order. This is the
+// paper's statistics-based feature selection: "pick the K lags with
+// maximal autocorrelation value". Fewer than k lags are returned when
+// maxLag < k. Ties are broken toward the smaller lag so the selection
+// is deterministic.
+func TopLags(xs []float64, maxLag, k int) []int {
+	if k <= 0 || maxLag <= 0 {
+		return nil
+	}
+	acf := ACF(xs, maxLag)
+	lags := make([]int, 0, maxLag)
+	for l := 1; l <= maxLag; l++ {
+		lags = append(lags, l)
+	}
+	sort.SliceStable(lags, func(a, b int) bool {
+		return acf[lags[a]] > acf[lags[b]]
+	})
+	if k > len(lags) {
+		k = len(lags)
+	}
+	sel := append([]int(nil), lags[:k]...)
+	sort.Ints(sel)
+	return sel
+}

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestACFLagZeroIsOne(t *testing.T) {
+	acf := ACF([]float64{1, 3, 2, 5, 4}, 3)
+	if acf[0] != 1 {
+		t.Errorf("ACF[0] = %v", acf[0])
+	}
+	if len(acf) != 4 {
+		t.Errorf("len = %d", len(acf))
+	}
+}
+
+func TestACFPeriodicSignal(t *testing.T) {
+	// A clean 7-day periodic signal: ACF must peak at lags 7 and 14
+	// relative to neighbouring lags, mirroring Figure 2 of the paper.
+	n := 7 * 40
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 7)
+	}
+	acf := ACF(xs, 20)
+	if acf[7] < 0.9 || acf[14] < 0.8 {
+		t.Errorf("periodic peaks weak: r(7)=%v r(14)=%v", acf[7], acf[14])
+	}
+	if acf[7] <= acf[3] || acf[7] <= acf[4] {
+		t.Errorf("lag 7 not a peak: r(7)=%v r(3)=%v r(4)=%v", acf[7], acf[3], acf[4])
+	}
+}
+
+func TestACFWhiteNoiseSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 5000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	acf := ACF(xs, 10)
+	band := ACFConfidence(n)
+	for l := 1; l <= 10; l++ {
+		if math.Abs(acf[l]) > 2*band {
+			t.Errorf("white noise ACF(%d) = %v outside twice the band %v", l, acf[l], band)
+		}
+	}
+}
+
+func TestACFConstantSeries(t *testing.T) {
+	acf := ACF([]float64{5, 5, 5, 5, 5}, 3)
+	if acf[0] != 1 || acf[1] != 0 || acf[2] != 0 {
+		t.Errorf("constant series ACF = %v", acf)
+	}
+}
+
+func TestACFShortSeries(t *testing.T) {
+	acf := ACF([]float64{1, 2}, 5)
+	if len(acf) != 6 {
+		t.Fatalf("len = %d", len(acf))
+	}
+	for l := 2; l <= 5; l++ {
+		if acf[l] != 0 {
+			t.Errorf("no-overlap lag %d = %v, want 0", l, acf[l])
+		}
+	}
+}
+
+func TestACFEmpty(t *testing.T) {
+	acf := ACF(nil, 3)
+	for i, v := range acf {
+		if v != 0 {
+			t.Errorf("empty series ACF[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestACFNegativeMaxLagPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ACF([]float64{1, 2}, -1)
+}
+
+func TestACFBoundedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(200)
+		xs := make([]float64, n)
+		trendy := rng.Intn(2) == 0
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			if trendy {
+				xs[i] += float64(i) * 0.1
+			}
+		}
+		for _, v := range ACF(xs, 25) {
+			// The biased estimator is bounded by 1 in magnitude.
+			if math.Abs(v) > 1+1e-9 {
+				t.Fatalf("|ACF| > 1: %v", v)
+			}
+		}
+	}
+}
+
+func TestTopLagsWeeklySignal(t *testing.T) {
+	n := 7 * 30
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 5*math.Sin(2*math.Pi*float64(i)/7) + 0.2*rng.NormFloat64()
+	}
+	sel := TopLags(xs, 21, 3)
+	if len(sel) != 3 {
+		t.Fatalf("selected %v", sel)
+	}
+	has := func(l int) bool {
+		for _, s := range sel {
+			if s == l {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(7) || !has(14) || !has(21) {
+		t.Errorf("weekly lags not selected: %v", sel)
+	}
+}
+
+func TestTopLagsAscendingAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	sel := TopLags(xs, 15, 40) // k > maxLag: returns all lags
+	if len(sel) != 15 {
+		t.Fatalf("len = %d", len(sel))
+	}
+	for i := 1; i < len(sel); i++ {
+		if sel[i] <= sel[i-1] {
+			t.Fatalf("not ascending: %v", sel)
+		}
+	}
+	if sel[0] < 1 || sel[len(sel)-1] > 15 {
+		t.Fatalf("out of range: %v", sel)
+	}
+}
+
+func TestTopLagsDegenerate(t *testing.T) {
+	if got := TopLags([]float64{1, 2, 3}, 5, 0); got != nil {
+		t.Errorf("k=0 -> %v", got)
+	}
+	if got := TopLags([]float64{1, 2, 3}, 0, 3); got != nil {
+		t.Errorf("maxLag=0 -> %v", got)
+	}
+	// Constant series: any k lags are fine; just must not crash and be
+	// deterministic (ties toward smaller lags).
+	got := TopLags([]float64{2, 2, 2, 2, 2, 2}, 4, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("tie-break selection = %v, want [1 2]", got)
+	}
+}
+
+func TestACFConfidence(t *testing.T) {
+	if got := ACFConfidence(100); !almost(got, 0.196, 1e-9) {
+		t.Errorf("band = %v", got)
+	}
+	if !math.IsInf(ACFConfidence(0), 1) {
+		t.Error("band for n=0 should be +Inf")
+	}
+}

@@ -1,0 +1,53 @@
+package stats
+
+import "sort"
+
+// BoxStats holds the five-number summary plus outliers as drawn in the
+// box plots of Figures 1(b) and 1(c): first/second/third quartiles,
+// whiskers at the most extreme observations within 1.5·IQR of the box,
+// and every observation beyond the fences flagged as an outlier.
+type BoxStats struct {
+	N                int
+	Min, Max         float64 // full range, including outliers
+	Q1, Median, Q3   float64
+	WhiskLo, WhiskHi float64 // whisker positions
+	Outliers         []float64
+	LoFence, HiFence float64
+}
+
+// Box computes BoxStats for xs using the Tukey convention with
+// 1.5·IQR fences (the "+ markers" of the paper). It returns ErrEmpty
+// for an empty sample.
+func Box(xs []float64) (BoxStats, error) {
+	if len(xs) == 0 {
+		return BoxStats{}, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	b := BoxStats{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Q1:     quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		Q3:     quantileSorted(sorted, 0.75),
+	}
+	iqr := b.Q3 - b.Q1
+	b.LoFence = b.Q1 - 1.5*iqr
+	b.HiFence = b.Q3 + 1.5*iqr
+	b.WhiskLo, b.WhiskHi = b.Q1, b.Q3
+	firstInside := true
+	for _, v := range sorted {
+		switch {
+		case v < b.LoFence || v > b.HiFence:
+			b.Outliers = append(b.Outliers, v)
+		default:
+			if firstInside {
+				b.WhiskLo = v
+				firstInside = false
+			}
+			b.WhiskHi = v
+		}
+	}
+	return b, nil
+}

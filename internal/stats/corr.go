@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Covariance returns the unbiased sample covariance of xs and ys. It
+// returns NaN when the slices differ in length or hold fewer than two
+// observations.
+func Covariance(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	s := 0.0
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(n-1)
+}
+
+// Pearson returns the Pearson linear correlation coefficient of xs and
+// ys, NaN when undefined (mismatched length, fewer than two points, or
+// zero variance in either sample).
+func Pearson(xs, ys []float64) float64 {
+	cov := Covariance(xs, ys)
+	sx, sy := Std(xs), Std(ys)
+	if sx == 0 || sy == 0 {
+		return math.NaN()
+	}
+	return cov / (sx * sy)
+}
+
+// Spearman returns the Spearman rank correlation of xs and ys,
+// computed as the Pearson correlation of the (mid-)ranks.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks returns mid-ranks (ties share the average rank), 1-based.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	rk := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			rk[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	return rk
+}

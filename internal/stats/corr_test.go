@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCovariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Covariance(xs, ys); !almost(got, 10.0/3.0, 1e-12) {
+		t.Errorf("Covariance = %v", got)
+	}
+	if !math.IsNaN(Covariance(xs, ys[:3])) {
+		t.Error("mismatched length should be NaN")
+	}
+	if !math.IsNaN(Covariance([]float64{1}, []float64{2})) {
+		t.Error("single obs should be NaN")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{10, 20, 30, 40, 50}
+	if got := Pearson(xs, ys); !almost(got, 1, 1e-12) {
+		t.Errorf("Pearson = %v", got)
+	}
+	neg := []float64{50, 40, 30, 20, 10}
+	if got := Pearson(xs, neg); !almost(got, -1, 1e-12) {
+		t.Errorf("Pearson = %v", got)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	if !math.IsNaN(Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})) {
+		t.Error("zero variance should be NaN")
+	}
+}
+
+func TestPearsonIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	xs, ys := make([]float64, n), make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	if got := Pearson(xs, ys); math.Abs(got) > 0.03 {
+		t.Errorf("independent Pearson = %v", got)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125} // nonlinear but monotone
+	if got := Spearman(xs, ys); !almost(got, 1, 1e-12) {
+		t.Errorf("Spearman = %v", got)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 3}
+	if got := Spearman(xs, ys); !almost(got, 1, 1e-12) {
+		t.Errorf("Spearman with ties = %v", got)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 40})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: |Pearson| <= 1 and symmetric.
+func TestPearsonBoundedSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(100)
+		xs, ys := make([]float64, n), make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 3
+			ys[i] = 0.5*xs[i] + rng.NormFloat64()
+		}
+		r := Pearson(xs, ys)
+		if math.IsNaN(r) {
+			continue
+		}
+		if math.Abs(r) > 1+1e-9 {
+			t.Fatalf("|r| > 1: %v", r)
+		}
+		if !almost(r, Pearson(ys, xs), 1e-12) {
+			t.Fatalf("Pearson not symmetric")
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{-1, 0.5, 2.5, 4.5, 6.5, 8.5, 11, math.NaN()})
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	want := []int{2, 1, 1, 1, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("Counts = %v, want %v", h.Counts, want)
+			break
+		}
+	}
+	dens := h.Density()
+	if !almost(Sum(dens), 1, 1e-12) {
+		t.Errorf("density sums to %v", Sum(dens))
+	}
+	if got := h.BinCenter(0); !almost(got, 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(2, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramEmptyDensity(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	for _, d := range h.Density() {
+		if d != 0 {
+			t.Errorf("empty density = %v", h.Density())
+		}
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*7 + 3
+		w.Add(xs[i])
+	}
+	if !almost(w.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("mean %v vs %v", w.Mean(), Mean(xs))
+	}
+	if !almost(w.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("variance %v vs %v", w.Variance(), Variance(xs))
+	}
+	if w.Min() != Min(xs) || w.Max() != Max(xs) {
+		t.Errorf("min/max mismatch")
+	}
+	if w.N() != 1000 {
+		t.Errorf("N = %d", w.N())
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	xs := make([]float64, 500)
+	var all, a, b Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		all.Add(xs[i])
+		if i%2 == 0 {
+			a.Add(xs[i])
+		} else {
+			b.Add(xs[i])
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() || !almost(a.Mean(), all.Mean(), 1e-9) || !almost(a.Variance(), all.Variance(), 1e-9) {
+		t.Errorf("merge mismatch: %v/%v vs %v/%v", a.Mean(), a.Variance(), all.Mean(), all.Variance())
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Errorf("merge empty changed state: %+v", a)
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Errorf("merge into empty: %+v", b)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Variance()) || !math.IsNaN(w.Min()) || !math.IsNaN(w.Max()) {
+		t.Error("empty accumulator should report NaN")
+	}
+}

@@ -1,0 +1,279 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestSumMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Sum(xs); got != 10 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almost(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := Std(xs); !almost(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("Std = %v", got)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single obs should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("Min/Max of empty should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{42}, 0.7); got != 42 {
+		t.Errorf("Quantile single = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p > 1")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Min != 1 || s.Max != 8 || s.Median != 4.5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+// Property: quantiles are monotone in p and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0001; p += 0.1 {
+			pp := math.Min(p, 1)
+			q := Quantile(xs, pp)
+			if q < prev-1e-9 || q < Min(xs)-1e-9 || q > Max(xs)+1e-9 {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	if e.N() != 4 {
+		t.Errorf("N = %d", e.N())
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.Eval(c.x); !almost(got, c.want, 1e-12) {
+			t.Errorf("Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if NewECDF(nil) != nil {
+		t.Error("NewECDF(nil) should be nil")
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40})
+	if got := e.Quantile(0.5); got != 20 {
+		t.Errorf("Quantile(0.5) = %v", got)
+	}
+	if got := e.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %v", got)
+	}
+	if got := e.Quantile(1); got != 40 {
+		t.Errorf("Quantile(1) = %v", got)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{2, 1, 2, 3})
+	xs, fs := e.Points()
+	wantX := []float64{1, 2, 3}
+	wantF := []float64{0.25, 0.75, 1}
+	if len(xs) != 3 {
+		t.Fatalf("points = %v %v", xs, fs)
+	}
+	for i := range xs {
+		if xs[i] != wantX[i] || !almost(fs[i], wantF[i], 1e-12) {
+			t.Errorf("point %d = (%v,%v)", i, xs[i], fs[i])
+		}
+	}
+}
+
+// Property: ECDF.Eval is a valid CDF (monotone, 0..1) and consistent
+// with direct counting.
+func TestECDFProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		e := NewECDF(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		prev := 0.0
+		for _, probe := range []float64{sorted[0] - 1, sorted[0], sorted[n/2], sorted[n-1], sorted[n-1] + 1} {
+			f := e.Eval(probe)
+			if f < prev-1e-12 || f < 0 || f > 1 {
+				t.Fatalf("invalid CDF value %v at %v", f, probe)
+			}
+			count := 0
+			for _, x := range xs {
+				if x <= probe {
+					count++
+				}
+			}
+			if !almost(f, float64(count)/float64(n), 1e-12) {
+				t.Fatalf("Eval mismatch: %v vs %v", f, float64(count)/float64(n))
+			}
+			prev = f
+		}
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	// 1..11 plus an extreme outlier.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 100}
+	b, err := Box(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 12 || b.Min != 1 || b.Max != 100 {
+		t.Errorf("Box = %+v", b)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("Outliers = %v", b.Outliers)
+	}
+	if b.WhiskHi != 11 {
+		t.Errorf("WhiskHi = %v, want 11", b.WhiskHi)
+	}
+	if b.WhiskLo != 1 {
+		t.Errorf("WhiskLo = %v, want 1", b.WhiskLo)
+	}
+	if _, err := Box(nil); err != ErrEmpty {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestBoxNoOutliers(t *testing.T) {
+	b, err := Box([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Outliers) != 0 {
+		t.Errorf("constant sample has outliers: %v", b.Outliers)
+	}
+	if b.Q1 != 5 || b.Median != 5 || b.Q3 != 5 {
+		t.Errorf("quartiles = %v %v %v", b.Q1, b.Median, b.Q3)
+	}
+}
+
+// Property: whiskers lie inside fences, quartiles are ordered, and
+// outlier count + in-fence count equals N.
+func TestBoxProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(300)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*5 + float64(rng.Intn(3))*20
+		}
+		b, err := Box(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(b.Q1 <= b.Median && b.Median <= b.Q3) {
+			t.Fatalf("quartiles unordered: %+v", b)
+		}
+		if b.WhiskLo < b.LoFence-1e-9 || b.WhiskHi > b.HiFence+1e-9 {
+			t.Fatalf("whiskers outside fences: %+v", b)
+		}
+		inside := 0
+		for _, x := range xs {
+			if x >= b.LoFence && x <= b.HiFence {
+				inside++
+			}
+		}
+		if inside+len(b.Outliers) != n {
+			t.Fatalf("outlier partition broken: inside=%d outliers=%d n=%d", inside, len(b.Outliers), n)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package stats
+
+import "sort"
+
+// ECDF is an empirical cumulative distribution function built from a
+// sample, as plotted in Figure 1(a) of the paper: F(x) is the fraction
+// of observations less than or equal to x.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs. The input is copied; it returns nil
+// for an empty sample.
+func NewECDF(xs []float64) *ECDF {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}
+}
+
+// N returns the number of observations behind the ECDF.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Eval returns F(x), the fraction of observations <= x.
+func (e *ECDF) Eval(x float64) float64 {
+	// First index with value > x.
+	idx := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest observed value v with F(v) >= p, for
+// p in (0, 1]. Quantile(0) returns the sample minimum.
+func (e *ECDF) Quantile(p float64) float64 {
+	if p < 0 || p > 1 {
+		panic("stats: ECDF quantile probability outside [0,1]")
+	}
+	n := len(e.sorted)
+	idx := int(p*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return e.sorted[idx]
+}
+
+// Points returns the step-function support points (x_i, F(x_i)) of the
+// ECDF, deduplicated on x, suitable for plotting.
+func (e *ECDF) Points() (xs, fs []float64) {
+	n := len(e.sorted)
+	for i := 0; i < n; i++ {
+		// Skip to the last occurrence of a tied value so F jumps once.
+		if i+1 < n && e.sorted[i+1] == e.sorted[i] {
+			continue
+		}
+		xs = append(xs, e.sorted[i])
+		fs = append(fs, float64(i+1)/float64(n))
+	}
+	return xs, fs
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrShortSeries is returned when a test needs a longer series.
+var ErrShortSeries = errors.New("stats: series too short")
+
+// LjungBox computes the Ljung-Box portmanteau statistic over lags
+// 1..h,
+//
+//	Q = n(n+2) Σ_{k=1..h} r_k²/(n−k)
+//
+// and its p-value under the χ²(h) null of no autocorrelation. A small
+// p-value means the series is significantly autocorrelated — the
+// statistical justification for the paper's ACF-based feature
+// selection.
+func LjungBox(xs []float64, h int) (q, pValue float64, err error) {
+	n := len(xs)
+	if h <= 0 {
+		return 0, 0, errors.New("stats: Ljung-Box with non-positive lag count")
+	}
+	if n <= h+1 {
+		return 0, 0, ErrShortSeries
+	}
+	acf := ACF(xs, h)
+	for k := 1; k <= h; k++ {
+		q += acf[k] * acf[k] / float64(n-k)
+	}
+	q *= float64(n) * float64(n+2)
+	return q, ChiSquareSurvival(q, float64(h)), nil
+}
+
+// ChiSquareSurvival returns P(X > x) for X ~ χ²(k).
+func ChiSquareSurvival(x, k float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return 1 - GammaP(k/2, x/2)
+}
+
+// GammaP is the regularized lower incomplete gamma function P(a, x),
+// computed by series expansion for x < a+1 and by continued fraction
+// otherwise (Numerical Recipes 6.2).
+func GammaP(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x <= 0:
+		return 0
+	case x < a+1:
+		return gammaPSeries(a, x)
+	default:
+		return 1 - gammaQContinued(a, x)
+	}
+}
+
+const (
+	gammaEps     = 3e-14
+	gammaMaxIter = 500
+)
+
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaQContinued(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// SignificantLags returns the lags in [1, maxLag] whose sample
+// autocorrelation exceeds the 95% white-noise band, sorted by
+// descending |r| and truncated to at most k entries (ascending lag
+// order in the result). When no lag is significant it falls back to
+// the plain top-k ranking so downstream feature construction always
+// has lags to work with.
+func SignificantLags(xs []float64, maxLag, k int) []int {
+	if k <= 0 || maxLag <= 0 {
+		return nil
+	}
+	band := ACFConfidence(len(xs))
+	acf := ACF(xs, maxLag)
+	type lagR struct {
+		lag int
+		r   float64
+	}
+	var sig []lagR
+	for l := 1; l <= maxLag && l < len(acf); l++ {
+		if math.Abs(acf[l]) > band {
+			sig = append(sig, lagR{l, math.Abs(acf[l])})
+		}
+	}
+	if len(sig) == 0 {
+		return TopLags(xs, maxLag, k)
+	}
+	// Sort by descending |r|, stable toward smaller lags.
+	for i := 1; i < len(sig); i++ {
+		for j := i; j > 0 && (sig[j].r > sig[j-1].r || (sig[j].r == sig[j-1].r && sig[j].lag < sig[j-1].lag)); j-- {
+			sig[j], sig[j-1] = sig[j-1], sig[j]
+		}
+	}
+	if len(sig) > k {
+		sig = sig[:k]
+	}
+	out := make([]int, 0, len(sig))
+	for _, s := range sig {
+		out = append(out, s.lag)
+	}
+	// Ascending lag order for the caller.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

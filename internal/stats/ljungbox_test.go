@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x}.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-x)
+		if got := GammaP(1, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("GammaP(1, %v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 4} {
+		want := math.Erf(math.Sqrt(x))
+		if got := GammaP(0.5, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("GammaP(0.5, %v) = %v, want %v", x, got, want)
+		}
+	}
+	if got := GammaP(2, 0); got != 0 {
+		t.Errorf("GammaP(2, 0) = %v", got)
+	}
+	if !math.IsNaN(GammaP(-1, 1)) {
+		t.Error("negative a should be NaN")
+	}
+}
+
+func TestGammaPMonotone(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 30; x += 0.25 {
+		v := GammaP(3.5, x)
+		if v < prev-1e-12 || v < 0 || v > 1 {
+			t.Fatalf("GammaP not a CDF at x=%v: %v", x, v)
+		}
+		prev = v
+	}
+}
+
+func TestChiSquareSurvival(t *testing.T) {
+	// χ²(2) survival is exp(-x/2).
+	for _, x := range []float64{0.5, 2, 6} {
+		want := math.Exp(-x / 2)
+		if got := ChiSquareSurvival(x, 2); math.Abs(got-want) > 1e-10 {
+			t.Errorf("ChiSquareSurvival(%v, 2) = %v, want %v", x, got, want)
+		}
+	}
+	// Known critical value: P(X > 3.841) = 0.05 for χ²(1).
+	if got := ChiSquareSurvival(3.8415, 1); math.Abs(got-0.05) > 1e-3 {
+		t.Errorf("chi2(1) 5%% critical value: %v", got)
+	}
+	if ChiSquareSurvival(-1, 2) != 1 {
+		t.Error("negative x should survive with probability 1")
+	}
+}
+
+func TestLjungBoxWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	rejections := 0
+	trials := 200
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 300)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		_, p, err := LjungBox(xs, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0.05 {
+			rejections++
+		}
+	}
+	// Nominal 5% size: allow generous slack.
+	if rejections > trials/5 {
+		t.Errorf("white noise rejected %d/%d times", rejections, trials)
+	}
+}
+
+func TestLjungBoxPeriodicSignal(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 7)
+	}
+	q, p, err := LjungBox(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("periodic signal p = %v, want ~0", p)
+	}
+	if q <= 0 {
+		t.Errorf("q = %v", q)
+	}
+}
+
+func TestLjungBoxErrors(t *testing.T) {
+	if _, _, err := LjungBox([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("h=0 accepted")
+	}
+	if _, _, err := LjungBox([]float64{1, 2, 3}, 5); err != ErrShortSeries {
+		t.Error("short series accepted")
+	}
+}
+
+func TestSignificantLagsWeekly(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	xs := make([]float64, 280)
+	for i := range xs {
+		xs[i] = 4*math.Sin(2*math.Pi*float64(i)/7) + 0.3*rng.NormFloat64()
+	}
+	lags := SignificantLags(xs, 21, 4)
+	if len(lags) == 0 || len(lags) > 4 {
+		t.Fatalf("lags = %v", lags)
+	}
+	has7or14 := false
+	for i, l := range lags {
+		if l == 7 || l == 14 || l == 21 {
+			has7or14 = true
+		}
+		if i > 0 && lags[i] <= lags[i-1] {
+			t.Fatalf("not ascending: %v", lags)
+		}
+	}
+	if !has7or14 {
+		t.Errorf("weekly lags not selected: %v", lags)
+	}
+}
+
+func TestSignificantLagsWhiteNoiseFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	lags := SignificantLags(xs, 15, 5)
+	// White noise rarely has significant lags; the fallback must still
+	// return k lags either way.
+	if len(lags) == 0 || len(lags) > 5 {
+		t.Errorf("lags = %v", lags)
+	}
+}
+
+func TestSignificantLagsDegenerate(t *testing.T) {
+	if got := SignificantLags([]float64{1, 2}, 0, 3); got != nil {
+		t.Errorf("maxLag 0 -> %v", got)
+	}
+	if got := SignificantLags([]float64{1, 2}, 3, 0); got != nil {
+		t.Errorf("k 0 -> %v", got)
+	}
+}

@@ -1,0 +1,173 @@
+// Package telematics simulates the on-board tracking unit and its
+// uplink to the central server: a day of machine operation is turned
+// into working sessions, each session into CAN frames sampled from the
+// message catalog, aggregated on the device into 10-minute reports and
+// uploaded over a lossy link (vehicles "operate in remote regions
+// where the sudden absence of connectivity may affect data
+// collection"). The output records have exactly the shape the ETL
+// pipeline cleans and aggregates.
+package telematics
+
+import (
+	"fmt"
+	"time"
+
+	"vup/internal/canbus"
+	"vup/internal/fleet"
+	"vup/internal/randx"
+)
+
+// Device simulates one vehicle's on-board unit.
+type Device struct {
+	vehicle fleet.Vehicle
+	catalog map[uint32]canbus.MessageDef
+	src     uint8
+	rng     *randx.RNG
+}
+
+// NewDevice creates a device for v with its own random stream.
+func NewDevice(v fleet.Vehicle, rng *randx.RNG) *Device {
+	return &Device{
+		vehicle: v,
+		catalog: canbus.Catalog(),
+		src:     uint8(1 + rng.Intn(250)),
+		rng:     rng,
+	}
+}
+
+// Session is a continuous engine-on interval.
+type Session struct {
+	Start time.Time
+	End   time.Time
+}
+
+// PlanSessions splits hours of daily utilization into 1-3 working
+// sessions inside the working window of the day (starting around
+// 6:00-9:00). The total session length equals hours.
+func (d *Device) PlanSessions(day time.Time, hours float64) []Session {
+	if hours <= 0 {
+		return nil
+	}
+	if hours > 24 {
+		hours = 24
+	}
+	day = time.Date(day.Year(), day.Month(), day.Day(), 0, 0, 0, 0, time.UTC)
+	n := 1
+	if hours > 2 {
+		n += d.rng.Intn(2)
+	}
+	if hours > 6 {
+		n = 2 + d.rng.Intn(2)
+	}
+	// Split total hours across n sessions with random proportions.
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 0.5 + d.rng.Float64()
+		total += weights[i]
+	}
+	var sessions []Session
+	cursor := day.Add(time.Duration(float64(time.Hour) * d.rng.Uniform(6, 9)))
+	remaining := 24.0
+	for i := 0; i < n; i++ {
+		dur := hours * weights[i] / total
+		end := cursor.Add(time.Duration(float64(time.Hour) * dur))
+		sessions = append(sessions, Session{Start: cursor, End: end})
+		// Idle gap before the next session, bounded by the day's end.
+		gap := d.rng.Uniform(0.2, 1.5)
+		cursor = end.Add(time.Duration(float64(time.Hour) * gap))
+		remaining = 24 - cursor.Sub(day).Hours()
+		if remaining <= 0.5 {
+			break
+		}
+	}
+	// Clamp the final session to midnight.
+	last := &sessions[len(sessions)-1]
+	midnight := day.AddDate(0, 0, 1)
+	if last.End.After(midnight) {
+		last.End = midnight
+	}
+	return sessions
+}
+
+// FrameBurst is the set of frames emitted at one sample instant.
+type FrameBurst struct {
+	At     time.Time
+	Frames []canbus.Frame
+}
+
+// SampleSession emits frame bursts for one session at the given sample
+// period. Channel values follow the same duty-correlated model the
+// fast generation path uses, so both paths expose the same statistics.
+func (d *Device) SampleSession(s Session, period time.Duration, dayHours float64) ([]FrameBurst, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("telematics: non-positive sample period %v", period)
+	}
+	var bursts []FrameBurst
+	for ts := s.Start; ts.Before(s.End); ts = ts.Add(period) {
+		values := fleet.DailyChannels(d.vehicle.Model.Type, dayHours, d.rng)
+		values[canbus.ChanEngineOn] = 1
+		burst := FrameBurst{At: ts}
+		for _, m := range d.catalog {
+			msgValues := map[string]float64{}
+			for _, sig := range m.Signals {
+				if v, ok := values[sig.Name]; ok {
+					msgValues[sig.Name] = v
+				}
+			}
+			if len(msgValues) == 0 {
+				continue
+			}
+			f, err := m.Encode(msgValues, d.src)
+			if err != nil {
+				return nil, fmt.Errorf("telematics: encoding %s: %w", m.Name, err)
+			}
+			burst.Frames = append(burst.Frames, f)
+		}
+		bursts = append(bursts, burst)
+	}
+	return bursts, nil
+}
+
+// SimulateDay runs the full on-board path for one day: plan sessions,
+// sample frames, decode them back (as the controller does) and
+// aggregate into 10-minute reports.
+func (d *Device) SimulateDay(day time.Time, hours float64, period time.Duration) ([]canbus.Report, error) {
+	agg := canbus.NewAggregator(d.vehicle.ID)
+	for _, s := range d.PlanSessions(day, hours) {
+		bursts, err := d.SampleSession(s, period, hours)
+		if err != nil {
+			return nil, err
+		}
+		if err := agg.AddStatus(s.Start, 1); err != nil {
+			return nil, err
+		}
+		for _, b := range bursts {
+			for _, f := range b.Frames {
+				msg, ok := d.catalog[canbus.PGN(f.ID)]
+				if !ok {
+					return nil, fmt.Errorf("telematics: unknown pgn %#x", canbus.PGN(f.ID))
+				}
+				decoded, err := msg.Decode(f)
+				if err != nil {
+					return nil, err
+				}
+				for name, v := range decoded {
+					if name == canbus.ChanEngineOn {
+						continue
+					}
+					if err := agg.AddSample(b.At, name, v); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := agg.AddStatus(b.At, 1); err != nil {
+				return nil, err
+			}
+		}
+		if err := agg.AddStatus(s.End, 0); err != nil {
+			return nil, err
+		}
+	}
+	return agg.Flush(), nil
+}

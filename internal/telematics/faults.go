@@ -1,0 +1,96 @@
+package telematics
+
+import (
+	"sort"
+
+	"vup/internal/canbus"
+	"vup/internal/randx"
+)
+
+// Fault SPNs the simulated machines can raise, mirroring common J1939
+// engine faults.
+var faultSPNs = []uint32{
+	100, // engine oil pressure
+	110, // engine coolant temperature
+	96,  // fuel level sensor
+	190, // engine speed
+	183, // fuel rate
+}
+
+// FaultModel simulates the active-diagnostics state of one vehicle:
+// faults arise with a hazard that grows with daily utilization (hard
+// work surfaces defects), persist for a few days accumulating their
+// occurrence count, and eventually clear.
+type FaultModel struct {
+	// BaseHazard is the per-day probability of a new fault on an idle
+	// day (default 0.002).
+	BaseHazard float64
+	// HoursFactor adds hazard per utilization hour (default 0.003).
+	HoursFactor float64
+	// ClearProb is the per-day probability an active fault clears
+	// (default 0.25).
+	ClearProb float64
+
+	active map[uint32]canbus.DTC
+	rng    *randx.RNG
+}
+
+// NewFaultModel creates a fault model with the default rates.
+func NewFaultModel(rng *randx.RNG) *FaultModel {
+	return &FaultModel{
+		BaseHazard:  0.002,
+		HoursFactor: 0.003,
+		ClearProb:   0.25,
+		active:      map[uint32]canbus.DTC{},
+		rng:         rng,
+	}
+}
+
+// Step advances the fault state by one day with the given utilization
+// hours and returns the day's active trouble codes, sorted by SPN.
+func (m *FaultModel) Step(hours float64) []canbus.DTC {
+	// Existing faults either clear or recur (occurrence count grows on
+	// working days).
+	for spn, dtc := range m.active {
+		if m.rng.Bernoulli(m.ClearProb) {
+			delete(m.active, spn)
+			continue
+		}
+		if hours > 0 && dtc.OC < 126 {
+			dtc.OC++
+			m.active[spn] = dtc
+		}
+	}
+	// New fault?
+	hazard := m.BaseHazard + m.HoursFactor*hours
+	if m.rng.Bernoulli(hazard) {
+		spn := faultSPNs[m.rng.Intn(len(faultSPNs))]
+		if _, exists := m.active[spn]; !exists {
+			m.active[spn] = canbus.DTC{
+				SPN: spn,
+				FMI: uint8(m.rng.Intn(6)), // common failure modes 0..5
+				OC:  1,
+			}
+		}
+	}
+	out := make([]canbus.DTC, 0, len(m.active))
+	for _, dtc := range m.active {
+		out = append(out, dtc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SPN < out[j].SPN })
+	return out
+}
+
+// ActiveCount returns the number of currently active faults.
+func (m *FaultModel) ActiveCount() int { return len(m.active) }
+
+// DM1Frames encodes the day's active faults as DM1 CAN frames (with
+// TP.BAM when needed). The amber warning lamp is lit whenever any
+// fault is active.
+func DM1Frames(dtcs []canbus.DTC, src uint8) ([]canbus.Frame, error) {
+	var lamps uint16
+	if len(dtcs) > 0 {
+		lamps = 0x0400 // amber warning lamp on
+	}
+	return canbus.EncodeDM1(lamps, dtcs, src)
+}

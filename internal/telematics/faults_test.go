@@ -1,0 +1,122 @@
+package telematics
+
+import (
+	"testing"
+
+	"vup/internal/canbus"
+	"vup/internal/randx"
+)
+
+func TestFaultModelLifecycle(t *testing.T) {
+	m := NewFaultModel(randx.New(1))
+	// Force a fault by cranking the hazard.
+	m.BaseHazard = 1
+	m.ClearProb = 0
+	dtcs := m.Step(8)
+	if len(dtcs) != 1 {
+		t.Fatalf("dtcs = %d, want 1", len(dtcs))
+	}
+	if dtcs[0].OC != 1 {
+		t.Errorf("initial OC = %d", dtcs[0].OC)
+	}
+	// Subsequent working days increase the occurrence count.
+	m.BaseHazard = 0
+	prev := dtcs[0].OC
+	for day := 0; day < 5; day++ {
+		dtcs = m.Step(6)
+		if len(dtcs) == 0 {
+			t.Fatal("fault cleared with ClearProb=0")
+		}
+	}
+	if dtcs[0].OC <= prev {
+		t.Errorf("OC did not grow: %d", dtcs[0].OC)
+	}
+	// Idle days do not grow the count.
+	oc := dtcs[0].OC
+	dtcs = m.Step(0)
+	if len(dtcs) > 0 && dtcs[0].OC != oc {
+		t.Errorf("idle day changed OC: %d -> %d", oc, dtcs[0].OC)
+	}
+	// Clearing drains the set.
+	m.ClearProb = 1
+	m.Step(0)
+	if m.ActiveCount() != 0 {
+		t.Errorf("active = %d after certain clear", m.ActiveCount())
+	}
+}
+
+func TestFaultModelHazardGrowsWithHours(t *testing.T) {
+	countFaults := func(hours float64, seed int64) int {
+		m := NewFaultModel(randx.New(seed))
+		total := 0
+		for day := 0; day < 5000; day++ {
+			before := m.ActiveCount()
+			m.Step(hours)
+			if m.ActiveCount() > before {
+				total++
+			}
+		}
+		return total
+	}
+	idle := countFaults(0, 2)
+	busy := countFaults(10, 2)
+	if busy <= idle {
+		t.Errorf("busy machine faults (%d) not above idle (%d)", busy, idle)
+	}
+}
+
+func TestFaultModelValidDTCs(t *testing.T) {
+	m := NewFaultModel(randx.New(3))
+	m.BaseHazard = 0.5
+	for day := 0; day < 200; day++ {
+		for _, d := range m.Step(5) {
+			if err := d.Validate(); err != nil {
+				t.Fatalf("invalid DTC: %v", err)
+			}
+		}
+	}
+}
+
+func TestFaultModelSortedOutput(t *testing.T) {
+	m := NewFaultModel(randx.New(4))
+	m.BaseHazard = 1
+	m.ClearProb = 0
+	var last []canbus.DTC
+	for day := 0; day < 50; day++ {
+		last = m.Step(8)
+	}
+	for i := 1; i < len(last); i++ {
+		if last[i].SPN <= last[i-1].SPN {
+			t.Fatalf("unsorted DTCs: %+v", last)
+		}
+	}
+	if len(last) < 2 {
+		t.Fatalf("expected several persistent faults, got %d", len(last))
+	}
+}
+
+func TestDM1Frames(t *testing.T) {
+	frames, err := DM1Frames(nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lamps, dtcs, err := canbus.DecodeDM1(frames)
+	if err != nil || lamps != 0 || len(dtcs) != 0 {
+		t.Errorf("all-clear: %v %v %v", lamps, dtcs, err)
+	}
+	active := []canbus.DTC{{SPN: 110, FMI: 0, OC: 3}}
+	frames, err = DM1Frames(active, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lamps, dtcs, err = canbus.DecodeDM1(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lamps&0x0400 == 0 {
+		t.Error("amber lamp not lit")
+	}
+	if len(dtcs) != 1 || dtcs[0] != active[0] {
+		t.Errorf("dtcs = %+v", dtcs)
+	}
+}

@@ -1,0 +1,247 @@
+package telematics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"vup/internal/canbus"
+	"vup/internal/fleet"
+	"vup/internal/randx"
+)
+
+func testVehicle() fleet.Vehicle {
+	return fleet.Vehicle{ID: "veh-test", Model: fleet.Model{Type: fleet.RefuseCompactor, Index: 0}, Country: "IT"}
+}
+
+func day(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+func TestPlanSessionsTotalHours(t *testing.T) {
+	d := NewDevice(testVehicle(), randx.New(1))
+	for _, hours := range []float64{0.5, 2, 5, 9, 14} {
+		sessions := d.PlanSessions(day(2017, time.May, 8), hours)
+		if len(sessions) == 0 {
+			t.Fatalf("no sessions for %v hours", hours)
+		}
+		total := 0.0
+		for i, s := range sessions {
+			if !s.End.After(s.Start) {
+				t.Fatalf("empty session %+v", s)
+			}
+			if i > 0 && s.Start.Before(sessions[i-1].End) {
+				t.Fatalf("overlapping sessions")
+			}
+			total += s.End.Sub(s.Start).Hours()
+		}
+		// Sessions can be clipped at midnight, so total <= hours.
+		if total > hours+1e-9 {
+			t.Errorf("hours=%v: sessions total %v exceeds plan", hours, total)
+		}
+		if total < hours*0.5 {
+			t.Errorf("hours=%v: sessions total %v lost too much to clipping", hours, total)
+		}
+	}
+}
+
+func TestPlanSessionsZero(t *testing.T) {
+	d := NewDevice(testVehicle(), randx.New(2))
+	if got := d.PlanSessions(day(2017, time.May, 8), 0); got != nil {
+		t.Errorf("sessions for 0 hours: %v", got)
+	}
+}
+
+func TestPlanSessionsWithinDay(t *testing.T) {
+	d := NewDevice(testVehicle(), randx.New(3))
+	theDay := day(2017, time.May, 8)
+	for trial := 0; trial < 50; trial++ {
+		for _, s := range d.PlanSessions(theDay, 23) {
+			if s.Start.Before(theDay) || s.End.After(theDay.AddDate(0, 0, 1)) {
+				t.Fatalf("session escapes day: %+v", s)
+			}
+		}
+	}
+}
+
+func TestSampleSessionErrors(t *testing.T) {
+	d := NewDevice(testVehicle(), randx.New(4))
+	s := Session{Start: day(2017, time.May, 8), End: day(2017, time.May, 8).Add(time.Hour)}
+	if _, err := d.SampleSession(s, 0, 4); err == nil {
+		t.Error("expected error for zero period")
+	}
+}
+
+func TestSampleSessionFramesValid(t *testing.T) {
+	d := NewDevice(testVehicle(), randx.New(5))
+	s := Session{Start: day(2017, time.May, 8).Add(8 * time.Hour), End: day(2017, time.May, 8).Add(8*time.Hour + 10*time.Minute)}
+	bursts, err := d.SampleSession(s, time.Minute, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bursts) != 10 {
+		t.Fatalf("bursts = %d, want 10", len(bursts))
+	}
+	for _, b := range bursts {
+		if len(b.Frames) != 8 {
+			t.Fatalf("frames per burst = %d, want 8 (one per message)", len(b.Frames))
+		}
+		for _, f := range b.Frames {
+			if err := f.Validate(); err != nil {
+				t.Fatalf("invalid frame: %v", err)
+			}
+			if !f.Extended {
+				t.Fatal("J1939 frames must be extended")
+			}
+		}
+	}
+}
+
+func TestSimulateDayEngineHours(t *testing.T) {
+	d := NewDevice(testVehicle(), randx.New(6))
+	hours := 6.0
+	reports, err := d.SimulateDay(day(2017, time.May, 8), hours, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	var engineOn float64
+	for _, r := range reports {
+		engineOn += r.EngineOnSeconds
+		if r.VehicleID != "veh-test" {
+			t.Fatal("wrong vehicle id")
+		}
+	}
+	got := engineOn / 3600
+	if math.Abs(got-hours) > 1 {
+		t.Errorf("engine-on hours = %v, want ~%v", got, hours)
+	}
+}
+
+func TestSimulateDayChannelsPresent(t *testing.T) {
+	d := NewDevice(testVehicle(), randx.New(7))
+	reports, err := d.SimulateDay(day(2017, time.May, 8), 4, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, r := range reports {
+		for name, cs := range r.Channels {
+			found[name] = true
+			if cs.Samples <= 0 {
+				t.Fatalf("channel %s with no samples", name)
+			}
+			if cs.Min > cs.Mean || cs.Mean > cs.Max {
+				t.Fatalf("channel %s stats unordered: %+v", name, cs)
+			}
+		}
+	}
+	for _, ch := range canbus.AnalogChannels() {
+		if !found[ch] {
+			t.Errorf("channel %s missing from reports", ch)
+		}
+	}
+}
+
+func TestSimulateDayInactive(t *testing.T) {
+	d := NewDevice(testVehicle(), randx.New(8))
+	reports, err := d.SimulateDay(day(2017, time.May, 8), 0, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Errorf("inactive day produced %d reports", len(reports))
+	}
+}
+
+func TestUplinkLossless(t *testing.T) {
+	u := NewUplink(0, 0, randx.New(9))
+	reports := []canbus.Report{{VehicleID: "a"}, {VehicleID: "b"}}
+	if got := u.Transmit(reports); len(got) != 2 {
+		t.Errorf("lossless uplink dropped reports: %d", len(got))
+	}
+}
+
+func TestUplinkDropsAndBursts(t *testing.T) {
+	u := NewUplink(0.2, 0.7, randx.New(10))
+	reports := make([]canbus.Report, 5000)
+	got := u.Transmit(reports)
+	lossRate := 1 - float64(len(got))/float64(len(reports))
+	// Expected steady-state loss: entering outage with p=0.2 and
+	// staying with p=0.7 gives roughly 0.2/(0.2+0.3) ≈ 0.4.
+	if lossRate < 0.25 || lossRate > 0.60 {
+		t.Errorf("loss rate = %v", lossRate)
+	}
+}
+
+func TestUplinkAllDropped(t *testing.T) {
+	u := NewUplink(1, 1, randx.New(11))
+	got := u.Transmit(make([]canbus.Report, 100))
+	if len(got) != 0 {
+		t.Errorf("expected total outage, got %d reports", len(got))
+	}
+}
+
+func TestServerIngestAndSort(t *testing.T) {
+	s := NewServer()
+	t1 := day(2017, time.May, 8).Add(10 * time.Minute)
+	t0 := day(2017, time.May, 8)
+	s.Ingest([]canbus.Report{{VehicleID: "v1", Start: t1}, {VehicleID: "v1", Start: t0}, {VehicleID: "v2", Start: t0}})
+	got := s.Reports("v1")
+	if len(got) != 2 || !got[0].Start.Equal(t0) {
+		t.Errorf("reports not sorted: %+v", got)
+	}
+	ids := s.VehicleIDs()
+	if len(ids) != 2 || ids[0] != "v1" || ids[1] != "v2" {
+		t.Errorf("ids = %v", ids)
+	}
+	if got := s.Reports("missing"); len(got) != 0 {
+		t.Errorf("unknown vehicle returned %d reports", len(got))
+	}
+}
+
+func TestServerConcurrentIngest(t *testing.T) {
+	s := NewServer()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Ingest([]canbus.Report{{VehicleID: "v", Start: day(2017, time.May, 8).Add(time.Duration(g*100+i) * time.Minute)}})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(s.Reports("v")); got != 800 {
+		t.Errorf("reports = %d, want 800", got)
+	}
+}
+
+func TestEndToEndDeviceToServer(t *testing.T) {
+	// Full path: device -> uplink -> server, with losses.
+	rng := randx.New(12)
+	d := NewDevice(testVehicle(), rng.Split())
+	u := NewUplink(0.1, 0.5, rng.Split())
+	s := NewServer()
+	theDay := day(2017, time.May, 8)
+	for i := 0; i < 5; i++ {
+		reports, err := d.SimulateDay(theDay.AddDate(0, 0, i), 5, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Ingest(u.Transmit(reports))
+	}
+	stored := s.Reports("veh-test")
+	if len(stored) == 0 {
+		t.Fatal("nothing reached the server")
+	}
+	for i := 1; i < len(stored); i++ {
+		if stored[i].Start.Before(stored[i-1].Start) {
+			t.Fatal("reports unsorted")
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package telematics
+
+import (
+	"sort"
+	"sync"
+
+	"vup/internal/canbus"
+	"vup/internal/randx"
+)
+
+// Uplink models the lossy cellular link between a vehicle and the
+// central server. Connectivity loss is bursty: once a report is
+// dropped, following reports are dropped with elevated probability,
+// mimicking a site going dark for a while.
+type Uplink struct {
+	// DropProb is the per-report probability of entering an outage.
+	DropProb float64
+	// BurstContinue is the probability an ongoing outage persists for
+	// the next report.
+	BurstContinue float64
+
+	rng    *randx.RNG
+	outage bool
+}
+
+// NewUplink returns an uplink with the given loss characteristics.
+func NewUplink(dropProb, burstContinue float64, rng *randx.RNG) *Uplink {
+	return &Uplink{DropProb: dropProb, BurstContinue: burstContinue, rng: rng}
+}
+
+// Transmit filters reports through the lossy link, returning the ones
+// that reach the server, in order.
+func (u *Uplink) Transmit(reports []canbus.Report) []canbus.Report {
+	out := make([]canbus.Report, 0, len(reports))
+	for _, r := range reports {
+		if u.outage {
+			if u.rng.Bernoulli(u.BurstContinue) {
+				continue // still dark
+			}
+			u.outage = false
+		} else if u.rng.Bernoulli(u.DropProb) {
+			u.outage = true
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Server is the centralized collection endpoint. It is safe for
+// concurrent ingestion from many simulated vehicles.
+type Server struct {
+	mu      sync.Mutex
+	reports map[string][]canbus.Report
+}
+
+// NewServer returns an empty collection server.
+func NewServer() *Server {
+	return &Server{reports: map[string][]canbus.Report{}}
+}
+
+// Ingest stores reports, grouping them per vehicle.
+func (s *Server) Ingest(reports []canbus.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range reports {
+		s.reports[r.VehicleID] = append(s.reports[r.VehicleID], r)
+	}
+}
+
+// Reports returns the stored reports of one vehicle sorted by window
+// start.
+func (s *Server) Reports(vehicleID string) []canbus.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]canbus.Report(nil), s.reports[vehicleID]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// VehicleIDs returns the vehicles that have reported, sorted.
+func (s *Server) VehicleIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.reports))
+	for id := range s.reports {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,210 @@
+// Package textplot renders the study's figures as ASCII charts for
+// terminal output: line plots (series, ACF, parameter sweeps), CDF
+// step plots and box-plot strips. The renderers are deterministic so
+// experiment output can be diffed across runs.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"vup/internal/stats"
+)
+
+// Line renders one named series of a line plot.
+type Line struct {
+	Name   string
+	X, Y   []float64
+	Marker rune
+}
+
+// defaultMarkers cycles when a line has no explicit marker.
+var defaultMarkers = []rune{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// LinePlot renders the lines into a width×height character grid with
+// axis labels. Lines with mismatched X/Y lengths or no points are
+// skipped. The returned string ends with a newline.
+func LinePlot(title string, lines []Line, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	// Collect bounds.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	valid := lines[:0:0]
+	for _, l := range lines {
+		if len(l.X) == 0 || len(l.X) != len(l.Y) {
+			continue
+		}
+		valid = append(valid, l)
+		for i := range l.X {
+			xmin = math.Min(xmin, l.X[i])
+			xmax = math.Max(xmax, l.X[i])
+			ymin = math.Min(ymin, l.Y[i])
+			ymax = math.Max(ymax, l.Y[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(valid) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for li, l := range valid {
+		marker := l.Marker
+		if marker == 0 {
+			marker = defaultMarkers[li%len(defaultMarkers)]
+		}
+		for i := range l.X {
+			col := int(math.Round((l.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((ymax - l.Y[i]) / (ymax - ymin) * float64(height-1)))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = marker
+			}
+		}
+	}
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.2f", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.2f", ymin)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%8s  %-*.2f%*.2f\n", "", width/2, xmin, width-width/2, xmax)
+	// Legend.
+	for li, l := range valid {
+		marker := l.Marker
+		if marker == 0 {
+			marker = defaultMarkers[li%len(defaultMarkers)]
+		}
+		fmt.Fprintf(&b, "  %c %s\n", marker, l.Name)
+	}
+	return b.String()
+}
+
+// CDFPlot renders empirical CDFs (one per named sample) as a line
+// plot of F(x) against x.
+func CDFPlot(title string, samples map[string][]float64, width, height int) string {
+	lines := make([]Line, 0, len(samples))
+	// Deterministic order: sort names.
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		e := stats.NewECDF(samples[name])
+		if e == nil {
+			continue
+		}
+		xs, fs := e.Points()
+		lines = append(lines, Line{Name: name, X: xs, Y: fs})
+	}
+	return LinePlot(title, lines, width, height)
+}
+
+// BoxStrip renders one box plot per labelled sample as a horizontal
+// strip: min/whiskers/quartiles/median/max mapped onto a shared axis.
+func BoxStrip(title string, labels []string, boxes []stats.BoxStats, width int) string {
+	if width < 30 {
+		width = 30
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(labels) != len(boxes) || len(boxes) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, box := range boxes {
+		lo = math.Min(lo, box.Min)
+		hi = math.Max(hi, box.Max)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	pos := func(v float64) int {
+		p := int(math.Round((v - lo) / (hi - lo) * float64(width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	for i, box := range boxes {
+		row := []rune(strings.Repeat(" ", width))
+		for c := pos(box.WhiskLo); c <= pos(box.WhiskHi); c++ {
+			row[c] = '-'
+		}
+		for c := pos(box.Q1); c <= pos(box.Q3); c++ {
+			row[c] = '='
+		}
+		row[pos(box.Median)] = 'M'
+		for _, o := range box.Outliers {
+			row[pos(o)] = '+'
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelWidth, labels[i], string(row))
+	}
+	fmt.Fprintf(&b, "%-*s  %-*.2f%*.2f\n", labelWidth, "", width/2, lo, width-width/2, hi)
+	return b.String()
+}
+
+// Histogram renders a vertical-bar frequency chart of per-bin counts.
+func Histogram(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(labels) != len(values) || len(values) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	maxVal := math.Inf(-1)
+	labelWidth := 0
+	for i, v := range values {
+		maxVal = math.Max(maxVal, v)
+		if len(labels[i]) > labelWidth {
+			labelWidth = len(labels[i])
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	for i, v := range values {
+		n := int(math.Round(v / maxVal * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.2f\n", labelWidth, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+func sortStrings(s []string) { sort.Strings(s) }

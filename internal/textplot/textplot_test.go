@@ -1,0 +1,158 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"vup/internal/stats"
+)
+
+func TestLinePlotBasic(t *testing.T) {
+	out := LinePlot("test plot", []Line{
+		{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	}, 40, 10)
+	if !strings.HasPrefix(out, "test plot\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("missing markers:\n%s", out)
+	}
+	// 10 grid rows.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") {
+			rows++
+		}
+	}
+	if rows != 10 {
+		t.Errorf("grid rows = %d", rows)
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	out := LinePlot("empty", nil, 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty plot = %q", out)
+	}
+	// Mismatched lengths are skipped.
+	out = LinePlot("bad", []Line{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}, 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("mismatched plot = %q", out)
+	}
+}
+
+func TestLinePlotDegenerate(t *testing.T) {
+	// Single point and constant series must not divide by zero.
+	out := LinePlot("point", []Line{{Name: "p", X: []float64{1}, Y: []float64{5}}}, 5, 2)
+	if !strings.Contains(out, "p") {
+		t.Errorf("point plot = %q", out)
+	}
+	out = LinePlot("flat", []Line{{Name: "f", X: []float64{1, 2}, Y: []float64{3, 3}}}, 40, 5)
+	if out == "" {
+		t.Error("flat plot empty")
+	}
+}
+
+func TestLinePlotCustomMarker(t *testing.T) {
+	out := LinePlot("m", []Line{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}, Marker: 'Z'}}, 30, 6)
+	if !strings.Contains(out, "Z") {
+		t.Errorf("custom marker missing:\n%s", out)
+	}
+}
+
+func TestCDFPlot(t *testing.T) {
+	out := CDFPlot("cdf", map[string][]float64{
+		"a": {1, 2, 3, 4},
+		"b": {2, 4, 6, 8},
+	}, 40, 8)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	// Deterministic: two renders identical.
+	if out != CDFPlot("cdf", map[string][]float64{"a": {1, 2, 3, 4}, "b": {2, 4, 6, 8}}, 40, 8) {
+		t.Error("CDFPlot not deterministic")
+	}
+	// Empty sample skipped without crashing.
+	out = CDFPlot("cdf", map[string][]float64{"empty": {}}, 40, 8)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty CDF = %q", out)
+	}
+}
+
+func TestBoxStrip(t *testing.T) {
+	b1, err := stats.Box([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := stats.Box([]float64{1, 2, 3, 4, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := BoxStrip("boxes", []string{"clean", "outlier"}, []stats.BoxStats{b1, b2}, 50)
+	if !strings.Contains(out, "clean") || !strings.Contains(out, "outlier") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "M") {
+		t.Errorf("median marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+") {
+		t.Errorf("outlier marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "=") {
+		t.Errorf("box body missing:\n%s", out)
+	}
+}
+
+func TestBoxStripEmptyAndMismatch(t *testing.T) {
+	if out := BoxStrip("x", nil, nil, 40); !strings.Contains(out, "(no data)") {
+		t.Errorf("empty = %q", out)
+	}
+	b, _ := stats.Box([]float64{1})
+	if out := BoxStrip("x", []string{"a", "b"}, []stats.BoxStats{b}, 40); !strings.Contains(out, "(no data)") {
+		t.Errorf("mismatch = %q", out)
+	}
+}
+
+func TestBoxStripConstant(t *testing.T) {
+	b, _ := stats.Box([]float64{5, 5, 5})
+	out := BoxStrip("const", []string{"c"}, []stats.BoxStats{b}, 40)
+	if !strings.Contains(out, "M") {
+		t.Errorf("constant box:\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("hist", []string{"LV", "SVR"}, []float64{40, 20}, 20)
+	if !strings.Contains(out, "LV") || !strings.Contains(out, "SVR") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// The LV bar must be about twice the SVR bar.
+	lv := strings.Count(lines[1], "#")
+	svr := strings.Count(lines[2], "#")
+	if lv != 20 || svr != 10 {
+		t.Errorf("bars = %d / %d:\n%s", lv, svr, out)
+	}
+	if !strings.Contains(out, "40.00") {
+		t.Errorf("values missing:\n%s", out)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if out := Histogram("h", nil, nil, 20); !strings.Contains(out, "(no data)") {
+		t.Errorf("empty = %q", out)
+	}
+	out := Histogram("h", []string{"z"}, []float64{0}, 20)
+	if strings.Contains(out, "#") {
+		t.Errorf("zero bar drew marks:\n%s", out)
+	}
+	// Negative values clamp to zero-length bars.
+	out = Histogram("h", []string{"n", "p"}, []float64{-5, 5}, 20)
+	if !strings.Contains(out, "-5.00") {
+		t.Errorf("negative value missing:\n%s", out)
+	}
+}

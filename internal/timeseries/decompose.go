@@ -1,0 +1,151 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+)
+
+// Decomposition is a classical additive decomposition of a series
+// into trend, periodic (seasonal) and residual components:
+//
+//	value = Trend + Seasonal + Residual
+//
+// For the utilization series the natural period is 7 days; the trend
+// captures the slow non-stationary drift and job episodes the paper
+// observes, the seasonal component the weekly fingerprint.
+type Decomposition struct {
+	Period   int
+	Trend    []float64
+	Seasonal []float64
+	Residual []float64
+}
+
+// Decompose performs the classical decomposition with the given
+// period: the trend is a centered moving average of length period
+// (even periods average two offset windows), the seasonal component
+// is the per-phase mean of the detrended series (normalized to sum to
+// zero), the residual is what remains. The series must span at least
+// two full periods.
+func Decompose(values []float64, period int) (*Decomposition, error) {
+	n := len(values)
+	if period < 2 {
+		return nil, fmt.Errorf("%w: period %d", ErrLength, period)
+	}
+	if n < 2*period {
+		return nil, fmt.Errorf("%w: %d values for period %d", ErrLength, n, period)
+	}
+	d := &Decomposition{
+		Period:   period,
+		Trend:    make([]float64, n),
+		Seasonal: make([]float64, n),
+		Residual: make([]float64, n),
+	}
+
+	// Centered moving average; NaN where the window does not fit.
+	half := period / 2
+	for i := 0; i < n; i++ {
+		if i < half || i+half >= n {
+			d.Trend[i] = math.NaN()
+			continue
+		}
+		if period%2 == 1 {
+			sum := 0.0
+			for j := i - half; j <= i+half; j++ {
+				sum += values[j]
+			}
+			d.Trend[i] = sum / float64(period)
+		} else {
+			// 2×period MA: half weights on the edges.
+			sum := values[i-half]/2 + values[i+half]/2
+			for j := i - half + 1; j < i+half; j++ {
+				sum += values[j]
+			}
+			d.Trend[i] = sum / float64(period)
+		}
+	}
+
+	// Per-phase means of the detrended series.
+	phaseSum := make([]float64, period)
+	phaseN := make([]int, period)
+	for i := 0; i < n; i++ {
+		if math.IsNaN(d.Trend[i]) {
+			continue
+		}
+		phase := i % period
+		phaseSum[phase] += values[i] - d.Trend[i]
+		phaseN[phase]++
+	}
+	phaseMean := make([]float64, period)
+	var total float64
+	for p := 0; p < period; p++ {
+		if phaseN[p] > 0 {
+			phaseMean[p] = phaseSum[p] / float64(phaseN[p])
+		}
+		total += phaseMean[p]
+	}
+	// Normalize so the seasonal component sums to zero over a period.
+	adjust := total / float64(period)
+	for p := 0; p < period; p++ {
+		phaseMean[p] -= adjust
+	}
+
+	for i := 0; i < n; i++ {
+		d.Seasonal[i] = phaseMean[i%period]
+		if math.IsNaN(d.Trend[i]) {
+			d.Residual[i] = math.NaN()
+			continue
+		}
+		d.Residual[i] = values[i] - d.Trend[i] - d.Seasonal[i]
+	}
+	return d, nil
+}
+
+// SeasonalStrength returns the fraction of detrended variance
+// explained by the seasonal component, in [0, 1]: 1 − Var(residual) /
+// Var(seasonal + residual). Values near 1 mean a strongly periodic
+// series. NaN entries (trend edges) are skipped.
+func (d *Decomposition) SeasonalStrength() float64 {
+	var devSum, devSq, resSum, resSq float64
+	var n int
+	for i := range d.Residual {
+		if math.IsNaN(d.Residual[i]) {
+			continue
+		}
+		dev := d.Seasonal[i] + d.Residual[i]
+		devSum += dev
+		devSq += dev * dev
+		resSum += d.Residual[i]
+		resSq += d.Residual[i] * d.Residual[i]
+		n++
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	varDev := devSq/float64(n) - (devSum/float64(n))*(devSum/float64(n))
+	varRes := resSq/float64(n) - (resSum/float64(n))*(resSum/float64(n))
+	if varDev <= 0 {
+		return 0
+	}
+	s := 1 - varRes/varDev
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// SeasonalNaive forecasts the next value as the observation one full
+// period earlier — the standard reference forecaster for periodic
+// series. It returns an error when the series is shorter than the
+// period.
+func SeasonalNaive(values []float64, period int) (float64, error) {
+	if period <= 0 {
+		return 0, fmt.Errorf("%w: period %d", ErrLength, period)
+	}
+	if len(values) < period {
+		return 0, fmt.Errorf("%w: %d values for period %d", ErrLength, len(values), period)
+	}
+	return values[len(values)-period], nil
+}

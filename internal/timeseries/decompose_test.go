@@ -1,0 +1,147 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthSeries builds trend + weekly seasonal + noise.
+func synthSeries(n int, trendSlope, seasonalAmp, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	pattern := []float64{0, 1, 2, 3, 2, -4, -4} // weekly shape, sums to 0
+	for i := range out {
+		out[i] = 10 + trendSlope*float64(i) + seasonalAmp*pattern[i%7] + noise*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestDecomposeRecoversComponents(t *testing.T) {
+	values := synthSeries(210, 0.05, 1.5, 0.2, 1)
+	d, err := Decompose(values, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seasonal sums to ~zero over one period.
+	var sum float64
+	for p := 0; p < 7; p++ {
+		sum += d.Seasonal[p]
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("seasonal sum = %v", sum)
+	}
+	// Seasonal shape correlates with the generating pattern: phase 5
+	// and 6 are the low days.
+	if d.Seasonal[5] >= d.Seasonal[2] || d.Seasonal[6] >= d.Seasonal[3] {
+		t.Errorf("seasonal shape wrong: %v", d.Seasonal[:7])
+	}
+	// Trend is increasing over the valid interior.
+	if d.Trend[150] <= d.Trend[20] {
+		t.Errorf("trend not increasing: %v .. %v", d.Trend[20], d.Trend[150])
+	}
+	// Interior reconstruction: value = T + S + R exactly.
+	for i := 10; i < 200; i++ {
+		if math.IsNaN(d.Trend[i]) {
+			continue
+		}
+		recon := d.Trend[i] + d.Seasonal[i] + d.Residual[i]
+		if math.Abs(recon-values[i]) > 1e-9 {
+			t.Fatalf("reconstruction broken at %d", i)
+		}
+	}
+	// Residuals are small relative to the seasonal swing.
+	var resAbs float64
+	n := 0
+	for _, r := range d.Residual {
+		if !math.IsNaN(r) {
+			resAbs += math.Abs(r)
+			n++
+		}
+	}
+	if resAbs/float64(n) > 0.5 {
+		t.Errorf("mean |residual| = %v", resAbs/float64(n))
+	}
+}
+
+func TestDecomposeEdgesNaN(t *testing.T) {
+	values := synthSeries(70, 0, 1, 0, 2)
+	d, err := Decompose(values, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(d.Trend[0]) || !math.IsNaN(d.Trend[69]) {
+		t.Error("trend edges should be NaN")
+	}
+	if math.IsNaN(d.Trend[35]) {
+		t.Error("interior trend should be defined")
+	}
+}
+
+func TestDecomposeEvenPeriod(t *testing.T) {
+	// Period 4 exercises the 2×MA branch.
+	values := make([]float64, 60)
+	pattern := []float64{1, -1, 2, -2}
+	for i := range values {
+		values[i] = 5 + pattern[i%4]
+	}
+	d, err := Decompose(values, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 56; i++ {
+		if math.Abs(d.Trend[i]-5) > 1e-9 {
+			t.Fatalf("flat trend broken at %d: %v", i, d.Trend[i])
+		}
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := Decompose(make([]float64, 10), 1); !errors.Is(err, ErrLength) {
+		t.Errorf("period 1: %v", err)
+	}
+	if _, err := Decompose(make([]float64, 10), 7); !errors.Is(err, ErrLength) {
+		t.Errorf("short series: %v", err)
+	}
+}
+
+func TestSeasonalStrength(t *testing.T) {
+	strong := synthSeries(210, 0, 3, 0.1, 3)
+	weak := synthSeries(210, 0, 0.1, 3, 4)
+	ds, err := Decompose(strong, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := Decompose(weak, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ws := ds.SeasonalStrength(), dw.SeasonalStrength()
+	if ss < 0.9 {
+		t.Errorf("strong seasonal strength = %v", ss)
+	}
+	if ws > 0.3 {
+		t.Errorf("weak seasonal strength = %v", ws)
+	}
+	if ss <= ws {
+		t.Errorf("ordering violated: %v <= %v", ss, ws)
+	}
+}
+
+func TestSeasonalNaive(t *testing.T) {
+	values := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	got, err := SeasonalNaive(values, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 { // 7 back from the end (next would be index 9; 9-7=2 -> value 3)
+		t.Errorf("seasonal naive = %v", got)
+	}
+	if _, err := SeasonalNaive(values, 0); !errors.Is(err, ErrLength) {
+		t.Errorf("period 0: %v", err)
+	}
+	if _, err := SeasonalNaive(values[:3], 7); !errors.Is(err, ErrLength) {
+		t.Errorf("short: %v", err)
+	}
+}

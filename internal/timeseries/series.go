@@ -1,0 +1,133 @@
+// Package timeseries provides the daily time-series machinery of the
+// study: an aligned daily series type, the next-working-day view
+// (dropping idle days), lagging, rolling means, weekly resampling and
+// the sliding/expanding evaluation windows of Figure 3.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrLength is returned for mismatched or invalid series lengths.
+var ErrLength = errors.New("timeseries: invalid length")
+
+// Series is a daily time series: Values[i] belongs to the day
+// Start + i days. Days are normalized to midnight UTC.
+type Series struct {
+	Start  time.Time
+	Values []float64
+}
+
+// New creates a series beginning at start (normalized to midnight
+// UTC).
+func New(start time.Time, values []float64) Series {
+	return Series{Start: midnight(start), Values: values}
+}
+
+func midnight(t time.Time) time.Time {
+	return time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+}
+
+// Len returns the number of days in the series.
+func (s Series) Len() int { return len(s.Values) }
+
+// Date returns the date of index i.
+func (s Series) Date(i int) time.Time { return s.Start.AddDate(0, 0, i) }
+
+// Index returns the index of date d, or an error when d lies outside
+// the series.
+func (s Series) Index(d time.Time) (int, error) {
+	i := int(midnight(d).Sub(s.Start).Hours() / 24)
+	if i < 0 || i >= len(s.Values) {
+		return 0, fmt.Errorf("timeseries: date %v outside series [%v, %v)", d.Format("2006-01-02"), s.Start.Format("2006-01-02"), s.Date(len(s.Values)).Format("2006-01-02"))
+	}
+	return i, nil
+}
+
+// Slice returns the subseries [from, to).
+func (s Series) Slice(from, to int) (Series, error) {
+	if from < 0 || to > len(s.Values) || from > to {
+		return Series{}, fmt.Errorf("%w: slice [%d, %d) of %d", ErrLength, from, to, len(s.Values))
+	}
+	return Series{Start: s.Date(from), Values: s.Values[from:to]}, nil
+}
+
+// Clone returns a deep copy of s.
+func (s Series) Clone() Series {
+	return Series{Start: s.Start, Values: append([]float64(nil), s.Values...)}
+}
+
+// ActiveView returns the subsequence of days with Values > threshold,
+// together with the original indices of the kept days. This is the
+// next-working-day transformation: "the next day on which the vehicle
+// will be used at least 1 hour" — idle days are removed from the
+// series before modelling.
+func (s Series) ActiveView(threshold float64) (values []float64, indices []int) {
+	for i, v := range s.Values {
+		if v >= threshold {
+			values = append(values, v)
+			indices = append(indices, i)
+		}
+	}
+	return values, indices
+}
+
+// Lag returns the series shifted by lag days: out[i] = s.Values[i-lag]
+// for i >= lag; the first lag entries are NaN-free zero-filled and
+// flagged by the returned valid-from index.
+func (s Series) Lag(lag int) (values []float64, validFrom int) {
+	if lag < 0 {
+		lag = 0
+	}
+	values = make([]float64, len(s.Values))
+	for i := lag; i < len(s.Values); i++ {
+		values[i] = s.Values[i-lag]
+	}
+	if lag > len(s.Values) {
+		lag = len(s.Values)
+	}
+	return values, lag
+}
+
+// RollingMean returns the trailing mean over window days. Entry i
+// averages values [i-window+1 .. i]; entries before a full window
+// average what is available.
+func (s Series) RollingMean(window int) ([]float64, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("%w: rolling window %d", ErrLength, window)
+	}
+	out := make([]float64, len(s.Values))
+	sum := 0.0
+	for i, v := range s.Values {
+		sum += v
+		n := window
+		if i+1 < window {
+			n = i + 1
+		} else if i >= window {
+			sum -= s.Values[i-window]
+		}
+		out[i] = sum / float64(n)
+	}
+	return out, nil
+}
+
+// WeeklyTotals aggregates the daily series into per-week sums (weeks
+// of 7 days from the series start; a trailing partial week is
+// included). Used by the Figure 1(d) characterization.
+func (s Series) WeeklyTotals() []float64 {
+	var out []float64
+	for i := 0; i < len(s.Values); i += 7 {
+		end := i + 7
+		if end > len(s.Values) {
+			end = len(s.Values)
+		}
+		sum := 0.0
+		for _, v := range s.Values[i:end] {
+			sum += v
+		}
+		out = append(out, sum)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+var start = time.Date(2017, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNewNormalizesStart(t *testing.T) {
+	s := New(time.Date(2017, time.January, 1, 13, 45, 0, 0, time.UTC), []float64{1})
+	if !s.Start.Equal(start) {
+		t.Errorf("start = %v", s.Start)
+	}
+}
+
+func TestDateIndexRoundTrip(t *testing.T) {
+	s := New(start, make([]float64, 30))
+	for i := 0; i < 30; i++ {
+		idx, err := s.Index(s.Date(i))
+		if err != nil || idx != i {
+			t.Fatalf("Index(Date(%d)) = %d, %v", i, idx, err)
+		}
+	}
+	if _, err := s.Index(start.AddDate(0, 0, -1)); err == nil {
+		t.Error("date before start accepted")
+	}
+	if _, err := s.Index(start.AddDate(0, 0, 30)); err == nil {
+		t.Error("date after end accepted")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := New(start, []float64{0, 1, 2, 3, 4})
+	sub, err := s.Slice(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 3 || sub.Values[0] != 1 || !sub.Start.Equal(start.AddDate(0, 0, 1)) {
+		t.Errorf("Slice = %+v", sub)
+	}
+	if _, err := s.Slice(3, 2); !errors.Is(err, ErrLength) {
+		t.Errorf("want ErrLength, got %v", err)
+	}
+	if _, err := s.Slice(-1, 2); !errors.Is(err, ErrLength) {
+		t.Errorf("want ErrLength, got %v", err)
+	}
+	if _, err := s.Slice(0, 9); !errors.Is(err, ErrLength) {
+		t.Errorf("want ErrLength, got %v", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := New(start, []float64{1, 2})
+	c := s.Clone()
+	c.Values[0] = 99
+	if s.Values[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestActiveView(t *testing.T) {
+	s := New(start, []float64{0, 2, 0, 3.5, 0.5, 4})
+	values, indices := s.ActiveView(1)
+	want := []float64{2, 3.5, 4}
+	wantIdx := []int{1, 3, 5}
+	if len(values) != 3 {
+		t.Fatalf("values = %v", values)
+	}
+	for i := range want {
+		if values[i] != want[i] || indices[i] != wantIdx[i] {
+			t.Errorf("ActiveView = %v %v", values, indices)
+		}
+	}
+	// Threshold 0 keeps everything.
+	all, _ := s.ActiveView(0)
+	if len(all) != 6 {
+		t.Errorf("threshold 0 dropped days: %v", all)
+	}
+}
+
+func TestLag(t *testing.T) {
+	s := New(start, []float64{10, 20, 30, 40})
+	values, validFrom := s.Lag(2)
+	if validFrom != 2 {
+		t.Errorf("validFrom = %d", validFrom)
+	}
+	if values[2] != 10 || values[3] != 20 {
+		t.Errorf("lagged = %v", values)
+	}
+	// Negative lag behaves like zero.
+	v0, f0 := s.Lag(-3)
+	if f0 != 0 || v0[0] != 10 {
+		t.Errorf("negative lag = %v from %d", v0, f0)
+	}
+	// Lag longer than series.
+	_, fBig := s.Lag(10)
+	if fBig != 4 {
+		t.Errorf("oversized lag validFrom = %d", fBig)
+	}
+}
+
+func TestRollingMean(t *testing.T) {
+	s := New(start, []float64{2, 4, 6, 8})
+	out, err := s.RollingMean(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 5, 7}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("RollingMean = %v, want %v", out, want)
+		}
+	}
+	if _, err := s.RollingMean(0); !errors.Is(err, ErrLength) {
+		t.Errorf("want ErrLength, got %v", err)
+	}
+	// Window longer than the series averages the available prefix.
+	long, _ := s.RollingMean(10)
+	if long[3] != 5 {
+		t.Errorf("long window = %v", long)
+	}
+}
+
+func TestWeeklyTotals(t *testing.T) {
+	values := make([]float64, 16) // 2 full weeks + 2 days
+	for i := range values {
+		values[i] = 1
+	}
+	s := New(start, values)
+	weeks := s.WeeklyTotals()
+	if len(weeks) != 3 || weeks[0] != 7 || weeks[1] != 7 || weeks[2] != 2 {
+		t.Errorf("WeeklyTotals = %v", weeks)
+	}
+	if got := New(start, nil).WeeklyTotals(); got != nil {
+		t.Errorf("empty series weeks = %v", got)
+	}
+}
+
+func TestEnumerateSliding(t *testing.T) {
+	wins, err := Enumerate(10, 4, Sliding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 6 {
+		t.Fatalf("windows = %d, want 6", len(wins))
+	}
+	for _, w := range wins {
+		if w.TrainTo-w.TrainFrom != 4 {
+			t.Errorf("sliding window size = %d", w.TrainTo-w.TrainFrom)
+		}
+		if w.Test != w.TrainTo {
+			t.Errorf("test day %d != train end %d", w.Test, w.TrainTo)
+		}
+	}
+	if wins[0].TrainFrom != 0 || wins[5].TrainFrom != 5 {
+		t.Errorf("window starts wrong: %+v", wins)
+	}
+}
+
+func TestEnumerateExpanding(t *testing.T) {
+	wins, err := Enumerate(10, 4, Expanding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range wins {
+		if w.TrainFrom != 0 {
+			t.Errorf("expanding window starts at %d", w.TrainFrom)
+		}
+	}
+	// Training size grows monotonically.
+	for i := 1; i < len(wins); i++ {
+		if wins[i].TrainTo <= wins[i-1].TrainTo {
+			t.Error("expanding window not growing")
+		}
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	if _, err := Enumerate(10, 0, Sliding); !errors.Is(err, ErrLength) {
+		t.Errorf("want ErrLength, got %v", err)
+	}
+	if _, err := Enumerate(5, 5, Sliding); !errors.Is(err, ErrLength) {
+		t.Errorf("want ErrLength, got %v", err)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Sliding.String() != "sliding" || Expanding.String() != "expanding" {
+		t.Error("Strategy names wrong")
+	}
+}

@@ -1,0 +1,53 @@
+package timeseries
+
+import "fmt"
+
+// Window is one train/test split: the model is trained on indices
+// [TrainFrom, TrainTo) and evaluated on the single target index Test.
+type Window struct {
+	TrainFrom, TrainTo int
+	Test               int
+}
+
+// Strategy selects how the training window moves over the series, as
+// contrasted in Figure 3 of the paper.
+type Strategy int
+
+const (
+	// Sliding keeps a fixed-size training window ending right before
+	// the test day.
+	Sliding Strategy = iota
+	// Expanding grows the training window to include every preceding
+	// day.
+	Expanding
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	if s == Expanding {
+		return "expanding"
+	}
+	return "sliding"
+}
+
+// Enumerate generates the train/test windows for a series of n days
+// with training window size w under the given strategy. Each test day
+// t from w to n-1 yields one window; under Sliding the training range
+// is [t-w, t), under Expanding it is [0, t).
+func Enumerate(n, w int, strategy Strategy) ([]Window, error) {
+	if w <= 0 {
+		return nil, fmt.Errorf("%w: window size %d", ErrLength, w)
+	}
+	if n <= w {
+		return nil, fmt.Errorf("%w: series of %d days cannot host a %d-day training window", ErrLength, n, w)
+	}
+	out := make([]Window, 0, n-w)
+	for t := w; t < n; t++ {
+		win := Window{TrainTo: t, Test: t}
+		if strategy == Sliding {
+			win.TrainFrom = t - w
+		}
+		out = append(out, win)
+	}
+	return out, nil
+}

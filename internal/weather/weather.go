@@ -1,0 +1,166 @@
+// Package weather implements the paper's first future-work item:
+// "integration of additional contextual information (e.g., weather)".
+// It provides a synthetic but climatologically structured daily
+// weather generator per deployment country — seasonal temperature with
+// an AR(1) anomaly, and season-dependent precipitation — that the
+// fleet simulator consumes (rain and frost suppress outdoor
+// construction work) and the feature pipeline exposes as target-day
+// context (the site manager knows tomorrow's forecast).
+package weather
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"vup/internal/geo"
+	"vup/internal/randx"
+)
+
+// Day is one day of weather at a site.
+type Day struct {
+	// TempC is the daily mean temperature in Celsius.
+	TempC float64
+	// PrecipMM is the daily precipitation in millimetres.
+	PrecipMM float64
+}
+
+// Rainy reports whether the day had meaningful precipitation.
+func (d Day) Rainy() bool { return d.PrecipMM >= 1 }
+
+// Freezing reports whether the daily mean was below 0°C.
+func (d Day) Freezing() bool { return d.TempC < 0 }
+
+// climate holds per-region climatology.
+type climate struct {
+	meanTempC   float64 // annual mean
+	seasonalAmp float64 // summer-winter half-swing
+	rainProb    float64 // base daily rain probability
+	wetWinter   bool    // rain concentrated in the cold season
+	rainMeanMM  float64 // mean rainfall on wet days
+}
+
+var climates = map[string]climate{
+	"Europe":        {meanTempC: 11, seasonalAmp: 9, rainProb: 0.33, wetWinter: false, rainMeanMM: 6},
+	"North America": {meanTempC: 12, seasonalAmp: 12, rainProb: 0.28, wetWinter: false, rainMeanMM: 7},
+	"South America": {meanTempC: 20, seasonalAmp: 6, rainProb: 0.35, wetWinter: false, rainMeanMM: 9},
+	"Africa":        {meanTempC: 24, seasonalAmp: 5, rainProb: 0.18, wetWinter: false, rainMeanMM: 8},
+	"Middle East":   {meanTempC: 25, seasonalAmp: 9, rainProb: 0.06, wetWinter: true, rainMeanMM: 5},
+	"Asia":          {meanTempC: 20, seasonalAmp: 8, rainProb: 0.32, wetWinter: false, rainMeanMM: 10},
+	"Oceania":       {meanTempC: 17, seasonalAmp: 6, rainProb: 0.30, wetWinter: true, rainMeanMM: 7},
+}
+
+var defaultClimate = climate{meanTempC: 15, seasonalAmp: 8, rainProb: 0.25, rainMeanMM: 7}
+
+// Generator produces a deterministic daily weather series for one
+// site.
+type Generator struct {
+	country geo.Country
+	clim    climate
+	rng     *randx.RNG
+	anomaly float64 // AR(1) temperature anomaly state
+}
+
+// NewGenerator creates a generator for the country with the given
+// code. Unknown codes fall back to a temperate default climate in the
+// northern hemisphere.
+func NewGenerator(countryCode string, seed int64) *Generator {
+	country, err := geo.Lookup(countryCode)
+	if err != nil {
+		country = geo.Country{Code: countryCode}
+	}
+	clim, ok := climates[country.Region]
+	if !ok {
+		clim = defaultClimate
+	}
+	return &Generator{country: country, clim: clim, rng: randx.New(seed)}
+}
+
+// Country returns the generator's country.
+func (g *Generator) Country() geo.Country { return g.country }
+
+// Simulate returns days consecutive days of weather starting at start.
+func (g *Generator) Simulate(start time.Time, days int) ([]Day, error) {
+	if days <= 0 {
+		return nil, fmt.Errorf("weather: non-positive day count %d", days)
+	}
+	start = time.Date(start.Year(), start.Month(), start.Day(), 0, 0, 0, 0, time.UTC)
+	out := make([]Day, 0, days)
+	for i := 0; i < days; i++ {
+		date := start.AddDate(0, 0, i)
+		out = append(out, g.step(date))
+	}
+	return out, nil
+}
+
+// step advances the generator one day.
+func (g *Generator) step(date time.Time) Day {
+	// Seasonal temperature: peak around mid-July (northern) or
+	// mid-January (southern).
+	peakDoy := 196.0
+	if g.country.Hemisphere == geo.Southern {
+		peakDoy = 14.0
+	}
+	doy := float64(date.YearDay())
+	seasonalTemp := g.clim.meanTempC + g.clim.seasonalAmp*math.Cos(2*math.Pi*(doy-peakDoy)/365.25)
+
+	// AR(1) anomaly: weather fronts persist for days.
+	g.anomaly = 0.82*g.anomaly + g.rng.Normal(0, 1.8)
+	temp := seasonalTemp + g.anomaly + g.rng.Normal(0, 0.8)
+
+	// Precipitation: base probability modulated by season.
+	season := geo.SeasonOf(date, g.country.Hemisphere)
+	prob := g.clim.rainProb
+	switch {
+	case g.clim.wetWinter && season == geo.Winter:
+		prob *= 2.2
+	case g.clim.wetWinter && season == geo.Summer:
+		prob *= 0.3
+	case !g.clim.wetWinter && season == geo.Summer:
+		prob *= 1.2
+	}
+	if prob > 0.95 {
+		prob = 0.95
+	}
+	precip := 0.0
+	if g.rng.Bernoulli(prob) {
+		precip = g.rng.LogNormal(math.Log(g.clim.rainMeanMM), 0.8)
+		if precip > 200 {
+			precip = 200
+		}
+	}
+	return Day{TempC: temp, PrecipMM: precip}
+}
+
+// Channel names under which the weather series is attached to a
+// vehicle dataset.
+const (
+	ChanTemp   = "wx_temp_c"
+	ChanPrecip = "wx_precip_mm"
+)
+
+// WorkImpact returns the multiplicative activity damping weather
+// imposes on outdoor construction work: heavy rain and frost suppress
+// paving, rolling and digging. sensitivity in [0, 1] scales the
+// effect (0 = indoor/insensitive machine).
+func WorkImpact(d Day, sensitivity float64) float64 {
+	if sensitivity <= 0 {
+		return 1
+	}
+	impact := 1.0
+	switch {
+	case d.PrecipMM >= 10: // heavy rain: site mostly stops
+		impact *= 1 - 0.8*sensitivity
+	case d.PrecipMM >= 1: // light rain
+		impact *= 1 - 0.35*sensitivity
+	}
+	if d.TempC < 0 { // frost halts asphalt and concrete work
+		impact *= 1 - 0.6*sensitivity
+	} else if d.TempC < 5 {
+		impact *= 1 - 0.25*sensitivity
+	}
+	if impact < 0 {
+		impact = 0
+	}
+	return impact
+}

@@ -1,0 +1,196 @@
+package weather
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vup/internal/stats"
+)
+
+var start = time.Date(2015, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+func simulate(t *testing.T, code string, seed int64, days int) []Day {
+	t.Helper()
+	g := NewGenerator(code, seed)
+	wx, err := g.Simulate(start, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wx
+}
+
+func TestSimulateLengthAndErrors(t *testing.T) {
+	wx := simulate(t, "IT", 1, 365)
+	if len(wx) != 365 {
+		t.Fatalf("len = %d", len(wx))
+	}
+	g := NewGenerator("IT", 1)
+	if _, err := g.Simulate(start, 0); err == nil {
+		t.Error("zero days accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := simulate(t, "DE", 5, 200)
+	b := simulate(t, "DE", 5, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("day %d differs", i)
+		}
+	}
+	c := simulate(t, "DE", 6, 200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical weather")
+	}
+}
+
+func TestSeasonalTemperatureNorthern(t *testing.T) {
+	wx := simulate(t, "DE", 2, 3*365)
+	var julSum, janSum float64
+	var julN, janN int
+	for i, d := range wx {
+		date := start.AddDate(0, 0, i)
+		switch date.Month() {
+		case time.July:
+			julSum += d.TempC
+			julN++
+		case time.January:
+			janSum += d.TempC
+			janN++
+		}
+	}
+	jul, jan := julSum/float64(julN), janSum/float64(janN)
+	if jul <= jan+8 {
+		t.Errorf("German July (%v) not clearly warmer than January (%v)", jul, jan)
+	}
+}
+
+func TestSeasonalTemperatureSouthern(t *testing.T) {
+	wx := simulate(t, "AU", 3, 3*365)
+	var julSum, janSum float64
+	var julN, janN int
+	for i, d := range wx {
+		date := start.AddDate(0, 0, i)
+		switch date.Month() {
+		case time.July:
+			julSum += d.TempC
+			julN++
+		case time.January:
+			janSum += d.TempC
+			janN++
+		}
+	}
+	if janSum/float64(janN) <= julSum/float64(julN) {
+		t.Error("Australian January not warmer than July")
+	}
+}
+
+func TestAnomalyPersistence(t *testing.T) {
+	// AR(1) fronts: lag-1 autocorrelation of temperature must be high.
+	wx := simulate(t, "FR", 4, 730)
+	temps := make([]float64, len(wx))
+	for i, d := range wx {
+		temps[i] = d.TempC
+	}
+	acf := stats.ACF(temps, 3)
+	if acf[1] < 0.6 {
+		t.Errorf("temperature lag-1 ACF = %v, want persistent fronts", acf[1])
+	}
+}
+
+func TestRainStatistics(t *testing.T) {
+	wx := simulate(t, "GB", 5, 4*365)
+	rainy := 0
+	for _, d := range wx {
+		if d.PrecipMM < 0 || d.PrecipMM > 200 {
+			t.Fatalf("precip out of range: %v", d.PrecipMM)
+		}
+		if d.Rainy() {
+			rainy++
+		}
+	}
+	frac := float64(rainy) / float64(len(wx))
+	if frac < 0.15 || frac > 0.60 {
+		t.Errorf("European rain fraction = %v", frac)
+	}
+	// Desert climate rains much less.
+	sa := simulate(t, "SA", 6, 4*365)
+	saRainy := 0
+	for _, d := range sa {
+		if d.Rainy() {
+			saRainy++
+		}
+	}
+	if float64(saRainy)/float64(len(sa)) >= frac {
+		t.Errorf("Saudi rain (%d days) not below British (%d)", saRainy, rainy)
+	}
+}
+
+func TestDayPredicates(t *testing.T) {
+	if (Day{PrecipMM: 0.5}).Rainy() {
+		t.Error("0.5mm should not be rainy")
+	}
+	if !(Day{PrecipMM: 3}).Rainy() {
+		t.Error("3mm should be rainy")
+	}
+	if (Day{TempC: 1}).Freezing() {
+		t.Error("1C should not be freezing")
+	}
+	if !(Day{TempC: -4}).Freezing() {
+		t.Error("-4C should be freezing")
+	}
+}
+
+func TestUnknownCountryFallback(t *testing.T) {
+	g := NewGenerator("ZZ", 7)
+	wx, err := g.Simulate(start, 100)
+	if err != nil || len(wx) != 100 {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if g.Country().Code != "ZZ" {
+		t.Errorf("country = %q", g.Country().Code)
+	}
+}
+
+func TestWorkImpact(t *testing.T) {
+	dry := Day{TempC: 20}
+	if WorkImpact(dry, 1) != 1 {
+		t.Error("dry warm day should not damp work")
+	}
+	heavy := Day{TempC: 15, PrecipMM: 20}
+	if got := WorkImpact(heavy, 1); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("heavy rain impact = %v", got)
+	}
+	light := Day{TempC: 15, PrecipMM: 2}
+	if got := WorkImpact(light, 1); math.Abs(got-0.65) > 1e-9 {
+		t.Errorf("light rain impact = %v", got)
+	}
+	frost := Day{TempC: -5}
+	if got := WorkImpact(frost, 1); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("frost impact = %v", got)
+	}
+	chilly := Day{TempC: 3}
+	if got := WorkImpact(chilly, 1); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("chilly impact = %v", got)
+	}
+	// Insensitive machines are unaffected.
+	if WorkImpact(heavy, 0) != 1 {
+		t.Error("zero sensitivity should be unaffected")
+	}
+	// Half sensitivity halves the damping.
+	if got := WorkImpact(light, 0.5); math.Abs(got-0.825) > 1e-9 {
+		t.Errorf("half sensitivity = %v", got)
+	}
+	// Combined rain + frost never goes negative.
+	awful := Day{TempC: -10, PrecipMM: 50}
+	if got := WorkImpact(awful, 1); got < 0 || got > 0.1 {
+		t.Errorf("awful day impact = %v", got)
+	}
+}

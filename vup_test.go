@@ -1,0 +1,147 @@
+package vup
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"vup/internal/canbus"
+)
+
+// smallConfig trims the pipeline for test runtime.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Algorithm = AlgLasso
+	cfg.W = 90
+	cfg.K = 10
+	cfg.MaxLag = 21
+	cfg.Stride = 10
+	cfg.Channels = []string{canbus.ChanFuelRate}
+	return cfg
+}
+
+func smallDatasets(t *testing.T, n int) []*Dataset {
+	t.Helper()
+	fc := SmallFleet()
+	fc.Units = n
+	fc.Days = 400
+	ds, err := GenerateDatasets(fc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateDatasets(t *testing.T) {
+	ds := smallDatasets(t, 5)
+	if len(ds) != 5 {
+		t.Fatalf("datasets = %d", len(ds))
+	}
+	for _, d := range ds {
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if d.Len() != 400 {
+			t.Fatalf("len = %d", d.Len())
+		}
+	}
+}
+
+func TestEvaluateAndForecast(t *testing.T) {
+	ds := smallDatasets(t, 3)
+	cfg := smallConfig()
+	res, err := Evaluate(ds[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.PE) || len(res.Predictions) == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	hours, lags, err := Forecast(ds[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hours < 0 || hours > 24 || len(lags) == 0 {
+		t.Errorf("forecast = %v lags %v", hours, lags)
+	}
+}
+
+func TestEvaluateFleetFacade(t *testing.T) {
+	ds := smallDatasets(t, 4)
+	fr, err := EvaluateFleet(ds, smallConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.MeanPE <= 0 {
+		t.Errorf("MeanPE = %v", fr.MeanPE)
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if len(Algorithms()) != 6 {
+		t.Error("algorithm count wrong")
+	}
+	if NextDay.String() != "next-day" || NextWorkingDay.String() != "next-working-day" {
+		t.Error("scenario constants wrong")
+	}
+	if Sliding.String() != "sliding" || Expanding.String() != "expanding" {
+		t.Error("strategy constants wrong")
+	}
+	m, err := NewRegressor(AlgGB)
+	if err != nil || m.Name() != "GB" {
+		t.Errorf("NewRegressor = %v %v", m, err)
+	}
+	if StudyFleet().Units != 2239 {
+		t.Error("study fleet size wrong")
+	}
+	if len(Experiments()) != 16 {
+		t.Errorf("experiments = %v", Experiments())
+	}
+}
+
+func TestSaveLoadModelFacade(t *testing.T) {
+	ds := smallDatasets(t, 1)
+	m, err := NewRegressor(AlgLasso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train on a simple matrix derived from the dataset hours.
+	var x [][]float64
+	var y []float64
+	for i := 7; i < ds[0].Len(); i++ {
+		x = append(x, []float64{ds[0].Hours[i-1], ds[0].Hours[i-7]})
+		y = append(y, ds[0].Hours[i])
+	}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := m.Predict([]float64{3, 4})
+	got, err := loaded.Predict([]float64{3, 4})
+	if err != nil || got != want {
+		t.Errorf("round trip: %v vs %v (%v)", got, want, err)
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	cfg := SmallExperiments()
+	cfg.Units = 12
+	cfg.Days = 400
+	rep, err := RunExperiment("fig2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig2" || rep.Text == "" {
+		t.Errorf("report = %+v", rep)
+	}
+	if FullExperiments().Units != 2239 {
+		t.Error("full experiments scale wrong")
+	}
+}
