@@ -8,6 +8,8 @@
 //	vup-experiments -run fig5a           # one experiment
 //	vup-experiments -scale full -csv out # study scale, CSVs into out/
 //	vup-experiments -list                # list experiment IDs
+//	vup-experiments -run fig5a -timing   # append the per-algorithm stage
+//	                                     # timing table (Section 4.5, live)
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 		mdPath = flag.String("md", "", "write a combined Markdown report to this path (optional)")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		seed   = flag.Int64("seed", 1, "generation seed")
+		timing = flag.Bool("timing", false, "print the collected pipeline stage timings after the run (live Section 4.5 table)")
 	)
 	flag.Parse()
 
@@ -73,6 +76,19 @@ func main() {
 		if *csvDir != "" {
 			if err := writeCSVs(*csvDir, rep); err != nil {
 				log.Fatalf("%s: %v", id, err)
+			}
+		}
+		if *mdPath != "" {
+			md.WriteString(rep.RenderMarkdown())
+			md.WriteString("\n")
+		}
+	}
+	if *timing {
+		rep := experiments.StageTimings()
+		fmt.Println(rep.Render())
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, rep); err != nil {
+				log.Fatalf("%s: %v", rep.ID, err)
 			}
 		}
 		if *mdPath != "" {

@@ -1,25 +1,33 @@
 // Command vup-server serves the prediction pipeline over HTTP for a
-// generated synthetic fleet: vehicle listing, per-vehicle forecasts
-// and hold-out evaluations.
+// generated synthetic fleet: vehicle listing, per-vehicle forecasts,
+// hold-out evaluations and Prometheus metrics.
 //
 // Usage:
 //
-//	vup-server -addr :8080 -units 30 -days 600
+//	vup-server -addr :8080 -units 30 -days 600 [-debug-addr :6060]
 //
 // Endpoints:
 //
 //	GET /healthz
+//	GET /metrics                                  Prometheus text format
 //	GET /v1/vehicles
 //	GET /v1/vehicles/{id}
 //	GET /v1/vehicles/{id}/forecast?alg=SVR&scenario=next-working-day&w=140&k=20
 //	GET /v1/vehicles/{id}/evaluation?alg=Lasso&stride=10
+//
+// With -debug-addr set, a second listener serves Go runtime
+// diagnostics (opt-in, keep it off public interfaces):
+//
+//	GET /debug/pprof/       profiles (heap, goroutine, CPU via ?seconds=N)
+//	GET /debug/vars         expvar JSON (memstats, cmdline)
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,31 +35,40 @@ import (
 
 	"vup"
 	"vup/internal/canbus"
+	"vup/internal/obs"
 	"vup/internal/regress"
 	"vup/internal/server"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("vup-server: ")
-
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		units = flag.Int("units", 30, "fleet size to generate")
-		days  = flag.Int("days", 600, "observation days")
-		seed  = flag.Int64("seed", 1, "generation seed")
+		addr      = flag.String("addr", ":8080", "listen address")
+		debugAddr = flag.String("debug-addr", "", "optional listen address for pprof and expvar endpoints (e.g. :6060); disabled when empty")
+		units     = flag.Int("units", 30, "fleet size to generate")
+		days      = flag.Int("days", 600, "observation days")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		verbose   = flag.Bool("v", false, "log at debug level")
 	)
 	flag.Parse()
+
+	level := obs.LevelInfo
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	logg := obs.NewLogger(os.Stderr, level).With("component", "vup-server")
 
 	fc := vup.SmallFleet()
 	fc.Units = *units
 	fc.Days = *days
 	fc.Seed = *seed
-	log.Printf("generating %d vehicles x %d days...", *units, *days)
+	logg.Info("generating fleet", "units", *units, "days", *days, "seed", *seed)
+	start := time.Now()
 	datasets, err := vup.GenerateDatasets(fc, *seed+1)
 	if err != nil {
-		log.Fatal(err)
+		logg.Error("generation failed", "error", err)
+		os.Exit(1)
 	}
+	logg.Info("fleet ready", "vehicles", len(datasets), "took", time.Since(start).Round(time.Millisecond))
 
 	base := vup.DefaultConfig()
 	base.Algorithm = regress.AlgLasso // responsive default; override per request
@@ -68,24 +85,47 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, logg)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
+		logg.Info("listening", "addr", *addr)
 		errCh <- srv.ListenAndServe()
 	}()
 	select {
 	case err := <-errCh:
 		if err != nil && err != http.ErrServerClosed {
-			log.Fatal(err)
+			logg.Error("serve failed", "error", err)
+			os.Exit(1)
 		}
 	case <-ctx.Done():
-		log.Print("shutting down...")
+		logg.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Fatalf("shutdown: %v", err)
+			logg.Error("shutdown failed", "error", err)
+			os.Exit(1)
 		}
+	}
+}
+
+// serveDebug exposes the Go diagnostics endpoints on their own
+// listener so they never ride on the public API address.
+func serveDebug(addr string, logg *obs.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	dbg := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	logg.Info("debug endpoints listening", "addr", addr)
+	if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		logg.Error("debug listener failed", "error", err)
 	}
 }

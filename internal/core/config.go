@@ -155,10 +155,18 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// newModel builds a fresh regressor for the configuration.
+// newModel builds a fresh regressor for the configuration, wrapped so
+// its fit and predict durations land in the pipeline stage histograms.
 func (c Config) newModel() (regress.Regressor, error) {
+	var m regress.Regressor
+	var err error
 	if c.ModelFactory != nil {
-		return c.ModelFactory()
+		m, err = c.ModelFactory()
+	} else {
+		m, err = regress.New(c.Algorithm)
 	}
-	return regress.New(c.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	return regress.Instrument(m, observeStage), nil
 }

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"vup/internal/obs"
+	"vup/internal/regress"
+)
+
+// Pipeline stage histograms, the live counterpart of Section 4.5's
+// training-time analysis: every feature-matrix build, model fit and
+// single-row prediction anywhere in the process lands here, labeled by
+// the paper's algorithm names. Scrape them via obs.Handler (the
+// server's GET /metrics) or dump them with vup-experiments -timing.
+var (
+	featureBuildSeconds = obs.Default.Histogram(
+		"pipeline_feature_build_seconds",
+		"Feature-matrix assembly time per training window (lag selection excluded).",
+		obs.DurationBuckets)
+	fitSeconds = obs.Default.Histogram(
+		"pipeline_fit_seconds",
+		"Model training time per window, by algorithm (Section 4.5).",
+		obs.DurationBuckets, "algorithm")
+	predictSeconds = obs.Default.Histogram(
+		"pipeline_predict_seconds",
+		"Single-row prediction time, by algorithm.",
+		obs.DurationBuckets, "algorithm")
+)
+
+// observeStage routes regress.Instrument timings into the histograms.
+func observeStage(stage, algorithm string, seconds float64) {
+	switch stage {
+	case regress.StageFit:
+		fitSeconds.With(algorithm).Observe(seconds)
+	case regress.StagePredict:
+		predictSeconds.With(algorithm).Observe(seconds)
+	}
+}

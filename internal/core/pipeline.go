@@ -108,7 +108,9 @@ func EvaluateVehicle(d *etl.VehicleDataset, cfg Config) (*Result, error) {
 	for wi := 0; wi < len(windows); wi += cfg.Stride {
 		win := windows[wi]
 		spec := buildSpec(view, cfg, win.TrainFrom, win.TrainTo)
+		mt := time.Now()
 		x, y, _, err := spec.Matrix(view, win.TrainFrom, win.TrainTo)
+		featureBuildSeconds.With().ObserveSince(mt)
 		if err != nil || len(x) < cfg.MinTrainRows {
 			res.SkippedWindows++
 			continue
@@ -196,7 +198,9 @@ func ForecastWith(d *etl.VehicleDataset, cfg Config, target map[string]float64) 
 		trainFrom = n - cfg.W
 	}
 	spec := buildSpec(view, cfg, trainFrom, n)
+	mt := time.Now()
 	x, y, _, err := spec.Matrix(view, trainFrom, n)
+	featureBuildSeconds.With().ObserveSince(mt)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -267,7 +271,9 @@ func ForecastHorizon(d *etl.VehicleDataset, cfg Config, h int, targets []map[str
 		trainFrom = n - cfg.W
 	}
 	spec := buildSpec(view, cfg, trainFrom, n)
+	mt := time.Now()
 	x, y, _, err := spec.Matrix(view, trainFrom, n)
+	featureBuildSeconds.With().ObserveSince(mt)
 	if err != nil {
 		return nil, err
 	}

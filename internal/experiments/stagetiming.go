@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vup/internal/obs"
+)
+
+// stageRow aggregates one algorithm's collected stage timings.
+type stageRow struct {
+	alg       string
+	fits      uint64
+	fitTotal  float64 // seconds
+	fitP95    float64
+	predicts  uint64
+	predTotal float64
+	fitMean   float64
+	predMean  float64
+}
+
+// StageTimings renders the pipeline stage histograms the process has
+// collected so far (internal/core records every feature-matrix build,
+// fit and predict) as a per-algorithm table — the live counterpart of
+// Section 4.5's training-time comparison: after any sweep, tree
+// ensembles and baselines should sit orders of magnitude below SVR at
+// large w. Returns a Report so -timing output can join the CSV and
+// Markdown writers; the report is empty-safe when nothing ran.
+func StageTimings() *Report {
+	families := obs.Default.Gather()
+	rows := map[string]*stageRow{}
+	row := func(alg string) *stageRow {
+		r, ok := rows[alg]
+		if !ok {
+			r = &stageRow{alg: alg}
+			rows[alg] = r
+		}
+		return r
+	}
+	for _, fam := range families {
+		if fam.Name != "pipeline_fit_seconds" && fam.Name != "pipeline_predict_seconds" {
+			continue
+		}
+		for _, s := range fam.Samples {
+			alg := "?"
+			for _, l := range s.Labels {
+				if l.Name == "algorithm" {
+					alg = l.Value
+				}
+			}
+			r := row(alg)
+			if fam.Name == "pipeline_fit_seconds" {
+				r.fits, r.fitTotal = s.Count, s.Sum
+				r.fitMean, r.fitP95 = s.Mean(), s.Quantile(0.95)
+			} else {
+				r.predicts, r.predTotal = s.Count, s.Sum
+				r.predMean = s.Mean()
+			}
+		}
+	}
+
+	ordered := make([]*stageRow, 0, len(rows))
+	for _, r := range rows {
+		ordered = append(ordered, r)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].fitMean < ordered[j].fitMean })
+
+	rep := &Report{ID: "stage-timing", Title: "Collected pipeline stage timings (Section 4.5, live)"}
+	var b strings.Builder
+	if len(ordered) == 0 {
+		b.WriteString("no stage timings collected (run at least one evaluation or forecast)\n")
+		rep.Text = b.String()
+		return rep
+	}
+	table := Table{
+		Name:   "stage-timing",
+		Header: []string{"algorithm", "fits", "mean_fit_ms", "p95_fit_ms", "total_fit_s", "predicts", "mean_predict_ms"},
+	}
+	fmt.Fprintf(&b, "%-10s %10s %14s %14s %14s %10s %16s\n",
+		"algorithm", "fits", "mean fit (ms)", "p95 fit (ms)", "total fit (s)", "predicts", "mean pred (ms)")
+	for _, r := range ordered {
+		fmt.Fprintf(&b, "%-10s %10d %14.3f %14.3f %14.3f %10d %16.4f\n",
+			r.alg, r.fits, r.fitMean*1e3, r.fitP95*1e3, r.fitTotal, r.predicts, r.predMean*1e3)
+		table.Rows = append(table.Rows, []string{
+			r.alg,
+			strconv.FormatUint(r.fits, 10),
+			fmt.Sprintf("%.4f", r.fitMean*1e3),
+			fmt.Sprintf("%.4f", r.fitP95*1e3),
+			fmt.Sprintf("%.4f", r.fitTotal),
+			strconv.FormatUint(r.predicts, 10),
+			fmt.Sprintf("%.5f", r.predMean*1e3),
+		})
+	}
+	if s, ok := obs.FindSample(families, "pipeline_feature_build_seconds"); ok && s.Count > 0 {
+		fmt.Fprintf(&b, "\nfeature build: %d windows, mean %.3f ms, total %.3f s\n",
+			s.Count, s.Mean()*1e3, s.Sum)
+	}
+	rep.Text = b.String()
+	rep.Tables = append(rep.Tables, table)
+	return rep
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"vup/internal/obs"
+)
+
+func TestStageTimings(t *testing.T) {
+	// Registration is idempotent, so this resolves the same families
+	// internal/core records into.
+	fit := obs.Default.Histogram("pipeline_fit_seconds",
+		"Model training time per window, by algorithm (Section 4.5).",
+		obs.DurationBuckets, "algorithm")
+	pred := obs.Default.Histogram("pipeline_predict_seconds",
+		"Single-row prediction time, by algorithm.",
+		obs.DurationBuckets, "algorithm")
+	// SVR slow, RF fast — Section 4.5's ordering.
+	for i := 0; i < 4; i++ {
+		fit.With("SVR").Observe(2.0)
+		fit.With("RF").Observe(0.001)
+		pred.With("SVR").Observe(0.0001)
+		pred.With("RF").Observe(0.0001)
+	}
+
+	rep := StageTimings()
+	if rep.ID != "stage-timing" || len(rep.Tables) != 1 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	text := rep.Text
+	for _, alg := range []string{"SVR", "RF"} {
+		if !strings.Contains(text, alg) {
+			t.Errorf("report missing algorithm %s:\n%s", alg, text)
+		}
+	}
+	// Rows sort by mean fit ascending: RF must precede SVR.
+	if rf, svr := strings.Index(text, "RF"), strings.Index(text, "SVR"); rf > svr {
+		t.Errorf("RF (fast) should precede SVR (slow) in:\n%s", text)
+	}
+	var rfRow, svrRow []string
+	for _, row := range rep.Tables[0].Rows {
+		switch row[0] {
+		case "RF":
+			rfRow = row
+		case "SVR":
+			svrRow = row
+		}
+	}
+	if rfRow == nil || svrRow == nil {
+		t.Fatalf("table missing RF or SVR rows: %v", rep.Tables[0].Rows)
+	}
+	rfMean, err1 := strconv.ParseFloat(rfRow[2], 64)
+	svrMean, err2 := strconv.ParseFloat(svrRow[2], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unparseable mean fit cells %q, %q", rfRow[2], svrRow[2])
+	}
+	if rfMean >= svrMean {
+		t.Errorf("mean fit: RF %v ms should be below SVR %v ms", rfMean, svrMean)
+	}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bufio"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func expoRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("http_requests_total", "Requests served.", "route", "status")
+	c.With("/v1/vehicles", "2xx").Add(3)
+	c.With("/v1/vehicles", "4xx").Inc()
+	r.Gauge("in_flight", "In-flight requests.").With().Set(2)
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1})
+	h.With().Observe(0.05)
+	h.With().Observe(0.5)
+	h.With().Observe(5)
+	return r
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	var b strings.Builder
+	if err := expoRegistry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP http_requests_total Requests served.",
+		"# TYPE http_requests_total counter",
+		`http_requests_total{route="/v1/vehicles",status="2xx"} 3`,
+		`http_requests_total{route="/v1/vehicles",status="4xx"} 1`,
+		"# HELP in_flight In-flight requests.",
+		"# TYPE in_flight gauge",
+		"in_flight 2",
+		"# HELP latency_seconds Latency.",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 5.55",
+		"latency_seconds_count 3",
+		"",
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// sampleLine matches one Prometheus text-format sample.
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
+		`(NaN|[+-]?Inf|[+-]?[0-9.eE+-]+)$`)
+
+// parseExposition validates every line is a comment or a sample and
+// returns the sample lines.
+func parseExposition(t *testing.T, text string) []string {
+	t.Helper()
+	var samples []string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("unparseable exposition line: %q", line)
+			continue
+		}
+		samples = append(samples, line)
+	}
+	return samples
+}
+
+func TestHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	expoRegistry().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("content type %q", ct)
+	}
+	if n := len(parseExposition(t, rec.Body.String())); n != 8 {
+		t.Errorf("parsed %d samples, want 8", n)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", "line\nbreak and \\slash", "q").With(`va"l\ue` + "\n").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`# HELP weird_total line\nbreak and \\slash`,
+		`weird_total{q="va\"l\\ue\n"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

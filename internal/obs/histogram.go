@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram counts observations into fixed buckets. Observe is
+// lock-free: one atomic add into the containing bucket, one into the
+// total count and a CAS loop on the float64 sum. Snapshots taken
+// concurrently with observations are not a consistent cut (count, sum
+// and buckets may be a few observations apart), which is the standard
+// scrape-time trade-off and fine for monitoring.
+type Histogram struct {
+	upper   []float64       // sorted finite upper bounds
+	counts  []atomic.Uint64 // len(upper)+1; the last is the +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{
+		upper:  upper,
+		counts: make([]atomic.Uint64, len(upper)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound is >= v; falls through to +Inf.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start — the standard
+// stage-timer idiom: defer h.ObserveSince(time.Now()) does not work
+// (the argument is evaluated immediately), so call sites capture start
+// first.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// snapshot returns the cumulative bucket view used by Gather.
+func (h *Histogram) snapshot() (count uint64, sum float64, buckets []Bucket) {
+	buckets = make([]Bucket, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		upper := math.Inf(1)
+		if i < len(h.upper) {
+			upper = h.upper[i]
+		}
+		buckets[i] = Bucket{Upper: upper, Count: cum}
+	}
+	return h.count.Load(), h.Sum(), buckets
+}

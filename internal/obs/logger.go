@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int
+
+// The log levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Logger writes leveled key=value lines:
+//
+//	time=2026-08-05T09:00:00Z level=info msg="listening" addr=:8080
+//
+// Loggers derived with With share the destination and its mutex, so
+// one Logger tree is safe for concurrent use.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	min    Level
+	fields string // pre-rendered " k=v" pairs appended to every line
+	now    func() time.Time
+}
+
+// NewLogger returns a logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{mu: new(sync.Mutex), w: w, min: min, now: time.Now}
+}
+
+// With returns a child logger whose lines carry the extra key/value
+// pairs after msg. Keys and values alternate, as in Info.
+func (l *Logger) With(kv ...any) *Logger {
+	child := *l
+	child.fields = l.fields + renderPairs(kv)
+	return &child
+}
+
+// Enabled reports whether lines at level would be written.
+func (l *Logger) Enabled(level Level) bool { return level >= l.min }
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("time=")
+	b.WriteString(l.now().UTC().Format(time.RFC3339))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quote(msg))
+	b.WriteString(l.fields)
+	b.WriteString(renderPairs(kv))
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// A failed write to the log sink has no recovery channel.
+	_, _ = io.WriteString(l.w, b.String())
+}
+
+// renderPairs renders alternating key/value arguments as " k=v"; a
+// trailing key without a value renders with the marker value !MISSING.
+func renderPairs(kv []any) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		key := fmt.Sprint(kv[i])
+		val := "!MISSING"
+		if i+1 < len(kv) {
+			val = fmt.Sprint(kv[i+1])
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(quote(val))
+	}
+	return b.String()
+}
+
+// quote wraps values that contain whitespace, quotes or '=' in Go
+// string-literal quoting; bare tokens pass through unchanged.
+func quote(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testLogger(min Level) (*Logger, *strings.Builder) {
+	var b strings.Builder
+	l := NewLogger(&b, min)
+	l.now = func() time.Time { return time.Date(2026, 8, 5, 9, 0, 0, 0, time.UTC) }
+	return l, &b
+}
+
+func TestLoggerFormat(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	l.Info("listening", "addr", ":8080", "units", 30)
+	want := `time=2026-08-05T09:00:00Z level=info msg=listening addr=:8080 units=30` + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("line = %q, want %q", got, want)
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	l.Warn("write failed", "error", `broken pipe: x="y"`, "empty", "")
+	got := b.String()
+	for _, want := range []string{
+		`msg="write failed"`,
+		`error="broken pipe: x=\"y\""`,
+		`empty=""`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in %q", want, got)
+		}
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	l, b := testLogger(LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	got := b.String()
+	if strings.Contains(got, "level=debug") || strings.Contains(got, "level=info") {
+		t.Errorf("below-threshold lines written: %q", got)
+	}
+	if !strings.Contains(got, "level=warn") || !strings.Contains(got, "level=error") {
+		t.Errorf("threshold lines missing: %q", got)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Error("Enabled thresholds wrong")
+	}
+}
+
+func TestLoggerWithAndOddPairs(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	l.With("component", "server").Info("up", "dangling")
+	got := b.String()
+	if !strings.Contains(got, "component=server") {
+		t.Errorf("With field missing: %q", got)
+	}
+	if !strings.Contains(got, "dangling=!MISSING") {
+		t.Errorf("odd pair marker missing: %q", got)
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Info("tick", "j", j)
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "time=") || !strings.Contains(line, "msg=tick") {
+			t.Fatalf("interleaved line: %q", line)
+		}
+	}
+}

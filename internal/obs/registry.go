@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType discriminates the exposition families.
+type MetricType int
+
+// The supported metric types.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+// String implements fmt.Stringer with the Prometheus TYPE keywords.
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds named metric families. All methods are safe for
+// concurrent use. Registering the same name twice returns the existing
+// family when type and label names match, and panics otherwise — a
+// name collision is a programming error, caught at init.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed label-name schema and one
+// child time series per distinct label-value tuple.
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	labels  []string
+	buckets []float64 // histogram upper bounds, sorted, without +Inf
+
+	mu       sync.RWMutex
+	children map[string]any
+}
+
+// labelKey joins label values with a separator that cannot appear in
+// practice-safe label values (0x1f, the ASCII unit separator).
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+func (r *Registry) register(name, help string, typ MetricType, buckets []float64, labels []string) *family {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different type or labels", name))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		typ:      typ,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]any),
+	}
+	sort.Float64s(f.buckets)
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// child returns the metric for one label-value tuple, creating it on
+// first use. The fast path is a read-locked map hit.
+func (f *family) child(values []string, make func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = make()
+	f.children[key] = c
+	return c
+}
+
+// Counter registers (or fetches) a monotonically increasing counter
+// family with the given label names.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, TypeCounter, nil, labels)}
+}
+
+// Gauge registers (or fetches) a gauge family — a value that can go up
+// and down, e.g. in-flight requests.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, TypeGauge, nil, labels)}
+}
+
+// Histogram registers (or fetches) a fixed-bucket histogram family.
+// buckets are upper bounds; a final +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DurationBuckets
+	}
+	return &HistogramVec{r.register(name, help, TypeHistogram, buckets, labels)}
+}
+
+// CounterVec is a counter family; With resolves one time series.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the label values, creating it on first
+// use. Value count must match the registered label names.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.child(labelValues, func() any { return new(Counter) }).(*Counter)
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ n atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// GaugeVec is a gauge family; With resolves one time series.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.child(labelValues, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Gauge is an atomically updated float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (negative to decrease) with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// HistogramVec is a histogram family; With resolves one time series.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	f := v.f
+	return f.child(labelValues, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// Label is one exposition label name/value pair.
+type Label struct{ Name, Value string }
+
+// Bucket is one cumulative histogram bucket; Upper is math.Inf(1) for
+// the implicit +Inf bucket.
+type Bucket struct {
+	Upper float64
+	Count uint64
+}
+
+// Sample is a point-in-time reading of one time series. Value carries
+// counters (as float) and gauges; Count, Sum and Buckets carry
+// histograms.
+type Sample struct {
+	Labels  []Label
+	Value   float64
+	Count   uint64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// Mean returns Sum/Count for histogram samples, 0 when empty.
+func (s Sample) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of a histogram sample
+// by linear interpolation within the containing bucket, the same
+// estimate Prometheus' histogram_quantile computes. Observations in
+// the +Inf bucket clamp to the largest finite bound.
+func (s Sample) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	prevUpper, prevCount := 0.0, uint64(0)
+	for _, b := range s.Buckets {
+		if float64(b.Count) >= rank {
+			if math.IsInf(b.Upper, 1) || b.Count == prevCount {
+				return prevUpper
+			}
+			frac := (rank - float64(prevCount)) / float64(b.Count-prevCount)
+			return prevUpper + (b.Upper-prevUpper)*frac
+		}
+		prevUpper, prevCount = b.Upper, b.Count
+	}
+	return prevUpper
+}
+
+// Family is a point-in-time reading of one metric family.
+type Family struct {
+	Name    string
+	Help    string
+	Type    MetricType
+	Samples []Sample
+}
+
+// Gather snapshots every family, sorted by name; samples are sorted by
+// label values so output is deterministic.
+func (r *Registry) Gather() []Family {
+	r.mu.Lock()
+	families := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		families = append(families, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+
+	out := make([]Family, 0, len(families))
+	for _, f := range families {
+		out = append(out, f.gather())
+	}
+	return out
+}
+
+func (f *family) gather() Family {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fam := Family{Name: f.name, Help: f.help, Type: f.typ, Samples: make([]Sample, 0, len(keys))}
+	for _, key := range keys {
+		var s Sample
+		var values []string
+		if key != "" || len(f.labels) > 0 {
+			values = strings.Split(key, "\x1f")
+		}
+		for i, name := range f.labels {
+			s.Labels = append(s.Labels, Label{Name: name, Value: values[i]})
+		}
+		switch c := f.children[key].(type) {
+		case *Counter:
+			s.Value = float64(c.Value())
+		case *Gauge:
+			s.Value = c.Value()
+		case *Histogram:
+			s.Count, s.Sum, s.Buckets = c.snapshot()
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	f.mu.RUnlock()
+	return fam
+}
+
+// FindSample returns the sample of family name whose labels exactly
+// match the given name/value pairs, for tests and report tables.
+func FindSample(families []Family, name string, labels ...Label) (Sample, bool) {
+	for _, fam := range families {
+		if fam.Name != name {
+			continue
+		}
+		for _, s := range fam.Samples {
+			if labelsMatch(s.Labels, labels) {
+				return s, true
+			}
+		}
+	}
+	return Sample{}, false
+}
+
+func labelsMatch(have, want []Label) bool {
+	if len(have) != len(want) {
+		return false
+	}
+	for i := range have {
+		if have[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

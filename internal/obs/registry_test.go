@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "help", "route")
+	c.With("/a").Inc()
+	c.With("/a").Add(2)
+	c.With("/b").Inc()
+	if got := c.With("/a").Value(); got != 3 {
+		t.Errorf("counter /a = %d, want 3", got)
+	}
+	if got := c.With("/b").Value(); got != 1 {
+		t.Errorf("counter /b = %d, want 1", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("in_flight", "help")
+	g.With().Set(5)
+	g.With().Add(2.5)
+	g.With().Dec()
+	if got := g.With().Value(); got != 6.5 {
+		t.Errorf("gauge = %v, want 6.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency", "help", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.With().Observe(v)
+	}
+	if got := h.With().Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got, want := h.With().Sum(), 102.65; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	s, ok := FindSample(r.Gather(), "latency")
+	if !ok {
+		t.Fatal("latency sample missing")
+	}
+	// Cumulative: <=0.1 holds 0.05 and 0.1; <=1 adds 0.5; <=10 adds 2;
+	// +Inf adds 100.
+	wantCum := []uint64{2, 3, 4, 5}
+	if len(s.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Buckets), len(wantCum))
+	}
+	for i, want := range wantCum {
+		if s.Buckets[i].Count != want {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, s.Buckets[i].Count, want)
+		}
+	}
+	if !math.IsInf(s.Buckets[len(s.Buckets)-1].Upper, 1) {
+		t.Error("last bucket should be +Inf")
+	}
+}
+
+func TestSampleQuantileAndMean(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "help", []float64{1, 2, 4})
+	// 10 observations uniform in (0, 1]: the median interpolates to
+	// the middle of the first bucket.
+	for i := 0; i < 10; i++ {
+		h.With().Observe(0.5)
+	}
+	s, _ := FindSample(r.Gather(), "q")
+	if got := s.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.5", got)
+	}
+	if got := s.Mean(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("mean = %v, want 0.5", got)
+	}
+	if got := (Sample{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestRegisterIdempotentAndConflicts(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "help", "x")
+	b := r.Counter("dup_total", "help", "x")
+	a.With("1").Inc()
+	if got := b.With("1").Value(); got != 1 {
+		t.Errorf("re-registration returned a different family (value %d)", got)
+	}
+	assertPanics(t, "type change", func() { r.Gauge("dup_total", "help", "x") })
+	assertPanics(t, "label change", func() { r.Counter("dup_total", "help", "y") })
+	assertPanics(t, "label arity", func() { a.With("1", "2").Inc() })
+	assertPanics(t, "empty name", func() { r.Counter("", "help") })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help", "worker")
+	g := r.Gauge("g", "help")
+	h := r.Histogram("h", "help", []float64{0.5})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('a' + w%2))
+			for i := 0; i < per; i++ {
+				c.With(label).Inc()
+				g.With().Add(1)
+				h.With().Observe(0.25)
+				_ = r.Gather() // concurrent scrapes must be safe too
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := c.With("a").Value() + c.With("b").Value()
+	if total != workers*per {
+		t.Errorf("counter total = %d, want %d", total, workers*per)
+	}
+	if got := g.With().Value(); got != workers*per {
+		t.Errorf("gauge = %v, want %d", got, workers*per)
+	}
+	if got := h.With().Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}

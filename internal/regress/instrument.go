@@ -1,0 +1,68 @@
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Stage labels reported by Instrument, mirroring the pipeline phases
+// whose cost Section 4.5 compares.
+const (
+	StageFit     = "fit"
+	StagePredict = "predict"
+)
+
+// Observer receives the wall-clock duration of one model stage. The
+// algorithm is the model's Name() (the paper's figure label), so
+// observations aggregate per algorithm.
+type Observer func(stage, algorithm string, seconds float64)
+
+// Instrument wraps m so the duration of every Fit and Predict call is
+// reported to observe, even when the call errors. A nil observe
+// returns m unchanged.
+func Instrument(m Regressor, observe Observer) Regressor {
+	if observe == nil {
+		return m
+	}
+	return &instrumented{m: m, observe: observe}
+}
+
+type instrumented struct {
+	m       Regressor
+	observe Observer
+}
+
+func (t *instrumented) Fit(x [][]float64, y []float64) error {
+	start := time.Now()
+	err := t.m.Fit(x, y)
+	t.observe(StageFit, t.m.Name(), time.Since(start).Seconds())
+	return err
+}
+
+func (t *instrumented) Predict(x []float64) (float64, error) {
+	start := time.Now()
+	v, err := t.m.Predict(x)
+	t.observe(StagePredict, t.m.Name(), time.Since(start).Seconds())
+	return v, err
+}
+
+func (t *instrumented) Name() string { return t.m.Name() }
+
+// state and restore delegate persistence to the wrapped model, so an
+// instrumented model round-trips through Save/Load like a bare one.
+func (t *instrumented) state() (any, error) {
+	p, ok := t.m.(persistable)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T does not support persistence", ErrPersist, t.m)
+	}
+	return p.state()
+}
+
+func (t *instrumented) restore(raw json.RawMessage) error {
+	p, ok := t.m.(persistable)
+	if !ok {
+		return fmt.Errorf("%w: %T does not support persistence", ErrPersist, t.m)
+	}
+	return p.restore(raw)
+}

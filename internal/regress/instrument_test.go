@@ -1,0 +1,91 @@
+package regress
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+type stageCall struct {
+	stage, alg string
+	seconds    float64
+}
+
+func TestInstrumentReportsStages(t *testing.T) {
+	var calls []stageCall
+	m := Instrument(NewLastValue(), func(stage, alg string, seconds float64) {
+		calls = append(calls, stageCall{stage, alg, seconds})
+	})
+	if m.Name() != "LV" {
+		t.Errorf("name = %q, want LV", m.Name())
+	}
+	x := [][]float64{{1}, {2}}
+	y := []float64{3, 4}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 {
+		t.Fatalf("got %d observations, want 2", len(calls))
+	}
+	if calls[0].stage != StageFit || calls[1].stage != StagePredict {
+		t.Errorf("stages = %v", calls)
+	}
+	for _, c := range calls {
+		if c.alg != "LV" {
+			t.Errorf("algorithm label = %q, want LV", c.alg)
+		}
+		if c.seconds < 0 {
+			t.Errorf("negative duration %v", c.seconds)
+		}
+	}
+}
+
+func TestInstrumentObservesErrors(t *testing.T) {
+	var calls int
+	m := Instrument(NewLinear(), func(_, _ string, _ float64) { calls++ })
+	if err := m.Fit(nil, nil); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("err = %v, want ErrBadShape", err)
+	}
+	if _, err := m.Predict([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("err = %v, want ErrNotTrained", err)
+	}
+	if calls != 2 {
+		t.Errorf("observed %d stages, want 2 (errors must still be timed)", calls)
+	}
+}
+
+func TestInstrumentNilObserver(t *testing.T) {
+	base := NewLasso()
+	if m := Instrument(base, nil); m != base {
+		t.Error("nil observer should return the model unchanged")
+	}
+}
+
+func TestInstrumentPersistence(t *testing.T) {
+	m := Instrument(NewLinear(), func(_, _ string, _ float64) {})
+	if err := m.Fit([][]float64{{1}, {2}, {3}}, []float64{2, 4, 6}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Predict([]float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Predict([]float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("loaded prediction %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"vup/internal/obs"
+)
+
+// HTTP telemetry, registered on the process-wide registry so the
+// binary's GET /metrics exposes it alongside the pipeline stage
+// histograms. Routes are labeled with the mux pattern (not the raw
+// URL) to keep cardinality bounded.
+var (
+	httpRequests = obs.Default.Counter(
+		"http_requests_total",
+		"HTTP requests served, by route pattern and status class.",
+		"route", "status")
+	httpInFlight = obs.Default.Gauge(
+		"http_in_flight_requests",
+		"Requests currently being served.")
+	httpDuration = obs.Default.Histogram(
+		"http_request_duration_seconds",
+		"Request latency by route pattern.",
+		obs.DurationBuckets, "route")
+	writeErrors = obs.Default.Counter(
+		"server_write_errors_total",
+		"Response bodies that failed to encode or write after the header was sent.")
+)
+
+// serverLog carries encode/write failures that can no longer reach the
+// client; the HTTP status is already on the wire by then.
+var serverLog = obs.DefaultLogger().With("component", "server")
+
+// statusWriter records the status code a handler sent.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// statusClass folds a status code into its Prometheus-conventional
+// class label ("2xx", "4xx", ...).
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// instrument wraps a handler with the per-route telemetry: request
+// counter by status class, in-flight gauge and latency histogram.
+func instrument(route string, h http.HandlerFunc) http.Handler {
+	requests2xx := httpRequests.With(route, "2xx") // warm the hot child
+	duration := httpDuration.With(route)
+	inFlight := httpInFlight.With()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inFlight.Inc()
+		defer inFlight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		status := sw.status
+		if status == 0 {
+			// Handler wrote nothing; net/http sends 200 on return.
+			status = http.StatusOK
+		}
+		if class := statusClass(status); class == "2xx" {
+			requests2xx.Inc()
+		} else {
+			httpRequests.With(route, class).Inc()
+		}
+		duration.ObserveSince(start)
+	})
+}

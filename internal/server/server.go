@@ -17,6 +17,7 @@ import (
 	"vup/internal/classify"
 	"vup/internal/core"
 	"vup/internal/etl"
+	"vup/internal/obs"
 	"vup/internal/regress"
 )
 
@@ -44,6 +45,13 @@ func (s *Store) Get(id string) (*etl.VehicleDataset, bool) {
 	return d, ok
 }
 
+// Len returns the number of vehicles without building the ID slice.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.datasets)
+}
+
 // IDs returns every vehicle ID, sorted.
 func (s *Store) IDs() []string {
 	s.mu.RLock()
@@ -68,15 +76,19 @@ func New(store *Store, base core.Config) *API {
 	return &API{store: store, Base: base}
 }
 
-// Handler returns the routed http.Handler.
+// Handler returns the routed http.Handler. Every API route is wrapped
+// in the telemetry middleware (route label = pattern without method);
+// /metrics itself is served unwrapped so scrapes do not pollute the
+// request counters.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", a.handleHealth)
-	mux.HandleFunc("GET /v1/vehicles", a.handleVehicles)
-	mux.HandleFunc("GET /v1/vehicles/{id}", a.handleVehicle)
-	mux.HandleFunc("GET /v1/vehicles/{id}/forecast", a.handleForecast)
-	mux.HandleFunc("GET /v1/vehicles/{id}/evaluation", a.handleEvaluation)
-	mux.HandleFunc("GET /v1/vehicles/{id}/levels", a.handleLevels)
+	mux.Handle("GET /healthz", instrument("/healthz", a.handleHealth))
+	mux.Handle("GET /v1/vehicles", instrument("/v1/vehicles", a.handleVehicles))
+	mux.Handle("GET /v1/vehicles/{id}", instrument("/v1/vehicles/{id}", a.handleVehicle))
+	mux.Handle("GET /v1/vehicles/{id}/forecast", instrument("/v1/vehicles/{id}/forecast", a.handleForecast))
+	mux.Handle("GET /v1/vehicles/{id}/evaluation", instrument("/v1/vehicles/{id}/evaluation", a.handleEvaluation))
+	mux.Handle("GET /v1/vehicles/{id}/levels", instrument("/v1/vehicles/{id}/levels", a.handleLevels))
+	mux.Handle("GET /metrics", obs.Handler())
 	return mux
 }
 
@@ -88,9 +100,12 @@ type errorBody struct {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	// Encoding errors after the header is written can only be logged;
-	// for these small payloads they do not occur.
-	_ = json.NewEncoder(w).Encode(v)
+	// The header is already on the wire, so an encoding or write
+	// failure can only be counted and logged.
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		writeErrors.With().Inc()
+		serverLog.Warn("response write failed", "status", status, "error", err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -98,7 +113,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "vehicles": len(a.store.IDs())})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "vehicles": a.store.Len()})
 }
 
 // vehicleSummary is the listing payload.
