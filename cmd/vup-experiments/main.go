@@ -10,6 +10,13 @@
 //	vup-experiments -list                # list experiment IDs
 //	vup-experiments -run fig5a -timing   # append the per-algorithm stage
 //	                                     # timing table (Section 4.5, live)
+//	vup-experiments -workers 1           # sequential sweep (byte-identical
+//	                                     # report, reference for timings)
+//
+// The sweeps fan out on a bounded worker pool (internal/parallel);
+// -workers caps it (default: all CPUs). Reports are byte-identical for
+// any -workers value: progress and wall-clock lines go to stderr, so
+// stdout can be diffed across settings.
 package main
 
 import (
@@ -29,13 +36,14 @@ func main() {
 	log.SetPrefix("vup-experiments: ")
 
 	var (
-		runID  = flag.String("run", "all", "experiment id to run, or \"all\"")
-		scale  = flag.String("scale", "small", `"small" (laptop) or "full" (study scale)`)
-		csvDir = flag.String("csv", "", "directory to write the regenerated data series as CSV (optional)")
-		mdPath = flag.String("md", "", "write a combined Markdown report to this path (optional)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		seed   = flag.Int64("seed", 1, "generation seed")
-		timing = flag.Bool("timing", false, "print the collected pipeline stage timings after the run (live Section 4.5 table)")
+		runID   = flag.String("run", "all", "experiment id to run, or \"all\"")
+		scale   = flag.String("scale", "small", `"small" (laptop) or "full" (study scale)`)
+		csvDir  = flag.String("csv", "", "directory to write the regenerated data series as CSV (optional)")
+		mdPath  = flag.String("md", "", "write a combined Markdown report to this path (optional)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		timing  = flag.Bool("timing", false, "print the collected pipeline stage timings after the run (live Section 4.5 table)")
+		workers = flag.Int("workers", 0, "worker-pool size for the parallel sweeps (<=0: all CPUs; 1: sequential). Reports are byte-identical at any setting")
 	)
 	flag.Parse()
 
@@ -56,6 +64,7 @@ func main() {
 		log.Fatalf("unknown scale %q (want small or full)", *scale)
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	ids := experiments.IDs()
 	if *runID != "all" {
@@ -72,7 +81,10 @@ func main() {
 			log.Fatalf("%s: %v", id, err)
 		}
 		fmt.Println(rep.Render())
-		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+		// Wall-clock goes to stderr: stdout stays byte-identical across
+		// -workers settings (the determinism contract of the sweeps).
+		log.Printf("%s regenerated in %v", id, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {
 			if err := writeCSVs(*csvDir, rep); err != nil {
 				log.Fatalf("%s: %v", id, err)

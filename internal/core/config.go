@@ -1,9 +1,3 @@
-// Package core implements the paper's primary contribution: the
-// per-vehicle utilization-hours prediction pipeline. For each vehicle
-// it generates training data with the sliding-window approach, selects
-// the K most autocorrelated lags, trains a regression model, predicts
-// the next (working) day and evaluates the Percentage Error under the
-// sliding- or expanding-window hold-out strategies of Section 4.1.
 package core
 
 import (
@@ -82,6 +76,19 @@ type Config struct {
 	// MinTrainRows skips windows whose training matrix ends up
 	// smaller than this (default 10).
 	MinTrainRows int
+	// Stage labels the fleet-evaluation worker pool's telemetry
+	// (sweep_job_seconds, sweep_jobs_in_flight); experiment runners set
+	// it to their experiment id. Empty defaults to "fleet". It has no
+	// effect on results.
+	Stage string
+}
+
+// stage returns the telemetry label for fleet evaluations.
+func (c Config) stage() string {
+	if c.Stage == "" {
+		return "fleet"
+	}
+	return c.Stage
 }
 
 // DefaultConfig returns the paper's recommended settings: SVR, K=20,

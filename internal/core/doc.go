@@ -1,0 +1,22 @@
+// Package core implements the paper's primary contribution (Section 3
+// and the evaluation procedure of Section 4.1): the per-vehicle
+// utilization-hours prediction pipeline. For each vehicle it generates
+// training data with the sliding-window approach, selects the K most
+// autocorrelated lags (delegated to [vup/internal/featsel]), trains a
+// regression model from [vup/internal/regress], predicts the next
+// (working) day and evaluates the Percentage Error under the sliding-
+// or expanding-window hold-out strategies of Figure 3
+// ([vup/internal/timeseries]).
+//
+// [EvaluateVehicle] is the unit of work of the whole evaluation
+// campaign: [EvaluateFleet] fans it out over the vehicles on the
+// bounded worker pool of [vup/internal/parallel] and aggregates the
+// per-vehicle errors deterministically (evaluation step 6), feeding
+// the Figure 4 sweep, the Figure 5 comparison and the by-type table
+// that [vup/internal/experiments] renders. [Forecast],
+// [ForecastHorizon] and [ForecastInterval] expose the same pipeline
+// for serving (goal iii, confidence intervals included).
+//
+// Every feature-matrix build, fit and predict is timed into the
+// [vup/internal/obs] stage histograms — the live Section 4.5 table.
+package core

@@ -1,12 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"vup/internal/etl"
+	"vup/internal/parallel"
 	"vup/internal/stats"
 )
 
@@ -28,10 +28,15 @@ type FleetResult struct {
 	Failed map[string]error
 }
 
-// EvaluateFleet evaluates cfg on every dataset concurrently with the
-// given number of workers (<=0 selects GOMAXPROCS). Vehicles that
-// cannot be evaluated (short series, all-idle) are collected in
-// Failed rather than aborting the fleet run.
+// EvaluateFleet evaluates cfg on every dataset through the bounded
+// worker pool of vup/internal/parallel (<=0 workers selects every
+// CPU). Vehicles that cannot be evaluated (short series, all-idle) are
+// collected in Failed rather than aborting the fleet run.
+//
+// The result is deterministic in the inputs and independent of
+// workers: per-vehicle outcomes land in pre-sized slices by index and
+// are aggregated in dataset order after the pool drains, so a
+// workers=N run is byte-identical to the sequential one.
 func EvaluateFleet(datasets []*etl.VehicleDataset, cfg Config, workers int) (*FleetResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -39,47 +44,24 @@ func EvaluateFleet(datasets []*etl.VehicleDataset, cfg Config, workers int) (*Fl
 	if len(datasets) == 0 {
 		return nil, fmt.Errorf("%w: empty fleet", ErrNoPredictions)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	results := make([]*Result, len(datasets))
+	failures := make([]error, len(datasets))
+	err := parallel.ForEach(context.Background(), len(datasets),
+		parallel.Options{Workers: workers, Stage: cfg.stage()},
+		func(_ context.Context, i int) error {
+			// Per-vehicle failures are data conditions, not pool
+			// errors: record them by index and keep the fan-out alive.
+			results[i], failures[i] = EvaluateVehicle(datasets[i], cfg)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	type outcome struct {
-		idx int
-		res *Result
-		err error
-	}
-	jobs := make(chan int)
-	results := make(chan outcome)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				res, err := EvaluateVehicle(datasets[idx], cfg)
-				results <- outcome{idx: idx, res: res, err: err}
-			}
-		}()
-	}
-	go func() {
-		for i := range datasets {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
 
 	fr := &FleetResult{Failed: map[string]error{}}
-	ordered := make([]*Result, len(datasets))
-	for oc := range results {
-		if oc.err != nil {
-			fr.Failed[datasets[oc.idx].VehicleID] = oc.err
-			continue
-		}
-		ordered[oc.idx] = oc.res
-	}
-	for _, res := range ordered {
-		if res == nil {
+	for i, res := range results {
+		if failures[i] != nil {
+			fr.Failed[datasets[i].VehicleID] = failures[i]
 			continue
 		}
 		fr.Results = append(fr.Results, res)

@@ -8,7 +8,6 @@ import (
 	"vup/internal/core"
 	"vup/internal/etl"
 	"vup/internal/fleet"
-	"vup/internal/randx"
 	"vup/internal/regress"
 	"vup/internal/textplot"
 )
@@ -28,28 +27,37 @@ func runByType(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	usage := f.SimulateAll()
-	rng := randx.New(cfg.Seed + 31337)
+	usage := f.SimulateAllWorkers(cfg.Workers)
 
 	// Stratified sample: up to perType units of every type present.
+	// Unit selection is a sequential scan (the quota depends on what
+	// was already kept); dataset construction then fans out with the
+	// per-unit RNGs pre-split in scan order (see splitUnitRNGs).
 	perType := (cfg.EvalVehicles + 1) / 2
 	if perType < 1 {
 		perType = 1
 	}
-	byType := map[fleet.Type][]*etl.VehicleDataset{}
+	var units []fleet.Unit
+	kept := map[fleet.Type]int{}
 	for _, u := range f.Units {
 		t := u.Vehicle.Model.Type
-		if len(byType[t]) >= perType {
+		if kept[t] >= perType {
 			continue
 		}
-		d, err := etl.FromUsage(u, usage[u.Vehicle.ID], rng.Split())
-		if err != nil {
-			return nil, err
-		}
-		byType[t] = append(byType[t], d)
+		kept[t]++
+		units = append(units, u)
+	}
+	rngs := splitUnitRNGs(cfg.Seed, byTypeSalt, len(units))
+	datasets, err := buildDatasets(units, usage, rngs, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	byType := map[fleet.Type][]*etl.VehicleDataset{}
+	for i, u := range units {
+		byType[u.Vehicle.Model.Type] = append(byType[u.Vehicle.Model.Type], datasets[i])
 	}
 
-	pc := pipelineConfig(cfg, regress.AlgLasso, core.NextWorkingDay)
+	pc := pipelineConfig(cfg, regress.AlgLasso, core.NextWorkingDay, "by-type")
 	table := Table{Name: "by_type", Header: []string{"type", "vehicles", "mean_pe", "median_pe", "failed"}}
 	type row struct {
 		name   string

@@ -21,13 +21,14 @@ func init() {
 	register("fig3", "Sliding vs expanding evaluation windows", runFig3)
 }
 
-// generateFleet builds the fleet and its usage series for cfg.
+// generateFleet builds the fleet and its usage series for cfg; the
+// per-unit simulation runs on the worker pool.
 func generateFleet(cfg Config) (*fleet.Fleet, map[string][]fleet.DayUsage, error) {
 	f, err := fleet.Generate(fleet.Config{Units: cfg.Units, Start: fleet.StudyStart, Days: cfg.Days, Seed: cfg.Seed})
 	if err != nil {
 		return nil, nil, err
 	}
-	return f, f.SimulateAll(), nil
+	return f, f.SimulateAllWorkers(cfg.Workers), nil
 }
 
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

@@ -1,11 +1,3 @@
-// Package experiments regenerates every table and figure of the
-// paper's evaluation (Section 4) on the synthetic fleet: the data
-// characterization of Figure 1, the autocorrelation example of
-// Figure 2, the window strategies of Figure 3, the K×w parameter sweep
-// of Figure 4, the algorithm comparison of Figure 5, the predicted-vs-
-// actual series of Figure 6 and the training-time table of
-// Section 4.5. Each experiment returns structured rows (for CSV) plus
-// an ASCII rendering.
 package experiments
 
 import (

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"vup/internal/etl"
+	"vup/internal/fleet"
+	"vup/internal/parallel"
+	"vup/internal/randx"
+	"vup/internal/weather"
+)
+
+// Per-runner dataset RNG salts. Distinct salts keep the evaluation,
+// weather-extension and by-type fleets on independent streams; the
+// values are frozen because every measured table in EXPERIMENTS.md was
+// produced under them.
+const (
+	evalSalt    = 7777
+	weatherSalt = 555
+	byTypeSalt  = 31337
+)
+
+// splitUnitRNGs derives one independent RNG per selected unit from the
+// run seed. It is the single source of per-vehicle dataset randomness
+// for every runner: fig4/fig5/fig6/tuning/timing via evalDatasets,
+// ext-weather via weatherDatasets and by-type via runByType all seed
+// through here, so they share one ordering rule.
+//
+// Determinism contract: exactly one Split per selected unit, performed
+// in fleet scan order BEFORE any parallel fan-out. Jobs then receive
+// their stream by index, never draw from a shared RNG, and dataset
+// construction (and everything downstream) is byte-identical for
+// Workers=1 and Workers=N.
+func splitUnitRNGs(seed, salt int64, n int) []*randx.RNG {
+	rng := randx.New(seed + salt)
+	out := make([]*randx.RNG, n)
+	for i := range out {
+		out[i] = rng.Split()
+	}
+	return out
+}
+
+// buildDatasets runs etl.FromUsage for the selected units on the
+// worker pool; rngs[i] (pre-split, see splitUnitRNGs) drives unit i's
+// dataset.
+func buildDatasets(units []fleet.Unit, usage map[string][]fleet.DayUsage, rngs []*randx.RNG, workers int) ([]*etl.VehicleDataset, error) {
+	return parallel.Map(context.Background(), len(units),
+		parallel.Options{Workers: workers, Stage: "datasets"},
+		func(_ context.Context, i int) (*etl.VehicleDataset, error) {
+			return etl.FromUsage(units[i], usage[units[i].Vehicle.ID], rngs[i])
+		})
+}
+
+// evalDatasets builds the per-vehicle daily datasets the evaluation
+// figures train on (the first EvalVehicles units of the fleet).
+func evalDatasets(cfg Config) ([]*etl.VehicleDataset, error) {
+	f, usage, err := generateFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	units := f.Units
+	if len(units) > cfg.EvalVehicles {
+		units = units[:cfg.EvalVehicles]
+	}
+	rngs := splitUnitRNGs(cfg.Seed, evalSalt, len(units))
+	return buildDatasets(units, usage, rngs, cfg.Workers)
+}
+
+// weatherDatasets builds weather-sensitive evaluation datasets: the
+// usage series is simulated under each site's weather, and the weather
+// series is attached as channels.
+func weatherDatasets(cfg Config) ([]*etl.VehicleDataset, error) {
+	f, err := fleet.Generate(fleet.Config{Units: cfg.Units, Start: fleet.StudyStart, Days: cfg.Days, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	// Prefer weather-sensitive machine types so the ablation has
+	// signal to find.
+	var units []fleet.Unit
+	for _, u := range f.Units {
+		if len(units) == cfg.EvalVehicles {
+			break
+		}
+		switch u.Vehicle.Model.Type {
+		case fleet.Paver, fleet.ColdPlaner, fleet.SingleDrumRoller, fleet.TandemRoller:
+			units = append(units, u)
+		}
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("experiments: fleet of %d units has no weather-sensitive machines", cfg.Units)
+	}
+	rngs := splitUnitRNGs(cfg.Seed, weatherSalt, len(units))
+	return parallel.Map(context.Background(), len(units),
+		parallel.Options{Workers: cfg.Workers, Stage: "datasets"},
+		func(_ context.Context, i int) (*etl.VehicleDataset, error) {
+			u := units[i]
+			// The weather generator and the unit's usage model each own
+			// their stream (seeded by kept index and split at Generate
+			// time respectively), so per-unit jobs stay independent.
+			gen := weather.NewGenerator(u.Vehicle.Country, cfg.Seed+int64(i))
+			wx, err := gen.Simulate(fleet.StudyStart, cfg.Days)
+			if err != nil {
+				return nil, err
+			}
+			usage := u.Model.SimulateWeather(fleet.StudyStart, cfg.Days, wx)
+			d, err := etl.FromUsage(u, usage, rngs[i])
+			if err != nil {
+				return nil, err
+			}
+			if err := d.AttachWeather(wx); err != nil {
+				return nil, err
+			}
+			return d, nil
+		})
+}

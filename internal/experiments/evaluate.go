@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -9,7 +10,7 @@ import (
 	"vup/internal/core"
 	"vup/internal/etl"
 	"vup/internal/featsel"
-	"vup/internal/randx"
+	"vup/internal/parallel"
 	"vup/internal/regress"
 	"vup/internal/stats"
 	"vup/internal/textplot"
@@ -24,31 +25,10 @@ func init() {
 	register("timing", "Per-algorithm training time (Section 4.5)", runTiming)
 }
 
-// evalDatasets builds the per-vehicle daily datasets the evaluation
-// figures train on (the first EvalVehicles units of the fleet).
-func evalDatasets(cfg Config) ([]*etl.VehicleDataset, error) {
-	f, usage, err := generateFleet(cfg)
-	if err != nil {
-		return nil, err
-	}
-	rng := randx.New(cfg.Seed + 7777)
-	var out []*etl.VehicleDataset
-	for _, u := range f.Units {
-		if len(out) == cfg.EvalVehicles {
-			break
-		}
-		d, err := etl.FromUsage(u, usage[u.Vehicle.ID], rng.Split())
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, d)
-	}
-	return out, nil
-}
-
 // pipelineConfig maps an experiment configuration onto the core
-// pipeline settings.
-func pipelineConfig(cfg Config, alg regress.Algorithm, scenario core.Scenario) core.Config {
+// pipeline settings. stage labels the evaluation's worker-pool
+// telemetry and is normally the experiment id.
+func pipelineConfig(cfg Config, alg regress.Algorithm, scenario core.Scenario, stage string) core.Config {
 	pc := core.DefaultConfig()
 	pc.Algorithm = alg
 	pc.Scenario = scenario
@@ -57,6 +37,7 @@ func pipelineConfig(cfg Config, alg regress.Algorithm, scenario core.Scenario) c
 	pc.MaxLag = cfg.MaxLag
 	pc.Channels = cfg.Channels
 	pc.Stride = cfg.Stride
+	pc.Stage = stage
 	return pc
 }
 
@@ -79,7 +60,7 @@ func runFig4(cfg Config) (*Report, error) {
 	for _, w := range ws {
 		var xs, ys []float64
 		for _, k := range ks {
-			pc := pipelineConfig(cfg, regress.AlgLasso, core.NextDay)
+			pc := pipelineConfig(cfg, regress.AlgLasso, core.NextDay, "fig4")
 			pc.W = w
 			pc.K = k
 			fr, err := core.EvaluateFleet(datasets, pc, cfg.Workers)
@@ -122,24 +103,37 @@ func runFig5(cfg Config, scenario core.Scenario, id string) (*Report, error) {
 		return nil, err
 	}
 	table := Table{Name: id + "_errors", Header: []string{"algorithm", "mean_pe", "median_pe", "p25_pe", "p75_pe", "vehicles", "failed"}}
+	// Outer fan-out over the six algorithms; each job fans out again
+	// over the vehicles inside EvaluateFleet. Results come back in
+	// algorithm order, so the table and plots below are byte-identical
+	// at any worker count.
+	algs := regress.Algorithms()
+	frs, err := parallel.Map(context.Background(), len(algs),
+		parallel.Options{Workers: cfg.Workers, Stage: id},
+		func(_ context.Context, i int) (*core.FleetResult, error) {
+			pc := pipelineConfig(cfg, algs[i], scenario, id)
+			fr, err := core.EvaluateFleet(datasets, pc, cfg.Workers)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s with %s: %w", id, algs[i], err)
+			}
+			return fr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var labels []string
 	var boxes []stats.BoxStats
 	var means []float64
-	for _, alg := range regress.Algorithms() {
-		pc := pipelineConfig(cfg, alg, scenario)
-		fr, err := core.EvaluateFleet(datasets, pc, cfg.Workers)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s with %s: %w", id, alg, err)
-		}
+	for i, fr := range frs {
 		box, err := stats.Box(fr.PEs)
 		if err != nil {
 			return nil, err
 		}
-		labels = append(labels, string(alg))
+		labels = append(labels, string(algs[i]))
 		boxes = append(boxes, box)
 		means = append(means, fr.MeanPE)
 		table.Rows = append(table.Rows, []string{
-			string(alg), fmtF(fr.MeanPE), fmtF(fr.MedianPE),
+			string(algs[i]), fmtF(fr.MeanPE), fmtF(fr.MedianPE),
 			fmtF(stats.Quantile(fr.PEs, 0.25)), fmtF(stats.Quantile(fr.PEs, 0.75)),
 			strconv.Itoa(len(fr.PEs)), strconv.Itoa(len(fr.Failed)),
 		})
@@ -163,7 +157,7 @@ func runFig6(cfg Config, scenario core.Scenario, id string) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	pc := pipelineConfig(cfg, regress.AlgSVR, scenario)
+	pc := pipelineConfig(cfg, regress.AlgSVR, scenario, id)
 	// The figure plots a contiguous stretch of days, so the evaluation
 	// stride does not apply; at most ~60 days are plotted regardless
 	// of scale.
@@ -233,18 +227,27 @@ func runTiming(cfg Config) (*Report, error) {
 		alg     regress.Algorithm
 		elapsed time.Duration
 	}
-	var entries []entry
 	table := Table{Name: "timing", Header: []string{"algorithm", "fit_microseconds", "train_rows", "features"}}
-	for _, alg := range regress.Algorithms() {
-		model, err := regress.New(alg)
-		if err != nil {
-			return nil, err
-		}
-		start := time.Now()
-		if err := model.Fit(x, y); err != nil {
-			return nil, fmt.Errorf("experiments: timing %s: %w", alg, err)
-		}
-		entries = append(entries, entry{alg, time.Since(start)})
+	// The six fits run on the pool; concurrent fits contend for cores,
+	// but the table's claim is the ordering across orders of magnitude
+	// (baselines in microseconds, GB in tens of milliseconds), which
+	// contention cannot invert.
+	algs := regress.Algorithms()
+	entries, err := parallel.Map(context.Background(), len(algs),
+		parallel.Options{Workers: cfg.Workers, Stage: "timing"},
+		func(_ context.Context, i int) (entry, error) {
+			model, err := regress.New(algs[i])
+			if err != nil {
+				return entry{}, err
+			}
+			start := time.Now()
+			if err := model.Fit(x, y); err != nil {
+				return entry{}, fmt.Errorf("experiments: timing %s: %w", algs[i], err)
+			}
+			return entry{algs[i], time.Since(start)}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].elapsed < entries[j].elapsed })
 	labels := make([]string, len(entries))

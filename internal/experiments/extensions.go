@@ -6,9 +6,6 @@ import (
 
 	"vup/internal/classify"
 	"vup/internal/core"
-	"vup/internal/etl"
-	"vup/internal/fleet"
-	"vup/internal/randx"
 	"vup/internal/regress"
 	"vup/internal/textplot"
 	"vup/internal/weather"
@@ -17,48 +14,6 @@ import (
 func init() {
 	register("ext-weather", "Future work: weather-enriched features vs baseline features", runExtWeather)
 	register("ext-levels", "Future work: classification of discrete usage levels", runExtLevels)
-}
-
-// weatherDatasets builds weather-sensitive evaluation datasets: the
-// usage series is simulated under each site's weather, and the weather
-// series is attached as channels.
-func weatherDatasets(cfg Config) ([]*etl.VehicleDataset, error) {
-	f, err := fleet.Generate(fleet.Config{Units: cfg.Units, Start: fleet.StudyStart, Days: cfg.Days, Seed: cfg.Seed})
-	if err != nil {
-		return nil, err
-	}
-	rng := randx.New(cfg.Seed + 555)
-	var out []*etl.VehicleDataset
-	for _, u := range f.Units {
-		if len(out) == cfg.EvalVehicles {
-			break
-		}
-		// Prefer weather-sensitive machine types so the ablation has
-		// signal to find.
-		switch u.Vehicle.Model.Type {
-		case fleet.Paver, fleet.ColdPlaner, fleet.SingleDrumRoller, fleet.TandemRoller:
-		default:
-			continue
-		}
-		gen := weather.NewGenerator(u.Vehicle.Country, cfg.Seed+int64(len(out)))
-		wx, err := gen.Simulate(fleet.StudyStart, cfg.Days)
-		if err != nil {
-			return nil, err
-		}
-		usage := u.Model.SimulateWeather(fleet.StudyStart, cfg.Days, wx)
-		d, err := etl.FromUsage(u, usage, rng.Split())
-		if err != nil {
-			return nil, err
-		}
-		if err := d.AttachWeather(wx); err != nil {
-			return nil, err
-		}
-		out = append(out, d)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("experiments: fleet of %d units has no weather-sensitive machines", cfg.Units)
-	}
-	return out, nil
 }
 
 func runExtWeather(cfg Config) (*Report, error) {
@@ -80,7 +35,7 @@ func runExtWeather(cfg Config) (*Report, error) {
 		// heavy rain" — so the learner needs depth-2 trees; the
 		// paper's depth-1 stumps (and any additive/linear model)
 		// cannot express it.
-		pc := pipelineConfig(cfg, regress.AlgGB, core.NextDay)
+		pc := pipelineConfig(cfg, regress.AlgGB, core.NextDay, "ext-weather")
 		pc.ModelFactory = func() (regress.Regressor, error) {
 			return &regress.GradientBoosting{
 				LearningRate: 0.1, NEstimators: 100, MaxDepth: 2, Loss: regress.LossLAD,
@@ -115,7 +70,7 @@ func runExtLevels(cfg Config) (*Report, error) {
 	var accs []float64
 	for _, scenario := range []core.Scenario{core.NextDay, core.NextWorkingDay} {
 		for _, name := range []string{"Majority", "Tree"} {
-			pc := pipelineConfig(cfg, regress.AlgLasso, scenario)
+			pc := pipelineConfig(cfg, regress.AlgLasso, scenario, "ext-levels")
 			var accSum, f1Sum float64
 			var n int
 			for _, d := range datasets {

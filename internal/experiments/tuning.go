@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 
 	"vup/internal/featsel"
+	"vup/internal/parallel"
 	"vup/internal/regress"
 	"vup/internal/textplot"
 )
@@ -24,23 +26,39 @@ func runTuning(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	// Pool training rows from the evaluated vehicles' final windows so
-	// the search sees heterogeneous usage.
+	// the search sees heterogeneous usage. Per-vehicle matrices build on
+	// the pool and concatenate in dataset order; a vehicle whose window
+	// yields no rows contributes an empty matrix, exactly as the
+	// sequential skip did.
+	type matrix struct {
+		x [][]float64
+		y []float64
+	}
+	mats, err := parallel.Map(context.Background(), len(datasets),
+		parallel.Options{Workers: cfg.Workers, Stage: "tuning"},
+		func(_ context.Context, i int) (matrix, error) {
+			d := datasets[i]
+			n := d.Len()
+			from := n - cfg.W
+			if from < 0 {
+				from = 0
+			}
+			lags := featsel.SelectLags(d.Hours[from:n], cfg.MaxLag, cfg.K)
+			spec := featsel.Spec{Lags: lags, Channels: cfg.Channels, IncludeHours: true, IncludeContext: true}
+			xs, ys, _, err := spec.Matrix(d, from, n)
+			if err != nil {
+				return matrix{}, nil
+			}
+			return matrix{xs, ys}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var x [][]float64
 	var y []float64
-	for _, d := range datasets {
-		n := d.Len()
-		from := n - cfg.W
-		if from < 0 {
-			from = 0
-		}
-		lags := featsel.SelectLags(d.Hours[from:n], cfg.MaxLag, cfg.K)
-		spec := featsel.Spec{Lags: lags, Channels: cfg.Channels, IncludeHours: true, IncludeContext: true}
-		xs, ys, _, err := spec.Matrix(d, from, n)
-		if err != nil {
-			continue
-		}
-		x = append(x, xs...)
-		y = append(y, ys...)
+	for _, m := range mats {
+		x = append(x, m.x...)
+		y = append(y, m.y...)
 	}
 	if len(x) == 0 {
 		return nil, fmt.Errorf("experiments: tuning has no training rows")
@@ -93,18 +111,36 @@ func runTuning(cfg Config) (*Report, error) {
 	}
 
 	table := Table{Name: "tuning", Header: []string{"algorithm", "selected", "validation_mae", "paper_choice", "grid_size"}}
+	// The four family searches fan out on the pool. GridSearch itself
+	// is deterministic (ordered split, ties broken by grid order), and
+	// Map returns selections in family order, so the report is
+	// byte-identical at any worker count.
+	type selection struct {
+		best regress.GridPoint
+		mae  float64
+	}
+	selections, err := parallel.Map(context.Background(), len(searches),
+		parallel.Options{Workers: cfg.Workers, Stage: "tuning"},
+		func(_ context.Context, i int) (selection, error) {
+			s := searches[i]
+			best, bestMAE, err := regress.GridSearch(x, y, s.grid, s.build, 0.25)
+			if err != nil {
+				return selection{}, fmt.Errorf("experiments: tuning %s: %w", s.name, err)
+			}
+			return selection{best, bestMAE}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var labels []string
 	var maes []float64
-	for _, s := range searches {
-		best, bestMAE, err := regress.GridSearch(x, y, s.grid, s.build, 0.25)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: tuning %s: %w", s.name, err)
-		}
+	for i, sel := range selections {
+		s := searches[i]
 		table.Rows = append(table.Rows, []string{
-			s.name, formatGridPoint(best), fmtF(bestMAE), s.paper, strconv.Itoa(len(s.grid)),
+			s.name, formatGridPoint(sel.best), fmtF(sel.mae), s.paper, strconv.Itoa(len(s.grid)),
 		})
 		labels = append(labels, s.name)
-		maes = append(maes, bestMAE)
+		maes = append(maes, sel.mae)
 	}
 	rep := &Report{ID: "tuning", Title: Title("tuning")}
 	rep.Text = textplot.Histogram("best validation MAE (hours) per algorithm family", labels, maes, 40)

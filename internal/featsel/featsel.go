@@ -1,9 +1,3 @@
-// Package featsel implements the statistics-based feature selection of
-// Section 3: the autocorrelation function of the training window's
-// utilization series ranks the lags, the K most-correlated days are
-// kept, and the training matrix is assembled from the utilization
-// hours and CAN channel values at the selected lags plus the target
-// day's contextual features.
 package featsel
 
 import (

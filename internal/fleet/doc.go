@@ -1,0 +1,20 @@
+// Package fleet models the heterogeneous industrial-vehicle population
+// of the study (Section 2, characterized in Figure 1) and generates
+// its synthetic usage data. The generator is calibrated against every
+// aggregate the paper publishes: 10 vehicle types with very different
+// usage levels (graders and refuse compactors above 6 h/day median,
+// coring machines below 1 h), 44 refuse-compactor and 65
+// single-drum-roller models, high variance across models and even
+// across units of one model (Figures 1b/1c), ~36 % activity rate for
+// refuse compactors, weekly periodicity (the Figure 2 ACF peaks),
+// holiday and seasonal dips ([vup/internal/geo]) and slow
+// non-stationary drift per unit.
+//
+// [Fleet.SimulateAll] fans the per-unit simulation out on
+// [vup/internal/parallel]; each unit's UsageModel owns an RNG stream
+// split off in fleet order at [Generate] time
+// ([vup/internal/randx.RNG.Split]), so the series are identical at any
+// worker count. Downstream, [vup/internal/experiments] turns the
+// simulated fleet into the Figure 1 characterization and
+// [vup/internal/core] evaluates the prediction pipeline on it.
+package fleet

@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"vup/internal/geo"
+	"vup/internal/parallel"
 	"vup/internal/randx"
 )
 
@@ -127,11 +129,29 @@ func (f *Fleet) Models() []Model {
 }
 
 // SimulateAll generates the usage series of every unit, keyed by
-// vehicle ID.
+// vehicle ID, using every CPU.
 func (f *Fleet) SimulateAll() map[string][]DayUsage {
+	return f.SimulateAllWorkers(0)
+}
+
+// SimulateAllWorkers is SimulateAll with a bounded worker count (<=0
+// selects every CPU). The output is identical for any worker count:
+// each unit's UsageModel owns an independent RNG stream split off in
+// fleet order at Generate time, so per-unit simulation consumes no
+// shared state and the series per unit does not depend on which
+// goroutine (or in which order) it runs.
+func (f *Fleet) SimulateAllWorkers(workers int) map[string][]DayUsage {
+	series := make([][]DayUsage, len(f.Units))
+	// No job can fail; the error return is structurally nil.
+	_ = parallel.ForEach(context.Background(), len(f.Units),
+		parallel.Options{Workers: workers, Stage: "fleet_simulate"},
+		func(_ context.Context, i int) error {
+			series[i] = f.Units[i].Model.Simulate(f.Config.Start, f.Config.Days)
+			return nil
+		})
 	out := make(map[string][]DayUsage, len(f.Units))
-	for _, u := range f.Units {
-		out[u.Vehicle.ID] = u.Model.Simulate(f.Config.Start, f.Config.Days)
+	for i, u := range f.Units {
+		out[u.Vehicle.ID] = series[i]
 	}
 	return out
 }

@@ -1,12 +1,3 @@
-// Package fleet models the heterogeneous industrial-vehicle population
-// of the study and generates its synthetic usage data. The generator
-// is calibrated against every aggregate the paper publishes: 10
-// vehicle types with very different usage levels (graders and refuse
-// compactors above 6 h/day median, coring machines below 1 h), 44
-// refuse-compactor and 65 single-drum-roller models, high variance
-// across models and even across units of one model, ~36 % activity
-// rate for refuse compactors, weekly periodicity, holiday and seasonal
-// dips, and slow non-stationary drift per unit.
 package fleet
 
 import "fmt"

@@ -1,0 +1,18 @@
+// Package regress implements, from scratch on the standard library,
+// the regression algorithms the study compares (Section 3): ordinary
+// least squares Linear Regression, Lasso (coordinate descent), ε-SVR
+// with an RBF kernel (SMO solver), Gradient Boosting over CART
+// regression trees with LAD loss, and the two naive baselines — Last
+// Value and Moving Average. Default hyper-parameters are the paper's
+// grid-search winners (Section 4.2, reproduced by the tuning
+// experiment in [vup/internal/experiments] via [GridSearch]).
+//
+// [Algorithms] returns the six models of the Figure 5 comparison in
+// presentation order. [vup/internal/core] consumes them through the
+// [Regressor] interface, one fresh model per training window, wrapped
+// by [Instrument] so every fit and predict lands in the Section 4.5
+// stage histograms of [vup/internal/obs]. Fitting is deterministic —
+// models that need randomness (the related-work Random Forest) carry
+// an explicit seed — which is what lets the parallel sweeps of
+// [vup/internal/parallel] reproduce sequential results exactly.
+package regress

@@ -1,10 +1,3 @@
-// Package regress implements, from scratch on the standard library,
-// the regression algorithms the study compares (Section 3): ordinary
-// least squares Linear Regression, Lasso (coordinate descent), ε-SVR
-// with an RBF kernel (SMO solver), Gradient Boosting over CART
-// regression trees with LAD loss, and the two naive baselines — Last
-// Value and Moving Average. Default hyper-parameters are the paper's
-// grid-search winners (Section 4.2).
 package regress
 
 import (
