@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	vup-server -addr :8080 -units 30 -days 600 [-debug-addr :6060]
+//	vup-server -addr :8080 -units 30 -days 600 [-cache-size 256] [-debug-addr :6060]
+//
+// Forecast and evaluation responses are served from a bounded LRU
+// cache of trained artifacts with request coalescing; -cache-size 0
+// restores train-per-request.
 //
 // Endpoints:
 //
@@ -47,6 +51,7 @@ func main() {
 		units     = flag.Int("units", 30, "fleet size to generate")
 		days      = flag.Int("days", 600, "observation days")
 		seed      = flag.Int64("seed", 1, "generation seed")
+		cacheSize = flag.Int("cache-size", 256, "trained-forecast cache capacity in entries; 0 disables caching and request coalescing")
 		verbose   = flag.Bool("v", false, "log at debug level")
 	)
 	flag.Parse()
@@ -78,15 +83,34 @@ func main() {
 	base.Stride = 5
 	base.Channels = []string{canbus.ChanFuelRate, canbus.ChanEngineSpeed}
 
-	api := server.New(server.NewStore(datasets), base)
+	store, err := server.NewStore(datasets)
+	if err != nil {
+		logg.Error("store rejected datasets", "error", err)
+		os.Exit(1)
+	}
+	api := server.New(store, base)
+	api.Cache = server.NewForecastCache(*cacheSize)
+	logg.Info("forecast cache", "capacity", *cacheSize, "enabled", api.Cache.Enabled())
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		// Evaluations retrain per window and can legitimately run for
+		// minutes at stride 1; the write timeout bounds a wedged
+		// client, not a slow handler.
+		WriteTimeout: 5 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
 	}
 
+	var dbg *http.Server
 	if *debugAddr != "" {
-		go serveDebug(*debugAddr, logg)
+		dbg = newDebugServer(*debugAddr)
+		go func() {
+			logg.Info("debug endpoints listening", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logg.Error("debug listener failed", "error", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -110,12 +134,19 @@ func main() {
 			logg.Error("shutdown failed", "error", err)
 			os.Exit(1)
 		}
+		// The debug listener shares the process lifetime: shut it down
+		// too instead of leaking it past the API server.
+		if dbg != nil {
+			if err := dbg.Shutdown(shutdownCtx); err != nil {
+				logg.Error("debug shutdown failed", "error", err)
+			}
+		}
 	}
 }
 
-// serveDebug exposes the Go diagnostics endpoints on their own
+// newDebugServer exposes the Go diagnostics endpoints on their own
 // listener so they never ride on the public API address.
-func serveDebug(addr string, logg *obs.Logger) {
+func newDebugServer(addr string) *http.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -123,9 +154,12 @@ func serveDebug(addr string, logg *obs.Logger) {
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	dbg := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	logg.Info("debug endpoints listening", "addr", addr)
-	if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		logg.Error("debug listener failed", "error", err)
+	return &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		// CPU profiles stream for ?seconds=N; leave write headroom.
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"vup/internal/canbus"
 	"vup/internal/regress"
@@ -107,6 +108,23 @@ func DefaultConfig() Config {
 		Stride:          1,
 		MinTrainRows:    10,
 	}
+}
+
+// Fingerprint returns a canonical string covering every field that
+// influences pipeline results, so two configs with equal fingerprints
+// produce identical forecasts on identical data. It is the config
+// component of trained-artifact cache keys (internal/server). Stage is
+// excluded: it only labels telemetry. ModelFactory is a function and
+// contributes presence alone — a caller that swaps factories between
+// otherwise-identical configs must key on more than the fingerprint.
+func (c Config) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alg=%s|factory=%t|scenario=%s|strategy=%d|w=%d|k=%d|sel=%s|maxlag=%d",
+		c.Algorithm, c.ModelFactory != nil, c.Scenario, int(c.Strategy), c.W, c.K, c.Selection, c.MaxLag)
+	fmt.Fprintf(&b, "|ch=%s|ctx=%t|tch=%s|active=%g|stride=%d|minrows=%d",
+		strings.Join(c.Channels, ","), c.IncludeContext, strings.Join(c.TargetChannels, ","),
+		c.ActiveThreshold, c.Stride, c.MinTrainRows)
+	return b.String()
 }
 
 // Selection chooses the lag-selection rule of the feature-selection

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vup/internal/regress"
+	"vup/internal/timeseries"
+)
+
+func TestConfigFingerprintCanonical(t *testing.T) {
+	a, b := DefaultConfig(), DefaultConfig()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical configs fingerprint differently")
+	}
+	// Stage is a telemetry label, not a result input.
+	b.Stage = "experiment-7"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("Stage leaked into the fingerprint")
+	}
+}
+
+func TestConfigFingerprintSensitivity(t *testing.T) {
+	base := DefaultConfig()
+	mutations := map[string]func(*Config){
+		"Algorithm":       func(c *Config) { c.Algorithm = regress.AlgMovingAverage },
+		"Scenario":        func(c *Config) { c.Scenario = NextWorkingDay },
+		"Strategy":        func(c *Config) { c.Strategy = timeseries.Expanding },
+		"W":               func(c *Config) { c.W = 99 },
+		"K":               func(c *Config) { c.K = 7 },
+		"Selection":       func(c *Config) { c.Selection = SelectSignificant },
+		"MaxLag":          func(c *Config) { c.MaxLag = 14 },
+		"Channels":        func(c *Config) { c.Channels = []string{"fuel_rate"} },
+		"IncludeContext":  func(c *Config) { c.IncludeContext = false },
+		"TargetChannels":  func(c *Config) { c.TargetChannels = []string{"temp_c"} },
+		"ActiveThreshold": func(c *Config) { c.ActiveThreshold = 2 },
+		"Stride":          func(c *Config) { c.Stride = 3 },
+		"MinTrainRows":    func(c *Config) { c.MinTrainRows = 20 },
+		"ModelFactory": func(c *Config) {
+			c.ModelFactory = func() (regress.Regressor, error) { return regress.New(regress.AlgLinear) }
+		},
+	}
+	for field, mutate := range mutations {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s change invisible to fingerprint", field)
+		}
+	}
+	// The fingerprint is a flat canonical string; the cache-key unit
+	// separator must never appear in it.
+	if strings.Contains(base.Fingerprint(), "\x1f") {
+		t.Error("fingerprint contains the cache-key separator")
+	}
+}

@@ -61,26 +61,23 @@ func Clean(d *VehicleDataset, policy MissingPolicy) (int, error) {
 			}
 		}
 	}
-	// Missing-day repair.
+	// Missing-day repair. Every branch writes all columns of the day,
+	// so repaired counts exactly the days modified: the fill policies
+	// fall back to MissingZero when no observed neighbour exists — a
+	// partial fill (hours zeroed, channels left stale) or a skipped-
+	// but-counted day would leak unrepaired values into the models.
 	for i := range d.Observed {
 		if d.Observed[i] {
 			continue
 		}
-		repaired++
 		switch policy {
 		case MissingZero:
-			d.Hours[i] = 0
-			for _, vals := range d.Channels {
-				vals[i] = 0
-			}
+			zeroDay(d, i)
 		case MissingForwardFill:
 			if prev := lastObservedBefore(d, i); prev >= 0 {
-				d.Hours[i] = d.Hours[prev]
-				for _, vals := range d.Channels {
-					vals[i] = vals[prev]
-				}
+				copyDay(d, i, prev)
 			} else {
-				d.Hours[i] = 0
+				zeroDay(d, i)
 			}
 		case MissingInterpolate:
 			prev, next := lastObservedBefore(d, i), firstObservedAfter(d, i)
@@ -92,21 +89,34 @@ func Clean(d *VehicleDataset, policy MissingPolicy) (int, error) {
 					vals[i] = lerp(vals[prev], vals[next], frac)
 				}
 			case prev >= 0:
-				d.Hours[i] = d.Hours[prev]
-				for _, vals := range d.Channels {
-					vals[i] = vals[prev]
-				}
+				copyDay(d, i, prev)
 			case next >= 0:
-				d.Hours[i] = d.Hours[next]
-				for _, vals := range d.Channels {
-					vals[i] = vals[next]
-				}
+				copyDay(d, i, next)
+			default:
+				zeroDay(d, i)
 			}
 		default:
 			return repaired, fmt.Errorf("etl: unknown missing policy %v", policy)
 		}
+		repaired++
 	}
 	return repaired, nil
+}
+
+// zeroDay applies the MissingZero repair to every column of day i.
+func zeroDay(d *VehicleDataset, i int) {
+	d.Hours[i] = 0
+	for _, vals := range d.Channels {
+		vals[i] = 0
+	}
+}
+
+// copyDay copies every column of day src onto day i.
+func copyDay(d *VehicleDataset, i, src int) {
+	d.Hours[i] = d.Hours[src]
+	for _, vals := range d.Channels {
+		vals[i] = vals[src]
+	}
 }
 
 func lastObservedBefore(d *VehicleDataset, i int) int {

@@ -6,9 +6,12 @@
 package etl
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
+	"sort"
 	"time"
 
 	"vup/internal/canbus"
@@ -88,6 +91,57 @@ func (d *VehicleDataset) Validate() error {
 		return fmt.Errorf("etl: misaligned dates: %d for %d days", len(d.Dates), n)
 	}
 	return nil
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash over the dataset's identity
+// and every value the prediction pipeline reads: hours, channel
+// aggregates (in sorted channel order), observed flags and explicit
+// dates. Datasets with equal fingerprints are interchangeable as model
+// input, which makes the hash the data component of trained-artifact
+// cache keys (internal/server's forecast cache). Context is derived
+// from country and dates, both covered, so it is not hashed again.
+func (d *VehicleDataset) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	writeStr(d.VehicleID)
+	writeStr(d.ModelID)
+	writeStr(d.Country)
+	writeU64(uint64(d.Type))
+	writeU64(uint64(d.Start.Unix()))
+	writeU64(uint64(len(d.Hours)))
+	for _, v := range d.Hours {
+		writeU64(math.Float64bits(v))
+	}
+	names := make([]string, 0, len(d.Channels))
+	for name := range d.Channels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeStr(name)
+		for _, v := range d.Channels[name] {
+			writeU64(math.Float64bits(v))
+		}
+	}
+	for _, o := range d.Observed {
+		if o {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	for _, t := range d.Dates {
+		writeU64(uint64(t.Unix()))
+	}
+	return h.Sum64()
 }
 
 // Enrich fills the Context array from the dataset's country and dates

@@ -229,6 +229,57 @@ func TestCleanInterpolate(t *testing.T) {
 	}
 }
 
+// TestCleanForwardFillNoPriorZeroesChannels is the regression test for
+// the partial-fill bug: a leading missing day under ffill used to zero
+// Hours but keep stale channel values.
+func TestCleanForwardFillNoPriorZeroesChannels(t *testing.T) {
+	d := testDataset(t, 5)
+	d.Observed[0] = false
+	d.Hours[0] = 3
+	d.Channels[canbus.ChanSpeed][0] = 42
+	repaired, err := Clean(d, MissingForwardFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != 1 {
+		t.Errorf("repaired = %d", repaired)
+	}
+	if d.Hours[0] != 0 {
+		t.Errorf("hours = %v, want 0", d.Hours[0])
+	}
+	if d.Channels[canbus.ChanSpeed][0] != 0 {
+		t.Errorf("channel kept stale value %v, want 0", d.Channels[canbus.ChanSpeed][0])
+	}
+}
+
+// TestCleanInterpolateNoObservedDays is the regression test for the
+// counted-but-unrepaired bug: with no observed day at all, interpolate
+// used to leave every value stale while still counting the days as
+// repaired. Both fill policies must fall back to zeroing.
+func TestCleanInterpolateNoObservedDays(t *testing.T) {
+	for _, policy := range []MissingPolicy{MissingInterpolate, MissingForwardFill} {
+		d := testDataset(t, 4)
+		for i := range d.Observed {
+			d.Observed[i] = false
+			d.Hours[i] = 5
+			d.Channels[canbus.ChanSpeed][i] = 9
+		}
+		repaired, err := Clean(d, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if repaired != d.Len() {
+			t.Errorf("policy %v: repaired = %d, want %d actually-modified days", policy, repaired, d.Len())
+		}
+		for i := 0; i < d.Len(); i++ {
+			if d.Hours[i] != 0 || d.Channels[canbus.ChanSpeed][i] != 0 {
+				t.Fatalf("policy %v: day %d not zeroed (hours %v, speed %v)",
+					policy, i, d.Hours[i], d.Channels[canbus.ChanSpeed][i])
+			}
+		}
+	}
+}
+
 func TestCleanUnknownPolicy(t *testing.T) {
 	d := testDataset(t, 5)
 	d.Observed[0] = false

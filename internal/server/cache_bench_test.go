@@ -1,0 +1,83 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vup/internal/canbus"
+	"vup/internal/core"
+	"vup/internal/etl"
+	"vup/internal/fleet"
+	"vup/internal/randx"
+	"vup/internal/regress"
+)
+
+// benchAPI builds an API over a small default-shaped fleet without a
+// testing.T (bench variant of testAPI).
+func benchAPI(b *testing.B) *API {
+	b.Helper()
+	f, err := fleet.Generate(fleet.Config{Units: 3, Days: 400, Seed: 1, Start: fleet.StudyStart})
+	if err != nil {
+		b.Fatal(err)
+	}
+	usage := f.SimulateAll()
+	rng := randx.New(2)
+	var datasets []*etl.VehicleDataset
+	for _, u := range f.Units {
+		d, err := etl.FromUsage(u, usage[u.Vehicle.ID], rng.Split())
+		if err != nil {
+			b.Fatal(err)
+		}
+		datasets = append(datasets, d)
+	}
+	base := core.DefaultConfig()
+	base.Algorithm = regress.AlgLasso
+	base.W = 120
+	base.K = 12
+	base.MaxLag = 28
+	base.Stride = 5
+	base.Channels = []string{canbus.ChanFuelRate, canbus.ChanEngineSpeed}
+	store, err := NewStore(datasets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(store, base)
+}
+
+// BenchmarkForecastColdVsWarm measures the tentpole win: a cold
+// forecast trains feature selection and the model per request, a warm
+// one answers from the trained-artifact cache. The committed baseline
+// lives in BENCH_cache.json; warm must be >= 10x faster than cold.
+func BenchmarkForecastColdVsWarm(b *testing.B) {
+	const path = "/v1/vehicles/veh-0000/forecast"
+	run := func(b *testing.B, api *API) {
+		h := api.Handler()
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		api := benchAPI(b)
+		api.Cache = NewForecastCache(0) // bypass: every request trains
+		run(b, api)
+	})
+	b.Run("warm", func(b *testing.B) {
+		api := benchAPI(b)
+		api.Cache = NewForecastCache(64)
+		// Train once outside the timed loop.
+		rec := httptest.NewRecorder()
+		api.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("warm-up status %d", rec.Code)
+		}
+		run(b, api)
+	})
+}

@@ -22,19 +22,57 @@ import (
 )
 
 // Store holds the per-vehicle datasets the API serves. It is safe for
-// concurrent readers once populated.
+// concurrent readers once populated; Put may replace datasets at run
+// time, bumping the generation so caches keyed on the previous state
+// invalidate.
 type Store struct {
 	mu       sync.RWMutex
 	datasets map[string]*etl.VehicleDataset
+	// fps caches each dataset's fingerprint, computed once at insert:
+	// datasets are treated as immutable while stored.
+	fps        map[string]uint64
+	generation uint64
 }
 
-// NewStore builds a store from datasets, keyed by vehicle ID.
-func NewStore(datasets []*etl.VehicleDataset) *Store {
-	s := &Store{datasets: make(map[string]*etl.VehicleDataset, len(datasets))}
-	for _, d := range datasets {
-		s.datasets[d.VehicleID] = d
+// NewStore builds a store from datasets, keyed by vehicle ID. Every
+// dataset must pass Validate; an empty or misaligned dataset would
+// otherwise surface later as a broken response body (NaN
+// active_fraction) or an index panic.
+func NewStore(datasets []*etl.VehicleDataset) (*Store, error) {
+	s := &Store{
+		datasets: make(map[string]*etl.VehicleDataset, len(datasets)),
+		fps:      make(map[string]uint64, len(datasets)),
 	}
-	return s
+	for _, d := range datasets {
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("server: dataset %q: %w", d.VehicleID, err)
+		}
+		s.datasets[d.VehicleID] = d
+		s.fps[d.VehicleID] = d.Fingerprint()
+	}
+	return s, nil
+}
+
+// Put inserts or replaces one vehicle's dataset and bumps the store
+// generation, invalidating cached artifacts trained on prior state.
+func (s *Store) Put(d *etl.VehicleDataset) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("server: dataset %q: %w", d.VehicleID, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[d.VehicleID] = d
+	s.fps[d.VehicleID] = d.Fingerprint()
+	s.generation++
+	return nil
+}
+
+// Generation returns the store's mutation counter. It starts at zero
+// and moves on every Put.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.generation
 }
 
 // Get returns the dataset of one vehicle.
@@ -43,6 +81,16 @@ func (s *Store) Get(id string) (*etl.VehicleDataset, bool) {
 	defer s.mu.RUnlock()
 	d, ok := s.datasets[id]
 	return d, ok
+}
+
+// lookup returns one vehicle's dataset together with its fingerprint
+// and the store generation, all read under a single lock so the
+// triple is mutually consistent for cache keying.
+func (s *Store) lookup(id string) (d *etl.VehicleDataset, fp, gen uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok = s.datasets[id]
+	return d, s.fps[id], s.generation, ok
 }
 
 // Len returns the number of vehicles without building the ID slice.
@@ -69,6 +117,11 @@ type API struct {
 	store *Store
 	// Base is the pipeline configuration requests start from.
 	Base core.Config
+	// Cache, when enabled, answers forecast and evaluation requests
+	// from trained artifacts and coalesces identical concurrent
+	// requests onto one training run. Nil or zero-capacity means every
+	// request trains.
+	Cache *ForecastCache
 }
 
 // New creates an API over the store with the given base configuration.
@@ -129,22 +182,28 @@ type vehicleSummary struct {
 }
 
 func summarize(d *etl.VehicleDataset) vehicleSummary {
-	active := 0
-	for _, h := range d.Hours {
-		if h > 0 {
-			active++
-		}
-	}
-	return vehicleSummary{
+	s := vehicleSummary{
 		ID:      d.VehicleID,
 		Type:    d.Type.String(),
 		Model:   d.ModelID,
 		Country: d.Country,
 		Days:    d.Len(),
-		From:    d.Date(0).Format("2006-01-02"),
-		To:      d.Date(d.Len() - 1).Format("2006-01-02"),
-		Active:  float64(active) / float64(d.Len()),
 	}
+	// NewStore rejects empty datasets, but guard anyway: 0/0 is NaN,
+	// which encoding/json refuses mid-stream — the client would get a
+	// 200 header with a truncated body.
+	if n := d.Len(); n > 0 {
+		active := 0
+		for _, h := range d.Hours {
+			if h > 0 {
+				active++
+			}
+		}
+		s.From = d.Date(0).Format("2006-01-02")
+		s.To = d.Date(n - 1).Format("2006-01-02")
+		s.Active = float64(active) / float64(n)
+	}
+	return s
 }
 
 func (a *API) handleVehicles(w http.ResponseWriter, _ *http.Request) {
@@ -211,7 +270,8 @@ func (a *API) configFromQuery(r *http.Request) (core.Config, error) {
 }
 
 // forecastResponse is the forecast payload. Lo/Hi/Level are present
-// only when an interval was requested.
+// only when an interval was requested; Cached marks responses served
+// from (or coalesced onto) a previously trained artifact.
 type forecastResponse struct {
 	Vehicle   string   `json:"vehicle"`
 	Scenario  string   `json:"scenario"`
@@ -221,12 +281,22 @@ type forecastResponse struct {
 	Lo        *float64 `json:"lo,omitempty"`
 	Hi        *float64 `json:"hi,omitempty"`
 	Level     *float64 `json:"level,omitempty"`
+	Cached    bool     `json:"cached,omitempty"`
 	TookMS    float64  `json:"took_ms"`
 }
 
+// pointForecast is the cached artifact of a plain (no-interval)
+// forecast.
+type pointForecast struct {
+	hours float64
+	lags  []int
+}
+
 func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
-	d, ok := a.vehicle(w, r)
+	id := r.PathValue("id")
+	d, fp, gen, ok := a.store.lookup(id)
 	if !ok {
+		writeError(w, http.StatusNotFound, "unknown vehicle %q", id)
 		return
 	}
 	cfg, err := a.configFromQuery(r)
@@ -246,22 +316,32 @@ func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "interval must be in (0, 1), got %q", levelStr)
 			return
 		}
-		iv, err := core.ForecastInterval(d, cfg, level)
+		kind := "interval:" + strconv.FormatFloat(level, 'g', -1, 64)
+		val, cached, err := a.Cache.Do(cacheKey(kind, d.VehicleID, fp, cfg), gen, func() (any, error) {
+			return core.ForecastInterval(d, cfg, level)
+		})
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "forecast failed: %v", err)
 			return
 		}
+		iv := val.(*core.Interval)
 		resp.Hours = iv.Hours
 		resp.Lags = iv.Lags
 		resp.Lo, resp.Hi, resp.Level = &iv.Lo, &iv.Hi, &iv.Level
+		resp.Cached = cached
 	} else {
-		hours, lags, err := core.Forecast(d, cfg)
+		val, cached, err := a.Cache.Do(cacheKey("point", d.VehicleID, fp, cfg), gen, func() (any, error) {
+			hours, lags, err := core.Forecast(d, cfg)
+			return pointForecast{hours: hours, lags: lags}, err
+		})
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "forecast failed: %v", err)
 			return
 		}
-		resp.Hours = hours
-		resp.Lags = lags
+		pf := val.(pointForecast)
+		resp.Hours = pf.hours
+		resp.Lags = pf.lags
+		resp.Cached = cached
 	}
 	resp.TookMS = float64(time.Since(start).Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, resp)
@@ -276,6 +356,7 @@ type evaluationResponse struct {
 	MAE         float64 `json:"mae_hours"`
 	Predictions int     `json:"predictions"`
 	Skipped     int     `json:"skipped_windows"`
+	Cached      bool    `json:"cached,omitempty"`
 }
 
 // levelsResponse is the usage-level classification payload.
@@ -328,8 +409,10 @@ func (a *API) handleLevels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleEvaluation(w http.ResponseWriter, r *http.Request) {
-	d, ok := a.vehicle(w, r)
+	id := r.PathValue("id")
+	d, fp, gen, ok := a.store.lookup(id)
 	if !ok {
+		writeError(w, http.StatusNotFound, "unknown vehicle %q", id)
 		return
 	}
 	cfg, err := a.configFromQuery(r)
@@ -337,11 +420,14 @@ func (a *API) handleEvaluation(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := core.EvaluateVehicle(d, cfg)
+	val, cached, err := a.Cache.Do(cacheKey("eval", d.VehicleID, fp, cfg), gen, func() (any, error) {
+		return core.EvaluateVehicle(d, cfg)
+	})
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "evaluation failed: %v", err)
 		return
 	}
+	res := val.(*core.Result)
 	writeJSON(w, http.StatusOK, evaluationResponse{
 		Vehicle:     d.VehicleID,
 		Scenario:    cfg.Scenario.String(),
@@ -350,5 +436,6 @@ func (a *API) handleEvaluation(w http.ResponseWriter, r *http.Request) {
 		MAE:         res.MAE,
 		Predictions: len(res.Predictions),
 		Skipped:     res.SkippedWindows,
+		Cached:      cached,
 	})
 }

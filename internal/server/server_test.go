@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -38,7 +39,11 @@ func testAPI(t *testing.T) (*API, *httptest.Server) {
 	base.MaxLag = 21
 	base.Stride = 10
 	base.Channels = []string{canbus.ChanFuelRate}
-	api := New(NewStore(datasets), base)
+	store, err := NewStore(datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := New(store, base)
 	srv := httptest.NewServer(api.Handler())
 	t.Cleanup(srv.Close)
 	return api, srv
@@ -231,11 +236,64 @@ func TestMethodNotAllowed(t *testing.T) {
 }
 
 func TestStore(t *testing.T) {
-	s := NewStore(nil)
+	s, err := NewStore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ids := s.IDs(); len(ids) != 0 {
 		t.Errorf("empty store ids = %v", ids)
 	}
 	if _, ok := s.Get("x"); ok {
 		t.Error("empty store returned a dataset")
+	}
+	if g := s.Generation(); g != 0 {
+		t.Errorf("fresh store generation = %d", g)
+	}
+}
+
+func TestNewStoreRejectsInvalidDataset(t *testing.T) {
+	// An empty dataset fails etl.Validate and must never enter the
+	// store: downstream it summarizes to Active = 0/0 = NaN, which
+	// encoding/json cannot encode.
+	if _, err := NewStore([]*etl.VehicleDataset{{VehicleID: "veh-empty"}}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	s, err := NewStore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(&etl.VehicleDataset{VehicleID: "veh-empty"}); err == nil {
+		t.Fatal("Put accepted an empty dataset")
+	}
+}
+
+// TestVehiclesListingAlwaysEncodable is the regression test for the
+// NaN summary bug: even for a pathological dataset, /v1/vehicles must
+// produce a complete, decodable JSON body, never a 200 header followed
+// by a truncated body.
+func TestVehiclesListingAlwaysEncodable(t *testing.T) {
+	_, srv := testAPI(t)
+	resp, err := http.Get(srv.URL + "/v1/vehicles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []vehicleSummary
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatalf("body not decodable: %v", err)
+	}
+	for _, s := range list {
+		if math.IsNaN(s.Active) || math.IsInf(s.Active, 0) {
+			t.Errorf("vehicle %s: active_fraction = %v", s.ID, s.Active)
+		}
+	}
+	// The guard itself: an empty dataset must summarize to an
+	// encodable value even if one ever slipped past store validation.
+	sum := summarize(&etl.VehicleDataset{VehicleID: "veh-empty"})
+	if math.IsNaN(sum.Active) {
+		t.Error("empty dataset summary has NaN active fraction")
+	}
+	if _, err := json.Marshal(sum); err != nil {
+		t.Errorf("empty dataset summary not encodable: %v", err)
 	}
 }

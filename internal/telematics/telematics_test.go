@@ -177,6 +177,35 @@ func TestUplinkDropsAndBursts(t *testing.T) {
 	}
 }
 
+// TestUplinkBackToBackOutages is the deterministic regression test for
+// the free-delivery bug: the report ending an outage used to skip the
+// DropProb roll, so with DropProb=1 and BurstContinue=0 every other
+// report was delivered. With the fresh roll on outage exit, nothing
+// gets through.
+func TestUplinkBackToBackOutages(t *testing.T) {
+	u := NewUplink(1, 0, randx.New(7))
+	if got := u.Transmit(make([]canbus.Report, 50)); len(got) != 0 {
+		t.Errorf("delivered %d reports, want 0: outage exits must re-roll DropProb", len(got))
+	}
+}
+
+// TestUplinkStationaryLossRate pins the long-run drop fraction to the
+// two-state Markov chain the parameters describe: P(drop|delivered) =
+// p, P(drop|dropped) = c + (1-c)p, stationary drop fraction
+// p / (p + (1-c)(1-p)). The pre-fix guaranteed delivery on outage exit
+// biased the empirical rate below this.
+func TestUplinkStationaryLossRate(t *testing.T) {
+	const p, c = 0.2, 0.5
+	u := NewUplink(p, c, randx.New(4242))
+	const n = 200000
+	got := u.Transmit(make([]canbus.Report, n))
+	loss := 1 - float64(len(got))/float64(n)
+	want := p / (p + (1-c)*(1-p)) // = 1/3 for these parameters
+	if math.Abs(loss-want) > 0.015 {
+		t.Errorf("long-run loss = %.4f, want %.4f +/- 0.015", loss, want)
+	}
+}
+
 func TestUplinkAllDropped(t *testing.T) {
 	u := NewUplink(1, 1, randx.New(11))
 	got := u.Transmit(make([]canbus.Report, 100))

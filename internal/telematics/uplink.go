@@ -38,7 +38,13 @@ func (u *Uplink) Transmit(reports []canbus.Report) []canbus.Report {
 				continue // still dark
 			}
 			u.outage = false
-		} else if u.rng.Bernoulli(u.DropProb) {
+			// The report that ends an outage is not delivered for
+			// free: it falls through to a fresh DropProb roll, so
+			// back-to-back outages stay possible and the long-run loss
+			// matches the configured chain (a guaranteed delivery on
+			// every outage exit biases the effective rate low).
+		}
+		if u.rng.Bernoulli(u.DropProb) {
 			u.outage = true
 			continue
 		}
