@@ -17,7 +17,13 @@
 //	GET /v1/vehicles
 //	GET /v1/vehicles/{id}
 //	GET /v1/vehicles/{id}/forecast?alg=SVR&scenario=next-working-day&w=140&k=20
+//	GET /v1/vehicles/{id}/forecast?horizon=7        iterated multi-step forecast
+//	GET /v1/vehicles/{id}/forecast?interval=0.8     residual-calibrated band
 //	GET /v1/vehicles/{id}/evaluation?alg=Lasso&stride=10
+//
+// A horizon request is derived from the same cached trained artifact
+// as the plain forecast, so it never retrains a cached model; horizon
+// and interval cannot be combined.
 //
 // With -debug-addr set, a second listener serves Go runtime
 // diagnostics (opt-in, keep it off public interfaces):

@@ -28,7 +28,7 @@ func fastConfig() Config {
 	return cfg
 }
 
-func testDataset(t *testing.T, seed int64, days int) *etl.VehicleDataset {
+func testDataset(t testing.TB, seed int64, days int) *etl.VehicleDataset {
 	t.Helper()
 	rng := randx.New(seed)
 	v := fleet.Vehicle{ID: "veh-0", Model: fleet.Model{Type: fleet.RefuseCompactor, Index: 0}, Country: "IT"}

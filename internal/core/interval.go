@@ -48,7 +48,21 @@ func ResidualQuantiles(res *Result, level float64) (lo, hi float64, err error) {
 // the PE also yields the residual distribution, whose central quantile
 // range is re-centred on the new forecast.
 func ForecastInterval(d *etl.VehicleDataset, cfg Config, level float64) (*Interval, error) {
-	res, err := EvaluateVehicle(d, cfg)
+	p, err := NewPlan(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.ForecastInterval(level)
+}
+
+// ForecastInterval runs the calibrated-interval path over one compiled
+// plan: a single evaluation pass yields the residual distribution, and
+// one additional fit on the most recent window (which reaches one day
+// further than the evaluation's final window) yields the point
+// forecast the quantile band is centred on. The pipeline is compiled
+// once — no second pass over the dataset.
+func (p *Plan) ForecastInterval(level float64) (*Interval, error) {
+	res, err := p.Evaluate()
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +70,11 @@ func ForecastInterval(d *etl.VehicleDataset, cfg Config, level float64) (*Interv
 	if err != nil {
 		return nil, err
 	}
-	hours, lags, err := Forecast(d, cfg)
+	f, err := p.Fit()
+	if err != nil {
+		return nil, err
+	}
+	hours, err := f.Forecast(nil)
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +84,7 @@ func ForecastInterval(d *etl.VehicleDataset, cfg Config, level float64) (*Interv
 		Hi:        math.Min(24, hours+hi),
 		Level:     level,
 		Residuals: len(res.Predictions),
-		Lags:      lags,
+		Lags:      f.Lags(),
 	}
 	return iv, nil
 }

@@ -13,7 +13,7 @@ import (
 var (
 	featureBuildSeconds = obs.Default.Histogram(
 		"pipeline_feature_build_seconds",
-		"Feature-matrix assembly time per training window (lag selection excluded).",
+		"Feature build time: one lag-superset materialization per compiled plan plus the per-window matrix gather (lag selection excluded).",
 		obs.DurationBuckets)
 	fitSeconds = obs.Default.Histogram(
 		"pipeline_fit_seconds",

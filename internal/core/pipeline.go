@@ -5,11 +5,7 @@ import (
 	"time"
 
 	"vup/internal/etl"
-	"vup/internal/featsel"
-	"vup/internal/geo"
 	"vup/internal/regress"
-	"vup/internal/stats"
-	"vup/internal/timeseries"
 )
 
 // Prediction is one evaluated test day.
@@ -58,106 +54,18 @@ func scenarioView(d *etl.VehicleDataset, cfg Config) (*etl.VehicleDataset, error
 	return d.Subset(keep)
 }
 
-// buildSpec runs the feature-selection step on the training slice of
-// the view's hours and assembles the feature spec.
-func buildSpec(view *etl.VehicleDataset, cfg Config, trainFrom, trainTo int) featsel.Spec {
-	trainHours := view.Hours[trainFrom:trainTo]
-	maxLag := cfg.MaxLag
-	if maxLag >= len(trainHours) {
-		maxLag = len(trainHours) - 1
-	}
-	var lags []int
-	if cfg.Selection == SelectSignificant {
-		lags = stats.SignificantLags(trainHours, maxLag, cfg.K)
-	} else {
-		lags = featsel.SelectLags(trainHours, maxLag, cfg.K)
-	}
-	if len(lags) == 0 {
-		lags = []int{1}
-	}
-	return featsel.Spec{
-		Lags:           lags,
-		Channels:       cfg.Channels,
-		IncludeHours:   true,
-		IncludeContext: cfg.IncludeContext,
-		TargetChannels: cfg.TargetChannels,
-	}
-}
-
 // EvaluateVehicle runs the full hold-out evaluation of Section 4.1 on
 // one vehicle: enumerate the train/test windows, re-run feature
 // selection and model training per window, predict each test day and
-// aggregate the per-vehicle PE.
+// aggregate the per-vehicle PE. It compiles a Plan and runs it; use
+// NewPlan directly to share the compiled features with a forecast or
+// interval on the same vehicle.
 func EvaluateVehicle(d *etl.VehicleDataset, cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	view, err := scenarioView(d, cfg)
+	p, err := NewPlan(d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	windows, err := timeseries.Enumerate(view.Len(), cfg.W, cfg.Strategy)
-	if err != nil {
-		return nil, fmt.Errorf("core: vehicle %s: %w", d.VehicleID, err)
-	}
-	res := &Result{VehicleID: d.VehicleID, Algorithm: cfg.Algorithm, Scenario: cfg.Scenario}
-	var preds, actuals []float64
-	for wi := 0; wi < len(windows); wi += cfg.Stride {
-		win := windows[wi]
-		spec := buildSpec(view, cfg, win.TrainFrom, win.TrainTo)
-		mt := time.Now()
-		x, y, _, err := spec.Matrix(view, win.TrainFrom, win.TrainTo)
-		featureBuildSeconds.With().ObserveSince(mt)
-		if err != nil || len(x) < cfg.MinTrainRows {
-			res.SkippedWindows++
-			continue
-		}
-		row, ok := spec.Row(view, win.Test)
-		if !ok {
-			res.SkippedWindows++
-			continue
-		}
-		model, err := cfg.newModel()
-		if err != nil {
-			return nil, err
-		}
-		if err := model.Fit(x, y); err != nil {
-			res.SkippedWindows++
-			continue
-		}
-		pred, err := model.Predict(row)
-		if err != nil {
-			return nil, fmt.Errorf("core: vehicle %s window %d: %w", d.VehicleID, wi, err)
-		}
-		if pred < 0 {
-			pred = 0 // utilization hours cannot be negative
-		}
-		if pred > 24 {
-			pred = 24
-		}
-		res.Predictions = append(res.Predictions, Prediction{
-			Index:     win.Test,
-			Date:      viewDate(view, win.Test),
-			Actual:    view.Hours[win.Test],
-			Predicted: pred,
-			Lags:      spec.Lags,
-		})
-		preds = append(preds, pred)
-		actuals = append(actuals, view.Hours[win.Test])
-	}
-	if len(preds) == 0 {
-		return nil, fmt.Errorf("%w: vehicle %s (%d windows skipped)", ErrNoPredictions, d.VehicleID, res.SkippedWindows)
-	}
-	if res.PE, err = PE(preds, actuals); err != nil {
-		return nil, err
-	}
-	if res.MAE, err = MAE(preds, actuals); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return p.Evaluate()
 }
 
 // viewDate returns the calendar date of a view day. Compacted views
@@ -182,185 +90,38 @@ func Forecast(d *etl.VehicleDataset, cfg Config) (float64, []int, error) {
 // channels listed in cfg.TargetChannels), such as tomorrow's weather
 // forecast.
 func ForecastWith(d *etl.VehicleDataset, cfg Config, target map[string]float64) (float64, []int, error) {
-	if err := cfg.Validate(); err != nil {
-		return 0, nil, err
-	}
-	if err := d.Validate(); err != nil {
-		return 0, nil, err
-	}
-	view, err := scenarioView(d, cfg)
+	p, err := NewPlan(d, cfg)
 	if err != nil {
 		return 0, nil, err
 	}
-	n := view.Len()
-	trainFrom := 0
-	if cfg.Strategy == timeseries.Sliding && n > cfg.W {
-		trainFrom = n - cfg.W
-	}
-	spec := buildSpec(view, cfg, trainFrom, n)
-	mt := time.Now()
-	x, y, _, err := spec.Matrix(view, trainFrom, n)
-	featureBuildSeconds.With().ObserveSince(mt)
+	f, err := p.Fit()
 	if err != nil {
 		return 0, nil, err
 	}
-	if len(x) < cfg.MinTrainRows {
-		return 0, nil, fmt.Errorf("core: vehicle %s: only %d training rows, need %d", d.VehicleID, len(x), cfg.MinTrainRows)
-	}
-	model, err := cfg.newModel()
+	hours, err := f.Forecast(target)
 	if err != nil {
 		return 0, nil, err
 	}
-	if err := model.Fit(x, y); err != nil {
-		return 0, nil, err
-	}
-	// Assemble the feature row for the phantom next day: lags read the
-	// tail of the view; context comes from the next calendar date;
-	// known target-day channel values (e.g. the weather forecast) are
-	// filled in.
-	extended, err := appendPhantomDay(view, d.Country)
-	if err != nil {
-		return 0, nil, err
-	}
-	for name, v := range target {
-		if vals, ok := extended.Channels[name]; ok {
-			vals[len(vals)-1] = v
-		}
-	}
-	row, ok := spec.Row(extended, n)
-	if !ok {
-		return 0, nil, fmt.Errorf("core: vehicle %s: series too short for lags %v", d.VehicleID, spec.Lags)
-	}
-	pred, err := model.Predict(row)
-	if err != nil {
-		return 0, nil, err
-	}
-	if pred < 0 {
-		pred = 0
-	}
-	if pred > 24 {
-		pred = 24
-	}
-	return pred, spec.Lags, nil
+	return hours, f.Lags(), nil
 }
 
 // ForecastHorizon predicts the next h days (NextDay scenario) or the
 // next h working days (NextWorkingDay) by iterated one-step
-// forecasting: each predicted day is appended to the series (with
-// duty-consistent channel values left at zero) and becomes lag input
-// for the following step. The model is trained once on the most recent
-// window; per-step target-channel values (e.g. a weather forecast per
-// day) can be supplied via targets, indexed by step.
+// forecasting: each predicted day becomes lag input for the following
+// step. The model is trained once on the most recent window; per-step
+// target-channel values (e.g. a weather forecast per day) can be
+// supplied via targets, indexed by step.
 func ForecastHorizon(d *etl.VehicleDataset, cfg Config, h int, targets []map[string]float64) ([]float64, error) {
 	if h <= 0 {
 		return nil, fmt.Errorf("%w: horizon %d", ErrConfig, h)
 	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	view, err := scenarioView(d, cfg)
+	p, err := NewPlan(d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	n := view.Len()
-	trainFrom := 0
-	if cfg.Strategy == timeseries.Sliding && n > cfg.W {
-		trainFrom = n - cfg.W
-	}
-	spec := buildSpec(view, cfg, trainFrom, n)
-	mt := time.Now()
-	x, y, _, err := spec.Matrix(view, trainFrom, n)
-	featureBuildSeconds.With().ObserveSince(mt)
+	f, err := p.Fit()
 	if err != nil {
 		return nil, err
 	}
-	if len(x) < cfg.MinTrainRows {
-		return nil, fmt.Errorf("core: vehicle %s: only %d training rows, need %d", d.VehicleID, len(x), cfg.MinTrainRows)
-	}
-	model, err := cfg.newModel()
-	if err != nil {
-		return nil, err
-	}
-	if err := model.Fit(x, y); err != nil {
-		return nil, err
-	}
-
-	out := make([]float64, 0, h)
-	current := view
-	for step := 0; step < h; step++ {
-		extended, err := appendPhantomDay(current, d.Country)
-		if err != nil {
-			return nil, err
-		}
-		if step < len(targets) {
-			for name, v := range targets[step] {
-				if vals, ok := extended.Channels[name]; ok {
-					vals[len(vals)-1] = v
-				}
-			}
-		}
-		row, ok := spec.Row(extended, extended.Len()-1)
-		if !ok {
-			return nil, fmt.Errorf("core: vehicle %s: series too short for lags %v", d.VehicleID, spec.Lags)
-		}
-		pred, err := model.Predict(row)
-		if err != nil {
-			return nil, err
-		}
-		if pred < 0 {
-			pred = 0
-		}
-		if pred > 24 {
-			pred = 24
-		}
-		out = append(out, pred)
-		// Feed the prediction back as the phantom day's hours so the
-		// next step's lag features see it.
-		extended.Hours[extended.Len()-1] = pred
-		current = extended
-	}
-	return out, nil
-}
-
-// appendPhantomDay clones the view with one extra day whose context is
-// derived from the next calendar date (target features only; its hours
-// are unknown and never read). For a compacted next-working-day view
-// the true date of the next working day is unknowable in advance; the
-// day after the last working day is used as the context approximation.
-func appendPhantomDay(view *etl.VehicleDataset, countryCode string) (*etl.VehicleDataset, error) {
-	next := view.Date(view.Len()-1).AddDate(0, 0, 1)
-	hemisphere := geo.Northern
-	if c, err := geo.Lookup(countryCode); err == nil {
-		hemisphere = c.Hemisphere
-	}
-	holiday, _ := geo.IsHoliday(countryCode, next)
-	out := &etl.VehicleDataset{
-		VehicleID: view.VehicleID,
-		Type:      view.Type,
-		ModelID:   view.ModelID,
-		Country:   view.Country,
-		Start:     view.Start,
-		Hours:     append(append([]float64(nil), view.Hours...), 0),
-		Channels:  make(map[string][]float64, len(view.Channels)),
-		Context: append(append([]etl.Context(nil), view.Context...), etl.Context{
-			DayOfWeek:  next.Weekday(),
-			WeekOfYear: geo.WeekOfYear(next),
-			Month:      next.Month(),
-			Season:     geo.SeasonOf(next, hemisphere),
-			Year:       next.Year(),
-			Holiday:    holiday,
-			WorkingDay: geo.IsWorkingDay(countryCode, next),
-		}),
-		Observed: append(append([]bool(nil), view.Observed...), false),
-	}
-	if view.Dates != nil {
-		out.Dates = append(append([]time.Time(nil), view.Dates...), next)
-	}
-	for name, vals := range view.Channels {
-		out.Channels[name] = append(append([]float64(nil), vals...), 0)
-	}
-	return out, nil
+	return f.Horizon(h, targets)
 }

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"vup/internal/etl"
+	"vup/internal/featsel"
+	"vup/internal/geo"
+	"vup/internal/regress"
+	"vup/internal/stats"
+	"vup/internal/timeseries"
+)
+
+// Plan is the compiled pipeline for one (dataset, Config) pair: the
+// validated configuration, the scenario view of the series and the
+// lag-superset feature materialization — every feature any training
+// window could select, computed once in a single O(n×F) pass. The
+// public drivers (EvaluateVehicle, Forecast, ForecastHorizon,
+// ForecastInterval) are thin wrappers that compile a Plan and run it;
+// callers that run several of those on the same vehicle and config
+// (the server's evaluate+forecast handlers, the calibrated-interval
+// path) compile once and share it.
+//
+// A Plan is immutable after NewPlan and safe for concurrent use; the
+// per-run scratch lives in Evaluate and Fitted.
+type Plan struct {
+	cfg  Config
+	d    *etl.VehicleDataset // original dataset: identity + country
+	view *etl.VehicleDataset // scenario view of the series
+	mat  *featsel.Materialized
+}
+
+// NewPlan validates the configuration and dataset, applies the
+// scenario transformation and materializes the lag-superset features.
+// The materialization covers lags up to cfg.MaxLag (clamped to the
+// view length), so every per-window lag selection gathers from it by
+// block copies instead of re-walking the dataset maps.
+func NewPlan(d *etl.VehicleDataset, cfg Config) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	view, err := scenarioView(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	maxLag := cfg.MaxLag
+	if maxLag > view.Len()-1 {
+		maxLag = view.Len() - 1
+	}
+	if maxLag < 1 {
+		maxLag = 1 // degenerate view; windows will refuse their rows
+	}
+	mt := time.Now()
+	mat, err := featsel.Materialize(view, maxLag, cfg.Channels, cfg.IncludeContext, cfg.TargetChannels)
+	featureBuildSeconds.With().ObserveSince(mt)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{cfg: cfg, d: d, view: view, mat: mat}, nil
+}
+
+// View exposes the scenario view the plan was compiled over.
+func (p *Plan) View() *etl.VehicleDataset { return p.view }
+
+// selectLags runs the per-window feature-selection step on the
+// training slice of the view's hours: rank lags 1..MaxLag (clamped to
+// the slice) by autocorrelation, keep the top K (or the significant
+// ones). A window too short to rank anything falls back to lag 1.
+func (p *Plan) selectLags(trainFrom, trainTo int) []int {
+	trainHours := p.view.Hours[trainFrom:trainTo]
+	maxLag := p.cfg.MaxLag
+	if maxLag >= len(trainHours) {
+		maxLag = len(trainHours) - 1
+	}
+	if maxLag < 1 {
+		return []int{1}
+	}
+	var lags []int
+	if p.cfg.Selection == SelectSignificant {
+		lags = stats.SignificantLags(trainHours, maxLag, p.cfg.K)
+	} else {
+		lags = featsel.SelectLags(trainHours, maxLag, p.cfg.K)
+	}
+	if len(lags) == 0 {
+		lags = []int{1}
+	}
+	return lags
+}
+
+// clampHours bounds a predicted utilization to the physical [0, 24]
+// hour range.
+func clampHours(pred float64) float64 {
+	if pred < 0 {
+		return 0
+	}
+	if pred > 24 {
+		return 24
+	}
+	return pred
+}
+
+// Evaluate runs the full hold-out evaluation of Section 4.1 over the
+// compiled plan: enumerate the train/test windows, re-run feature
+// selection per window, gather the window's matrix from the superset,
+// train a fresh model and predict the test day.
+func (p *Plan) Evaluate() (*Result, error) {
+	windows, err := timeseries.Enumerate(p.view.Len(), p.cfg.W, p.cfg.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("core: vehicle %s: %w", p.d.VehicleID, err)
+	}
+	res := &Result{VehicleID: p.d.VehicleID, Algorithm: p.cfg.Algorithm, Scenario: p.cfg.Scenario}
+	var preds, actuals []float64
+	var scratch featsel.Scratch
+	var rowBuf []float64
+	for wi := 0; wi < len(windows); wi += p.cfg.Stride {
+		win := windows[wi]
+		lags := p.selectLags(win.TrainFrom, win.TrainTo)
+		mt := time.Now()
+		x, y, err := p.mat.MatrixInto(&scratch, lags, win.TrainFrom, win.TrainTo)
+		featureBuildSeconds.With().ObserveSince(mt)
+		if err != nil || len(x) < p.cfg.MinTrainRows {
+			res.SkippedWindows++
+			continue
+		}
+		if w := p.mat.RowWidth(lags); cap(rowBuf) < w {
+			rowBuf = make([]float64, w)
+		} else {
+			rowBuf = rowBuf[:w]
+		}
+		if !p.mat.GatherRow(rowBuf, win.Test, lags) {
+			res.SkippedWindows++
+			continue
+		}
+		model, err := p.cfg.newModel()
+		if err != nil {
+			return nil, err
+		}
+		if err := model.Fit(x, y); err != nil {
+			res.SkippedWindows++
+			continue
+		}
+		pred, err := model.Predict(rowBuf)
+		if err != nil {
+			return nil, fmt.Errorf("core: vehicle %s window %d: %w", p.d.VehicleID, wi, err)
+		}
+		pred = clampHours(pred)
+		res.Predictions = append(res.Predictions, Prediction{
+			Index:     win.Test,
+			Date:      viewDate(p.view, win.Test),
+			Actual:    p.view.Hours[win.Test],
+			Predicted: pred,
+			Lags:      lags,
+		})
+		preds = append(preds, pred)
+		actuals = append(actuals, p.view.Hours[win.Test])
+	}
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("%w: vehicle %s (%d windows skipped)", ErrNoPredictions, p.d.VehicleID, res.SkippedWindows)
+	}
+	if res.PE, err = PE(preds, actuals); err != nil {
+		return nil, err
+	}
+	if res.MAE, err = MAE(preds, actuals); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fitted is a trained forecasting artifact: the plan it was compiled
+// from, the lags its feature selection kept and the model trained on
+// the most recent window. It is what the serving layer caches — one
+// Fit serves point forecasts, horizons and target-channel what-ifs for
+// as long as the underlying data and config stay unchanged. Safe for
+// concurrent use: each Forecast/Horizon call builds its own phantom
+// extension.
+type Fitted struct {
+	plan  *Plan
+	lags  []int
+	model regress.Regressor
+}
+
+// Fit trains a forecasting model on the most recent window of the
+// plan's view (the whole series under the expanding strategy).
+func (p *Plan) Fit() (*Fitted, error) {
+	n := p.view.Len()
+	trainFrom := 0
+	if p.cfg.Strategy == timeseries.Sliding && n > p.cfg.W {
+		trainFrom = n - p.cfg.W
+	}
+	lags := p.selectLags(trainFrom, n)
+	var scratch featsel.Scratch
+	mt := time.Now()
+	x, y, err := p.mat.MatrixInto(&scratch, lags, trainFrom, n)
+	featureBuildSeconds.With().ObserveSince(mt)
+	if err != nil {
+		return nil, err
+	}
+	if len(x) < p.cfg.MinTrainRows {
+		return nil, fmt.Errorf("core: vehicle %s: only %d training rows, need %d", p.d.VehicleID, len(x), p.cfg.MinTrainRows)
+	}
+	model, err := p.cfg.newModel()
+	if err != nil {
+		return nil, err
+	}
+	if err := model.Fit(x, y); err != nil {
+		return nil, err
+	}
+	return &Fitted{plan: p, lags: lags, model: model}, nil
+}
+
+// Lags returns the lags selected for the forecast fit.
+func (f *Fitted) Lags() []int { return f.lags }
+
+// extension builds h phantom days past the view: hours and channel
+// values zero until written, context derived from consecutive calendar
+// dates after the last view day. Channels appearing as both lag and
+// target features share one column, so a target-day override is also
+// visible to later steps' lag reads — matching the semantics of
+// appending real days to the series.
+func (f *Fitted) extension(h int) *featsel.Extension {
+	p := f.plan
+	hemisphere := geo.Northern
+	if c, err := geo.Lookup(p.d.Country); err == nil {
+		hemisphere = c.Hemisphere
+	}
+	ext := &featsel.Extension{
+		Hours: make([]float64, h),
+		Ctx:   make([]etl.Context, h),
+		Chans: make([][]float64, len(p.cfg.Channels)),
+		Tgts:  make([][]float64, len(p.cfg.TargetChannels)),
+	}
+	cols := make(map[string][]float64, len(p.cfg.Channels)+len(p.cfg.TargetChannels))
+	colFor := func(name string) []float64 {
+		if c, ok := cols[name]; ok {
+			return c
+		}
+		c := make([]float64, h)
+		cols[name] = c
+		return c
+	}
+	for i, ch := range p.cfg.Channels {
+		ext.Chans[i] = colFor(ch)
+	}
+	for i, ch := range p.cfg.TargetChannels {
+		ext.Tgts[i] = colFor(ch)
+	}
+	date := p.view.Date(p.view.Len() - 1)
+	for step := 0; step < h; step++ {
+		date = date.AddDate(0, 0, 1)
+		holiday, _ := geo.IsHoliday(p.d.Country, date)
+		ext.Ctx[step] = etl.Context{
+			DayOfWeek:  date.Weekday(),
+			WeekOfYear: geo.WeekOfYear(date),
+			Month:      date.Month(),
+			Season:     geo.SeasonOf(date, hemisphere),
+			Year:       date.Year(),
+			Holiday:    holiday,
+			WorkingDay: geo.IsWorkingDay(p.d.Country, date),
+		}
+	}
+	return ext
+}
+
+// override writes known target-day channel values (e.g. tomorrow's
+// weather forecast) into phantom day step. Values for channels the
+// plan does not use are dropped, as they would never be read.
+func (f *Fitted) override(ext *featsel.Extension, step int, target map[string]float64) {
+	for i, ch := range f.plan.cfg.Channels {
+		if v, ok := target[ch]; ok {
+			ext.Chans[i][step] = v
+		}
+	}
+	for i, ch := range f.plan.cfg.TargetChannels {
+		if v, ok := target[ch]; ok {
+			ext.Tgts[i][step] = v
+		}
+	}
+}
+
+// Forecast predicts the next upcoming day — the next calendar day for
+// NextDay, the next working day for NextWorkingDay — with optional
+// known target-day channel values.
+func (f *Fitted) Forecast(target map[string]float64) (float64, error) {
+	ext := f.extension(1)
+	f.override(ext, 0, target)
+	row := make([]float64, f.plan.mat.RowWidth(f.lags))
+	if !f.plan.mat.ExtendedRow(row, 0, f.lags, ext) {
+		return 0, fmt.Errorf("core: vehicle %s: series too short for lags %v", f.plan.d.VehicleID, f.lags)
+	}
+	pred, err := f.model.Predict(row)
+	if err != nil {
+		return 0, err
+	}
+	return clampHours(pred), nil
+}
+
+// Horizon predicts the next h days by iterated one-step forecasting:
+// each prediction is written into its phantom slot so the following
+// steps' lag features see it. Per-step target-channel values (e.g. a
+// weather forecast per day) can be supplied via targets, indexed by
+// step. One extension is built up front and mutated in place — no
+// per-step dataset clone.
+func (f *Fitted) Horizon(h int, targets []map[string]float64) ([]float64, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("%w: horizon %d", ErrConfig, h)
+	}
+	ext := f.extension(h)
+	row := make([]float64, f.plan.mat.RowWidth(f.lags))
+	out := make([]float64, 0, h)
+	for step := 0; step < h; step++ {
+		if step < len(targets) {
+			f.override(ext, step, targets[step])
+		}
+		if !f.plan.mat.ExtendedRow(row, step, f.lags, ext) {
+			return nil, fmt.Errorf("core: vehicle %s: series too short for lags %v", f.plan.d.VehicleID, f.lags)
+		}
+		pred, err := f.model.Predict(row)
+		if err != nil {
+			return nil, err
+		}
+		pred = clampHours(pred)
+		out = append(out, pred)
+		ext.Hours[step] = pred
+	}
+	return out, nil
+}

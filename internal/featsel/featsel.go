@@ -123,34 +123,43 @@ func (s Spec) Row(d *etl.VehicleDataset, t int) ([]float64, bool) {
 }
 
 func contextFeatures(c etl.Context) []float64 {
-	out := make([]float64, 0, contextWidth)
+	out := make([]float64, contextWidth)
+	fillContext(out, c)
+	return out
+}
+
+// fillContext writes the context encoding into dst (len contextWidth):
+// one-hot weekday, holiday and working-day flags, one-hot season and
+// the month on the unit circle. Both the per-row Spec path and the
+// one-pass materialization use it, so the encodings cannot diverge.
+func fillContext(dst []float64, c etl.Context) {
 	for wd := time.Sunday; wd <= time.Saturday; wd++ {
 		if c.DayOfWeek == wd {
-			out = append(out, 1)
+			dst[wd] = 1
 		} else {
-			out = append(out, 0)
+			dst[wd] = 0
 		}
 	}
+	k := 7
+	dst[k] = 0
 	if c.Holiday {
-		out = append(out, 1)
-	} else {
-		out = append(out, 0)
+		dst[k] = 1
 	}
+	k++
+	dst[k] = 0
 	if c.WorkingDay {
-		out = append(out, 1)
-	} else {
-		out = append(out, 0)
+		dst[k] = 1
 	}
+	k++
 	for season := 0; season < 4; season++ {
 		if int(c.Season) == season {
-			out = append(out, 1)
+			dst[k+season] = 1
 		} else {
-			out = append(out, 0)
+			dst[k+season] = 0
 		}
 	}
-	mx, my := monthCircle(c.Month)
-	out = append(out, mx, my)
-	return out
+	k += 4
+	dst[k], dst[k+1] = monthCircle(c.Month)
 }
 
 // monthCircle encodes the month on the unit circle so December and

@@ -1,0 +1,256 @@
+package featsel
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"vup/internal/etl"
+	"vup/internal/geo"
+	"vup/internal/randx"
+)
+
+// materializeDataset builds a synthetic dataset with distinctive
+// per-channel values so any gather misalignment shows up as a value
+// mismatch rather than a coincidental equality.
+func materializeDataset(t *testing.T, n int) *etl.VehicleDataset {
+	t.Helper()
+	rng := randx.New(99)
+	d := &etl.VehicleDataset{
+		VehicleID: "mat-0",
+		Country:   "IT",
+		Start:     time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC),
+		Hours:     make([]float64, n),
+		Channels: map[string][]float64{
+			"alpha": make([]float64, n),
+			"beta":  make([]float64, n),
+			"gamma": make([]float64, n),
+		},
+		Observed: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		d.Hours[i] = 10 * rng.Float64()
+		d.Channels["alpha"][i] = 100 + float64(i)
+		d.Channels["beta"][i] = -float64(i) * 0.5
+		d.Channels["gamma"][i] = rng.Normal(0, 1)
+		d.Observed[i] = true
+	}
+	d.Enrich()
+	return d
+}
+
+func TestMaterializedMatchesSpec(t *testing.T) {
+	d := materializeDataset(t, 90)
+	const maxLag = 14
+	channels := []string{"alpha", "beta"}
+	targets := []string{"gamma", "alpha"} // overlap with channels on purpose
+	m, err := Materialize(d, maxLag, channels, true, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lagSets := [][]int{{1}, {1, 7, 14}, {2, 3, 5, 8, 13}, {14}}
+	for _, lags := range lagSets {
+		spec := Spec{Lags: lags, Channels: channels, IncludeHours: true, IncludeContext: true, TargetChannels: targets}
+		if w := m.RowWidth(lags); w != spec.Width() {
+			t.Fatalf("lags %v: width %d != spec width %d", lags, w, spec.Width())
+		}
+		dst := make([]float64, m.RowWidth(lags))
+		for day := 0; day < d.Len(); day++ {
+			want, wantOK := spec.Row(d, day)
+			gotOK := m.GatherRow(dst, day, lags)
+			if gotOK != wantOK {
+				t.Fatalf("lags %v day %d: ok %v != spec ok %v", lags, day, gotOK, wantOK)
+			}
+			if !gotOK {
+				continue
+			}
+			for j := range want {
+				if dst[j] != want[j] {
+					t.Fatalf("lags %v day %d col %d: %v != %v", lags, day, j, dst[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestMaterializedMatrixMatchesSpec(t *testing.T) {
+	d := materializeDataset(t, 80)
+	lags := []int{1, 6, 12}
+	channels := []string{"beta", "gamma"}
+	m, err := Materialize(d, 12, channels, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Lags: lags, Channels: channels, IncludeHours: true, IncludeContext: true}
+	var sc Scratch
+	for _, rg := range [][2]int{{0, 40}, {5, 20}, {40, 80}, {-3, 200}} {
+		wx, wy, _, werr := spec.Matrix(d, rg[0], rg[1])
+		gx, gy, gerr := m.MatrixInto(&sc, lags, rg[0], rg[1])
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("range %v: err %v vs %v", rg, gerr, werr)
+		}
+		if werr != nil {
+			continue
+		}
+		if len(gx) != len(wx) {
+			t.Fatalf("range %v: %d rows vs %d", rg, len(gx), len(wx))
+		}
+		for i := range wx {
+			if gy[i] != wy[i] {
+				t.Fatalf("range %v row %d: y %v vs %v", rg, i, gy[i], wy[i])
+			}
+			for j := range wx[i] {
+				if gx[i][j] != wx[i][j] {
+					t.Fatalf("range %v row %d col %d: %v vs %v", rg, i, j, gx[i][j], wx[i][j])
+				}
+			}
+		}
+	}
+	// Empty range must reproduce Spec.Matrix's ErrNoRows.
+	if _, _, err := m.MatrixInto(&sc, lags, 0, 3); !errors.Is(err, ErrNoRows) {
+		t.Fatalf("want ErrNoRows, got %v", err)
+	}
+}
+
+func TestMaterializedScratchReuse(t *testing.T) {
+	// Two consecutive gathers with one scratch must not alias: the
+	// second overwrites the first, which is exactly why callers copy
+	// results they keep — but shapes shrink and grow safely.
+	d := materializeDataset(t, 60)
+	m, err := Materialize(d, 10, []string{"alpha"}, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc Scratch
+	x1, y1, err := m.MatrixInto(&sc, []int{1, 2, 10}, 10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x1) != 40 || len(y1) != 40 {
+		t.Fatalf("rows %d/%d", len(x1), len(y1))
+	}
+	x2, _, err := m.MatrixInto(&sc, []int{3}, 3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x2) != 57 {
+		t.Fatalf("second gather rows %d", len(x2))
+	}
+	spec := Spec{Lags: []int{3}, Channels: []string{"alpha"}, IncludeHours: true}
+	want, _, _, err := spec.Matrix(d, 3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if x2[i][j] != want[i][j] {
+				t.Fatalf("reused scratch row %d col %d: %v vs %v", i, j, x2[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestMaterializedExtendedRow(t *testing.T) {
+	// The phantom-day path must equal Spec.Row over a literally
+	// extended dataset (the old appendPhantomDay construction).
+	d := materializeDataset(t, 50)
+	channels := []string{"alpha", "beta"}
+	targets := []string{"gamma"}
+	m, err := Materialize(d, 9, channels, true, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lags := []int{1, 4, 9}
+	n := d.Len()
+
+	// Build the extension: two phantom days with predicted hours and a
+	// target-channel override on the second.
+	next1 := d.Date(n-1).AddDate(0, 0, 1)
+	next2 := next1.AddDate(0, 0, 1)
+	ctx := func(date time.Time) etl.Context {
+		holiday, _ := geo.IsHoliday(d.Country, date)
+		return etl.Context{
+			DayOfWeek:  date.Weekday(),
+			WeekOfYear: geo.WeekOfYear(date),
+			Month:      date.Month(),
+			Season:     geo.SeasonOf(date, geo.Northern),
+			Year:       date.Year(),
+			Holiday:    holiday,
+			WorkingDay: geo.IsWorkingDay(d.Country, date),
+		}
+	}
+	cols := map[string][]float64{
+		"alpha": make([]float64, 2),
+		"beta":  make([]float64, 2),
+		"gamma": make([]float64, 2),
+	}
+	ext := &Extension{
+		Hours: []float64{6.5, 0},
+		Chans: [][]float64{cols["alpha"], cols["beta"]},
+		Tgts:  [][]float64{cols["gamma"]},
+		Ctx:   []etl.Context{ctx(next1), ctx(next2)},
+	}
+	cols["gamma"][1] = 42.0 // target override on step 1
+
+	// Reference: clone the dataset with the same two phantom days.
+	ref := &etl.VehicleDataset{
+		VehicleID: d.VehicleID, Country: d.Country, Start: d.Start,
+		Hours:    append(append([]float64(nil), d.Hours...), 6.5, 0),
+		Channels: map[string][]float64{},
+		Context:  append(append([]etl.Context(nil), d.Context...), ctx(next1), ctx(next2)),
+		Observed: append(append([]bool(nil), d.Observed...), false, false),
+	}
+	for name, vals := range d.Channels {
+		ref.Channels[name] = append(append([]float64(nil), vals...), 0, 0)
+	}
+	ref.Channels["gamma"][n+1] = 42.0
+
+	spec := Spec{Lags: lags, Channels: channels, IncludeHours: true, IncludeContext: true, TargetChannels: targets}
+	dst := make([]float64, m.RowWidth(lags))
+	for step := 0; step < 2; step++ {
+		want, ok := spec.Row(ref, n+step)
+		if !ok {
+			t.Fatalf("reference row %d not buildable", step)
+		}
+		if !m.ExtendedRow(dst, step, lags, ext) {
+			t.Fatalf("extended row %d refused", step)
+		}
+		for j := range want {
+			if dst[j] != want[j] {
+				t.Fatalf("step %d col %d: %v != %v", step, j, dst[j], want[j])
+			}
+		}
+	}
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	d := materializeDataset(t, 30)
+	if _, err := Materialize(d, 0, nil, false, nil); err == nil {
+		t.Error("max lag 0 accepted")
+	}
+	if _, err := Materialize(d, 5, []string{"nope"}, false, nil); err == nil {
+		t.Error("unknown channel accepted")
+	}
+	if _, err := Materialize(d, 5, nil, false, []string{"nope"}); err == nil {
+		t.Error("unknown target channel accepted")
+	}
+	m, err := Materialize(d, 5, nil, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, m.RowWidth([]int{5}))
+	if m.GatherRow(dst, 3, []int{5}) {
+		t.Error("underflowing lag gathered")
+	}
+	if m.GatherRow(dst, 30, []int{5}) {
+		t.Error("out-of-range day gathered")
+	}
+	if m.Len() != 30 || m.MaxLag() != 5 {
+		t.Errorf("Len/MaxLag = %d/%d", m.Len(), m.MaxLag())
+	}
+	if m.Y(3) != d.Hours[3] {
+		t.Errorf("Y(3) = %v", m.Y(3))
+	}
+	_ = math.NaN()
+}

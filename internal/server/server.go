@@ -270,27 +270,38 @@ func (a *API) configFromQuery(r *http.Request) (core.Config, error) {
 }
 
 // forecastResponse is the forecast payload. Lo/Hi/Level are present
-// only when an interval was requested; Cached marks responses served
-// from (or coalesced onto) a previously trained artifact.
+// only when an interval was requested, Horizon only for multi-step
+// requests; Cached marks responses served from (or coalesced onto) a
+// previously trained artifact.
 type forecastResponse struct {
-	Vehicle   string   `json:"vehicle"`
-	Scenario  string   `json:"scenario"`
-	Algorithm string   `json:"algorithm"`
-	Hours     float64  `json:"hours"`
-	Lags      []int    `json:"lags"`
-	Lo        *float64 `json:"lo,omitempty"`
-	Hi        *float64 `json:"hi,omitempty"`
-	Level     *float64 `json:"level,omitempty"`
-	Cached    bool     `json:"cached,omitempty"`
-	TookMS    float64  `json:"took_ms"`
+	Vehicle   string    `json:"vehicle"`
+	Scenario  string    `json:"scenario"`
+	Algorithm string    `json:"algorithm"`
+	Hours     float64   `json:"hours"`
+	Lags      []int     `json:"lags"`
+	Horizon   []float64 `json:"horizon,omitempty"`
+	Lo        *float64  `json:"lo,omitempty"`
+	Hi        *float64  `json:"hi,omitempty"`
+	Level     *float64  `json:"level,omitempty"`
+	Cached    bool      `json:"cached,omitempty"`
+	TookMS    float64   `json:"took_ms"`
 }
 
 // pointForecast is the cached artifact of a plain (no-interval)
-// forecast.
+// forecast: the trained model plus its precomputed next-day answer.
+// One artifact serves both single-step and horizon requests — a
+// horizon is derived from the cached Fitted per request (Fitted is
+// safe for concurrent use), so `?horizon=` never retrains a model the
+// cache already holds.
 type pointForecast struct {
-	hours float64
-	lags  []int
+	fitted *core.Fitted
+	hours  float64
+	lags   []int
 }
+
+// maxHorizon bounds `?horizon=` requests; iterated forecasts degrade
+// into the model's fixed point long before this.
+const maxHorizon = 366
 
 func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
@@ -304,6 +315,15 @@ func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	horizon := 0
+	if hStr := r.URL.Query().Get("horizon"); hStr != "" {
+		h, err := strconv.Atoi(hStr)
+		if err != nil || h < 1 || h > maxHorizon {
+			writeError(w, http.StatusBadRequest, "horizon must be in [1, %d], got %q", maxHorizon, hStr)
+			return
+		}
+		horizon = h
+	}
 	start := time.Now()
 	resp := forecastResponse{
 		Vehicle:   d.VehicleID,
@@ -311,6 +331,10 @@ func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
 		Algorithm: string(cfg.Algorithm),
 	}
 	if levelStr := r.URL.Query().Get("interval"); levelStr != "" {
+		if horizon > 0 {
+			writeError(w, http.StatusBadRequest, "interval and horizon cannot be combined")
+			return
+		}
 		level, err := strconv.ParseFloat(levelStr, 64)
 		if err != nil || level <= 0 || level >= 1 {
 			writeError(w, http.StatusBadRequest, "interval must be in (0, 1), got %q", levelStr)
@@ -331,8 +355,19 @@ func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
 		resp.Cached = cached
 	} else {
 		val, cached, err := a.Cache.Do(cacheKey("point", d.VehicleID, fp, cfg), gen, func() (any, error) {
-			hours, lags, err := core.Forecast(d, cfg)
-			return pointForecast{hours: hours, lags: lags}, err
+			p, err := core.NewPlan(d, cfg)
+			if err != nil {
+				return nil, err
+			}
+			fitted, err := p.Fit()
+			if err != nil {
+				return nil, err
+			}
+			hours, err := fitted.Forecast(nil)
+			if err != nil {
+				return nil, err
+			}
+			return pointForecast{fitted: fitted, hours: hours, lags: fitted.Lags()}, nil
 		})
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "forecast failed: %v", err)
@@ -342,6 +377,14 @@ func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
 		resp.Hours = pf.hours
 		resp.Lags = pf.lags
 		resp.Cached = cached
+		if horizon > 0 {
+			steps, err := pf.fitted.Horizon(horizon, nil)
+			if err != nil {
+				writeError(w, http.StatusUnprocessableEntity, "forecast failed: %v", err)
+				return
+			}
+			resp.Horizon = steps
+		}
 	}
 	resp.TookMS = float64(time.Since(start).Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, resp)

@@ -297,3 +297,76 @@ func TestVehiclesListingAlwaysEncodable(t *testing.T) {
 		t.Errorf("empty dataset summary not encodable: %v", err)
 	}
 }
+
+func TestForecastHorizonParam(t *testing.T) {
+	api, srv := testAPI(t)
+	var body map[string]any
+	get(t, srv.URL+"/v1/vehicles/veh-0000/forecast?horizon=5", http.StatusOK, &body)
+	steps := body["horizon"].([]any)
+	if len(steps) != 5 {
+		t.Fatalf("horizon steps = %d", len(steps))
+	}
+	for i, s := range steps {
+		v := s.(float64)
+		if v < 0 || v > 24 {
+			t.Errorf("step %d = %v", i, v)
+		}
+	}
+	if steps[0].(float64) != body["hours"].(float64) {
+		t.Errorf("horizon[0] = %v, hours = %v", steps[0], body["hours"])
+	}
+	// The endpoint must agree with the library path.
+	d, _ := api.store.Get("veh-0000")
+	want, err := core.ForecastHorizon(d, api.Base, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if steps[i].(float64) != want[i] {
+			t.Errorf("step %d: %v != core %v", i, steps[i], want[i])
+		}
+	}
+	// Plain requests carry no horizon field.
+	var plain map[string]any
+	get(t, srv.URL+"/v1/vehicles/veh-0000/forecast", http.StatusOK, &plain)
+	if _, present := plain["horizon"]; present {
+		t.Error("horizon present without horizon request")
+	}
+	// Bad values and the interval combination are 400s.
+	for _, q := range []string{"?horizon=0", "?horizon=-2", "?horizon=abc", "?horizon=1000", "?horizon=3&interval=0.8"} {
+		var errBody map[string]any
+		get(t, srv.URL+"/v1/vehicles/veh-0000/forecast"+q, http.StatusBadRequest, &errBody)
+		if errBody["error"] == "" {
+			t.Errorf("query %s: missing error", q)
+		}
+	}
+}
+
+func TestForecastHorizonSharesCachedArtifact(t *testing.T) {
+	api, srv := testAPI(t)
+	api.Cache = NewForecastCache(8)
+	// First request trains and caches the Fitted artifact.
+	var first map[string]any
+	get(t, srv.URL+"/v1/vehicles/veh-0001/forecast", http.StatusOK, &first)
+	if first["cached"] == true {
+		t.Fatal("first request reported cached")
+	}
+	// A horizon request reuses the same artifact: cached, no retrain,
+	// and its first step is exactly the cached point forecast.
+	var hz map[string]any
+	get(t, srv.URL+"/v1/vehicles/veh-0001/forecast?horizon=3", http.StatusOK, &hz)
+	if hz["cached"] != true {
+		t.Error("horizon request did not reuse the cached artifact")
+	}
+	steps := hz["horizon"].([]any)
+	if len(steps) != 3 {
+		t.Fatalf("horizon steps = %d", len(steps))
+	}
+	if steps[0].(float64) != first["hours"].(float64) {
+		t.Errorf("horizon[0] = %v, cached point = %v", steps[0], first["hours"])
+	}
+	stats := api.Cache.Stats()
+	if stats.Misses != 1 || stats.Hits != 1 {
+		t.Errorf("cache stats = %+v, want 1 miss + 1 hit", stats)
+	}
+}
