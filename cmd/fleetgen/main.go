@@ -86,6 +86,6 @@ func run(cfg fleet.Config, out string) error {
 		}
 		rows += tab.Rows()
 	}
-	fmt.Fprintf(os.Stderr, "fleetgen: wrote %d vehicle-day rows for %d vehicles\n", rows, len(f.Units))
+	_, _ = fmt.Fprintf(os.Stderr, "fleetgen: wrote %d vehicle-day rows for %d vehicles\n", rows, len(f.Units))
 	return nil
 }

@@ -127,7 +127,7 @@ func writeCSVs(dir string, rep *experiments.Report) error {
 			return err
 		}
 		if err := tab.WriteCSV(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {

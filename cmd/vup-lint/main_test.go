@@ -1,0 +1,153 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles vup-lint once into a temp dir and returns its
+// path.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vup-lint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule materializes a throwaway module the binary can lint.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runLint executes the binary against dir and returns combined output
+// and exit code.
+func runLint(t *testing.T, bin, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-C", dir}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	exit, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %s: %v\n%s", bin, err, out)
+	}
+	return string(out), exit.ExitCode()
+}
+
+func TestBinaryAgainstTempModule(t *testing.T) {
+	bin := buildBinary(t)
+
+	t.Run("violations exit 1", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"lib/lib.go": `package lib
+
+import (
+	"fmt"
+	"os"
+)
+
+func Cleanup() {
+	os.Remove("scratch")
+	fmt.Println("cleaned")
+}
+`,
+		})
+		out, code := runLint(t, bin, dir)
+		if code != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", code, out)
+		}
+		for _, want := range []string{
+			"lib.go:9:2: errdiscipline:",
+			"lib.go:10:2: printhygiene:",
+			"2 diagnostic(s)",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("clean module exits 0", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"lib/lib.go": `package lib
+
+import "os"
+
+func Cleanup() error {
+	return os.Remove("scratch")
+}
+
+func BestEffort() {
+	os.Remove("scratch") //lint:allow errdiscipline scratch may not exist; removal is best-effort
+}
+`,
+		})
+		out, code := runLint(t, bin, dir)
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0\n%s", code, out)
+		}
+	})
+
+	t.Run("rule selection", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"lib/lib.go": `package lib
+
+import (
+	"fmt"
+	"os"
+)
+
+func Cleanup() {
+	os.Remove("scratch")
+	fmt.Println("cleaned")
+}
+`,
+		})
+		out, code := runLint(t, bin, dir, "-rules", "printhygiene", "./...")
+		if code != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", code, out)
+		}
+		if strings.Contains(out, "errdiscipline") {
+			t.Errorf("errdiscipline should be off:\n%s", out)
+		}
+	})
+
+	t.Run("load error exits 2", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"lib/lib.go": "package lib\n\nfunc Broken() { return 1 }\n",
+		})
+		out, code := runLint(t, bin, dir)
+		if code != 2 {
+			t.Fatalf("exit = %d, want 2\n%s", code, out)
+		}
+	})
+
+	t.Run("unknown rule exits 2", func(t *testing.T) {
+		out, code := runLint(t, bin, t.TempDir(), "-rules", "nonsense")
+		if code != 2 {
+			t.Fatalf("exit = %d, want 2\n%s", code, out)
+		}
+		if !strings.Contains(out, "unknown rule") {
+			t.Errorf("output missing rule list:\n%s", out)
+		}
+	})
+}

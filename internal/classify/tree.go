@@ -145,6 +145,7 @@ func bestGiniSplit(x [][]float64, y []int, idx []int, minLeaf, k int) (feature i
 		for pos := 0; pos < n-1; pos++ {
 			i := order[pos]
 			leftCounts[y[i]]++
+			//lint:allow floatsafety split points sit between distinct stored feature values
 			if x[order[pos+1]][f] == x[i][f] {
 				continue
 			}

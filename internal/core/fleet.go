@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"vup/internal/etl"
@@ -78,4 +79,4 @@ func EvaluateFleet(datasets []*etl.VehicleDataset, cfg Config, workers int) (*Fl
 	return fr, nil
 }
 
-func isNaN(v float64) bool { return v != v }
+func isNaN(v float64) bool { return math.IsNaN(v) }

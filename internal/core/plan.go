@@ -54,7 +54,7 @@ func NewPlan(d *etl.VehicleDataset, cfg Config) (*Plan, error) {
 	if maxLag < 1 {
 		maxLag = 1 // degenerate view; windows will refuse their rows
 	}
-	mt := time.Now()
+	mt := time.Now() //lint:allow determinism stage timer; feeds pipeline_feature_build_seconds only, never figure bytes
 	mat, err := featsel.Materialize(view, maxLag, cfg.Channels, cfg.IncludeContext, cfg.TargetChannels)
 	featureBuildSeconds.With().ObserveSince(mt)
 	if err != nil {
@@ -119,7 +119,7 @@ func (p *Plan) Evaluate() (*Result, error) {
 	for wi := 0; wi < len(windows); wi += p.cfg.Stride {
 		win := windows[wi]
 		lags := p.selectLags(win.TrainFrom, win.TrainTo)
-		mt := time.Now()
+		mt := time.Now() //lint:allow determinism stage timer; feeds pipeline_feature_build_seconds only, never figure bytes
 		x, y, err := p.mat.MatrixInto(&scratch, lags, win.TrainFrom, win.TrainTo)
 		featureBuildSeconds.With().ObserveSince(mt)
 		if err != nil || len(x) < p.cfg.MinTrainRows {
@@ -193,7 +193,7 @@ func (p *Plan) Fit() (*Fitted, error) {
 	}
 	lags := p.selectLags(trainFrom, n)
 	var scratch featsel.Scratch
-	mt := time.Now()
+	mt := time.Now() //lint:allow determinism stage timer; feeds pipeline_feature_build_seconds only, never figure bytes
 	x, y, err := p.mat.MatrixInto(&scratch, lags, trainFrom, n)
 	featureBuildSeconds.With().ObserveSince(mt)
 	if err != nil {

@@ -3,6 +3,7 @@ package etl
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"vup/internal/stats"
 )
@@ -36,7 +37,7 @@ func (s *StandardScaler) Fit(xs []float64) error {
 	}
 	s.mean = stats.Mean(xs)
 	s.std = stats.Std(xs)
-	if len(xs) < 2 || s.std == 0 || s.std != s.std { // NaN check
+	if len(xs) < 2 || s.std == 0 || math.IsNaN(s.std) {
 		s.std = 0
 	}
 	s.fitted = true

@@ -92,6 +92,7 @@ func modelBoxes(samples map[string][]float64) (labels []string, boxes []stats.Bo
 		entries = append(entries, entry{label, b})
 	}
 	sort.Slice(entries, func(i, j int) bool {
+		//lint:allow floatsafety deterministic sort key; exact equality falls through to the label tiebreak
 		if entries[i].box.Median != entries[j].box.Median {
 			return entries[i].box.Median < entries[j].box.Median
 		}

@@ -1,0 +1,51 @@
+// Package lint is the project's static-analysis suite: five analyzers
+// built on go/parser, go/ast and go/types alone (dependencies are
+// resolved from `go list -export` compiler export data, so go.mod
+// stays zero-dependency), driven by cmd/vup-lint.
+//
+// Every rule is grounded in a bug class this repository has actually
+// hit or structurally risks, and moves an invariant that was enforced
+// by after-the-fact golden tests into build-time enforcement:
+//
+//   - determinism: the figure pipeline must be byte-identical across
+//     runs and worker counts (PR 2's TestDeterminismAcrossWorkers, PR
+//     4's 48-case golden suite). Wall-clock reads (time.Now), raw
+//     math/rand, and a shared *randx.RNG captured by a parallel worker
+//     closure each break that silently — the last one only under
+//     scheduler-dependent interleavings, which no golden test can
+//     reliably catch. Scope: internal/{core, experiments, fleet,
+//     featsel, regress, stats}.
+//
+//   - floatsafety: PR 3 shipped a fix for summarize emitting NaN into
+//     JSON on an empty dataset — encoding/json fails with
+//     UnsupportedValueError at request time, long after the bad value
+//     was computed. The rule flags exact float ==/!=, float map keys,
+//     and float quotients reaching a JSON encoder in functions with no
+//     math.IsNaN guard, so that class is caught at lint time.
+//
+//   - errdiscipline: PR 3 also had to retrofit error counting onto
+//     writeJSON because Encode failures after the header was sent
+//     vanished. A call statement that discards a trailing error is
+//     flagged; `_ =` assignment, defer/go statements, fmt.Print* to
+//     stdout, and writes into strings.Builder/bytes.Buffer are
+//     deliberately exempt.
+//
+//   - metricnames: obs.Registry panics at init when a name is
+//     re-registered with a different shape, and Prometheus tooling
+//     assumes the _total/_seconds/_entries/_in_flight suffix grammar.
+//     Names must be compile-time constants matching the convention and
+//     be registered at exactly one site process-wide.
+//
+//   - printhygiene: library output must flow through obs.Logger or
+//     return values — a stray fmt.Print in a library corrupts the
+//     byte-exact stdout the experiment binaries are diffed on.
+//     cmd/, examples/ (package main) and internal/textplot are exempt.
+//
+// Suppression is per-line and must be justified:
+//
+//	//lint:allow <rule> <reason>
+//
+// placed trailing the flagged line or on the line directly above. A
+// directive with no reason, or one that suppresses nothing, is itself
+// a diagnostic — suppressions cannot rot silently.
+package lint

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// newErrDiscipline builds the errdiscipline analyzer: a call whose
+// result set ends in error, used as a bare statement, silently drops
+// the error. This is the class behind PR 3's writeJSON fixes — an
+// Encode failure after the header is sent used to vanish.
+//
+// What does NOT fire, by design:
+//
+//   - explicit acknowledgment: `_ = f()` and `_, _ = fmt.Fprintf(...)`
+//     are assignments, not bare statements — writing the blank is the
+//     audit trail;
+//   - defer and go statements — `defer f.Close()` on read paths is
+//     idiomatic; flagging it buys noise, not safety;
+//   - fmt.Print/Printf/Println to stdout — process stdout is the
+//     program's product in the cmd binaries, and printhygiene already
+//     polices it in libraries;
+//   - fmt.Fprint* into *strings.Builder or *bytes.Buffer, any method
+//     called on those two types, and Write on a hash.Hash — all
+//     documented never to fail.
+//
+// fmt.Fprintf to a real writer (an http.ResponseWriter, a file,
+// os.Stderr) and json.Encoder.Encode do fire: those errors are real
+// and must be checked, counted, or deliberately blanked.
+func newErrDiscipline() *Analyzer {
+	a := &Analyzer{
+		Name: "errdiscipline",
+		Doc:  "flag bare call statements that discard a returned error",
+	}
+	a.Run = func(pkg *Package) []Diagnostic {
+		var diags []Diagnostic
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !returnsError(pkg.Info, call) || exemptCall(pkg.Info, call) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:     pkg.Fset.Position(call.Pos()),
+					Rule:    a.Name,
+					Message: fmt.Sprintf("error returned by %s is silently discarded; check it or assign to _", exprString(call.Fun)),
+				})
+				return true
+			})
+		}
+		return diags
+	}
+	return a
+}
+
+// returnsError reports whether the call's last result is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return isErrorType(t)
+}
+
+// exemptCall implements the deliberate holes in the rule.
+func exemptCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeFunc(info, call)
+	if obj == nil {
+		return false
+	}
+	// fmt.Print* write to stdout; the cmd binaries' stdout IS the output.
+	switch obj.Name() {
+	case "Print", "Printf", "Println":
+		if pathIs(obj.Pkg(), "fmt") && obj.Type().(*types.Signature).Recv() == nil {
+			return true
+		}
+	case "Fprint", "Fprintf", "Fprintln":
+		if pathIs(obj.Pkg(), "fmt") && len(call.Args) > 0 && neverFailingWriter(info.TypeOf(call.Args[0])) {
+			return true
+		}
+	}
+	// Methods on in-memory buffers never return a non-nil error.
+	if recvIsNamed(obj, "strings", "Builder") || recvIsNamed(obj, "bytes", "Buffer") {
+		return true
+	}
+	// hash.Hash documents that Write never returns an error. Key on the
+	// receiver expression's static type: the method object itself
+	// resolves to the embedded io.Writer, which must NOT be exempt.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && obj.Name() == "Write" {
+		t := info.TypeOf(sel.X)
+		if isNamedType(t, "hash", "Hash") || isNamedType(t, "hash", "Hash32") || isNamedType(t, "hash", "Hash64") {
+			return true
+		}
+	}
+	return false
+}
+
+func neverFailingWriter(t types.Type) bool {
+	return isNamedType(t, "strings", "Builder") || isNamedType(t, "bytes", "Buffer")
+}

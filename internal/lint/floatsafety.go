@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// newFloatSafety builds the floatsafety analyzer. Everywhere in the
+// tree it flags:
+//
+//   - == and != between two computed floating-point operands — exact
+//     comparison of computation results is almost never meant (NaN !=
+//     NaN; accumulated error breaks equality). Comparing against a
+//     compile-time constant is exempt: exact-zero guards before a
+//     division and representable sentinels are correct IEEE practice
+//     and pervasive in the numeric kernels. A genuinely exact
+//     computed-vs-computed comparison takes //lint:allow.
+//   - floating-point map keys — NaN keys are unretrievable and +0/-0
+//     collide; key on bits or a quantized integer instead.
+//   - a float quotient (or math.NaN itself) reaching a JSON encoder in
+//     a function that never calls math.IsNaN — 0/0 silently produces
+//     NaN, and encoding/json rejects NaN with an opaque
+//     UnsupportedValueError at request time. This is the exact shape of
+//     the PR 3 summarize bug. The check is function-local: an
+//     assignment taints its left-hand side, and a tainted identifier or
+//     literal quotient inside a Marshal/Encode argument fires unless
+//     the function guards with math.IsNaN.
+func newFloatSafety() *Analyzer {
+	a := &Analyzer{
+		Name: "floatsafety",
+		Doc:  "flag exact float comparison, float map keys, and unguarded NaN-to-JSON flows",
+	}
+	a.Run = func(pkg *Package) []Diagnostic {
+		var diags []Diagnostic
+		report := func(n ast.Node, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Pos:     pkg.Fset.Position(n.Pos()),
+				Rule:    a.Name,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if !isFloat(pkg.Info.TypeOf(n.X)) && !isFloat(pkg.Info.TypeOf(n.Y)) {
+						return true
+					}
+					if isConstExpr(pkg, n.X) || isConstExpr(pkg, n.Y) {
+						return true // exact-zero guard / representable sentinel
+					}
+					report(n, "exact floating-point %s between computed values; use a tolerance or math.IsNaN", n.Op)
+				case *ast.MapType:
+					if isFloat(pkg.Info.TypeOf(n.Key)) {
+						report(n.Key, "floating-point map key; NaN keys are unretrievable and ±0 collide")
+					}
+				case *ast.FuncDecl:
+					// The NaN-flow heuristic is function-scoped; the
+					// traversal still descends for the checks above.
+					if n.Body != nil {
+						checkNaNFlow(pkg, n.Body, report)
+					}
+				}
+				return true
+			})
+		}
+		return diags
+	}
+	return a
+}
+
+// checkNaNFlow applies the function-local NaN-to-encoder heuristic to
+// one function body.
+func checkNaNFlow(pkg *Package, body *ast.BlockStmt, report func(ast.Node, string, ...any)) {
+	guarded := false
+	tainted := map[string]bool{} // identifiers assigned from a float quotient
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			obj := calleeFunc(pkg.Info, n)
+			if isPkgFunc(obj, "math", "IsNaN") || isPkgFunc(obj, "math", "IsInf") {
+				guarded = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) && exprMayBeNaN(pkg, rhs, tainted) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						tainted[id.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if guarded {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		obj := calleeFunc(pkg.Info, call)
+		isEncoder := isPkgFunc(obj, "encoding/json", "Marshal") ||
+			isPkgFunc(obj, "encoding/json", "MarshalIndent") ||
+			(obj != nil && obj.Name() == "Encode" && recvIsNamed(obj, "encoding/json", "Encoder"))
+		if !isEncoder {
+			return true
+		}
+		if exprMayBeNaN(pkg, call.Args[0], tainted) {
+			report(call, "possible NaN reaches %s without a math.IsNaN guard (json rejects NaN at encode time)", exprString(call.Fun))
+		}
+		return true
+	})
+}
+
+// isConstExpr reports whether e has a compile-time constant value.
+func isConstExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[ast.Unparen(e)]
+	return ok && tv.Value != nil
+}
+
+// exprMayBeNaN reports whether e contains a float quotient, a call to
+// math.NaN, or an identifier previously tainted by one.
+func exprMayBeNaN(pkg *Package, e ast.Expr, tainted map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.QUO && isFloat(pkg.Info.TypeOf(n)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isPkgFunc(calleeFunc(pkg.Info, n), "math", "NaN") {
+				found = true
+			}
+		case *ast.Ident:
+			if tainted[n.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the rule that fired, and a
+// human-readable message. The driver renders it as
+// "file:line:col: rule: message".
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one named rule. Run inspects a type-checked package and
+// returns raw findings; suppression directives are applied afterwards
+// by Check. An analyzer may keep state across Run calls within one
+// driver invocation (metricnames uses this for cross-package duplicate
+// detection), so callers must obtain fresh instances from All for each
+// independent run.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Diagnostic
+}
+
+// All returns a fresh instance of every analyzer in the suite. The
+// returned slice is ordered by rule name; instances must not be shared
+// between concurrent driver runs.
+func All() []*Analyzer {
+	return []*Analyzer{
+		newDeterminism(),
+		newErrDiscipline(),
+		newFloatSafety(),
+		newMetricNames(),
+		newPrintHygiene(),
+	}
+}
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	pos    token.Position
+	rule   string
+	reason string
+	used   bool
+}
+
+// DirectiveRule is the pseudo-rule under which Check reports malformed
+// or unused //lint:allow directives. It cannot itself be suppressed —
+// a directive that silences nothing is dead weight that would let a
+// real violation creep back in unnoticed.
+const DirectiveRule = "directive"
+
+const directivePrefix = "lint:allow"
+
+// parseDirectives extracts every //lint:allow comment in the package.
+// The accepted form is
+//
+//	//lint:allow <rule> <reason...>
+//
+// where <reason> is mandatory: an unexplained suppression is reported
+// as malformed. A directive suppresses matching diagnostics on its own
+// line (trailing comment) and on the line directly below (comment on
+// its own line above the flagged statement).
+func parseDirectives(pkg *Package) (dirs []*directive, malformed []Diagnostic) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:     pos,
+						Rule:    DirectiveRule,
+						Message: "malformed //lint:allow: need a rule name and a reason",
+					})
+					continue
+				}
+				dirs = append(dirs, &directive{
+					pos:    pos,
+					rule:   fields[0],
+					reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return dirs, malformed
+}
+
+// Check runs every analyzer over pkg, applies //lint:allow
+// suppression, reports malformed and unused directives, and returns
+// the surviving diagnostics sorted by position.
+func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		raw = append(raw, a.Run(pkg)...)
+	}
+
+	dirs, out := parseDirectives(pkg)
+	for _, d := range raw {
+		if dir := matchDirective(dirs, d); dir != nil {
+			dir.used = true
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, dir := range dirs {
+		if !dir.used {
+			out = append(out, Diagnostic{
+				Pos:     dir.pos,
+				Rule:    DirectiveRule,
+				Message: fmt.Sprintf("//lint:allow %s suppresses nothing; remove it", dir.rule),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+func matchDirective(dirs []*directive, d Diagnostic) *directive {
+	for _, dir := range dirs {
+		if dir.rule != d.Rule || dir.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+			return dir
+		}
+	}
+	return nil
+}
+
+// --- shared type-inspection helpers -------------------------------------
+
+// pathIs reports whether pkg's import path is suffix, or ends with
+// "/"+suffix. Matching by suffix keeps the analyzers working against
+// fixture modules and renamed module roots.
+func pathIs(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}
+
+// importPathIs is pathIs for a raw import-path string.
+func importPathIs(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// calleeFunc resolves the called function or method, or nil for
+// indirect calls, builtins and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// isPkgFunc reports whether obj is the package-level function
+// pkgSuffix.name (methods have a receiver and never match).
+func isPkgFunc(obj *types.Func, pkgSuffix, name string) bool {
+	return obj != nil &&
+		obj.Name() == name &&
+		obj.Type().(*types.Signature).Recv() == nil &&
+		pathIs(obj.Pkg(), pkgSuffix)
+}
+
+// recvNamed returns the named type of obj's receiver (dereferencing
+// one pointer), or nil for package-level functions.
+func recvNamed(obj *types.Func) *types.Named {
+	if obj == nil {
+		return nil
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// recvIsNamed reports whether obj is a method on pkgSuffix.name
+// (value or pointer receiver).
+func recvIsNamed(obj *types.Func, pkgSuffix, name string) bool {
+	n := recvNamed(obj)
+	return n != nil && n.Obj().Name() == name && pathIs(n.Obj().Pkg(), pkgSuffix)
+}
+
+// isNamedType reports whether t (after dereferencing one pointer) is
+// the named type pkgSuffix.name.
+func isNamedType(t types.Type, pkgSuffix, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == name && pathIs(n.Obj().Pkg(), pkgSuffix)
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isErrorType reports whether t is the built-in error interface (or an
+// alias of it).
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exprString renders a call target compactly for messages
+// ("fmt.Fprintf", "enc.Encode").
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "call"
+	}
+}

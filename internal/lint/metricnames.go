@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+)
+
+// metricNameRE is the project's Prometheus naming convention: snake
+// case with a unit-or-kind suffix. Counters end in _total, duration
+// histograms in _seconds, sized gauges in _entries, and concurrency
+// gauges in _in_flight.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]+(_total|_seconds|_entries|_in_flight)$`)
+
+// newMetricNames builds the metricnames analyzer. Every call to
+// obs.Registry's Counter, Gauge or Histogram must pass a compile-time
+// constant name matching metricNameRE, and each name must be
+// registered at exactly one site across the whole run — obs panics at
+// init on a conflicting re-registration, so a duplicate that slips in
+// is a process crash, not a lint nit. The analyzer keeps cross-package
+// state for the uniqueness check; All() hands out fresh instances.
+func newMetricNames() *Analyzer {
+	a := &Analyzer{
+		Name: "metricnames",
+		Doc:  "enforce Prometheus naming and single registration for obs metrics",
+	}
+	seen := map[string]token.Position{}
+	a.Run = func(pkg *Package) []Diagnostic {
+		var diags []Diagnostic
+		report := func(n ast.Node, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Pos:     pkg.Fset.Position(n.Pos()),
+				Rule:    a.Name,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				obj := calleeFunc(pkg.Info, call)
+				if obj == nil || !recvIsNamed(obj, "internal/obs", "Registry") {
+					return true
+				}
+				switch obj.Name() {
+				case "Counter", "Gauge", "Histogram":
+				default:
+					return true
+				}
+				tv, ok := pkg.Info.Types[call.Args[0]]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					report(call.Args[0], "metric name must be a compile-time string constant")
+					return true
+				}
+				name := constant.StringVal(tv.Value)
+				if !metricNameRE.MatchString(name) {
+					report(call.Args[0], "metric name %q violates convention %s", name, metricNameRE)
+				}
+				if first, dup := seen[name]; dup {
+					report(call.Args[0], "metric %q already registered at %s:%d; obs panics on conflicting re-registration", name, first.Filename, first.Line)
+				} else {
+					seen[name] = pkg.Fset.Position(call.Args[0].Pos())
+				}
+				return true
+			})
+		}
+		return diags
+	}
+	return a
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// printExemptPkgs never trip printhygiene: textplot's whole job is
+// rendering text (its output is returned, but it is the designated
+// presentation layer), and main packages (cmd/, examples/) own their
+// process's stdout/stderr.
+var printExemptPkgs = []string{"internal/textplot"}
+
+// logFuncs are the default-logger entry points of the log package.
+var logFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+// newPrintHygiene builds the printhygiene analyzer: library packages
+// must not write to the process's stdout/stderr behind the caller's
+// back. fmt.Print*, the log package's default logger, and the print/
+// println builtins are all flagged; output belongs in returned values
+// or goes through obs.Logger, which callers can level and redirect.
+// Main packages and internal/textplot are exempt.
+func newPrintHygiene() *Analyzer {
+	a := &Analyzer{
+		Name: "printhygiene",
+		Doc:  "forbid fmt.Print*/log.Print*/println in library packages",
+	}
+	a.Run = func(pkg *Package) []Diagnostic {
+		if pkg.Name == "main" {
+			return nil
+		}
+		for _, exempt := range printExemptPkgs {
+			if importPathIs(pkg.ImportPath, exempt) {
+				return nil
+			}
+		}
+		var diags []Diagnostic
+		report := func(n ast.Node, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Pos:     pkg.Fset.Position(n.Pos()),
+				Rule:    a.Name,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+						report(call, "builtin %s in library package; use obs.Logger or return the value", b.Name())
+						return true
+					}
+				}
+				obj := calleeFunc(pkg.Info, call)
+				if obj == nil || obj.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				switch {
+				case pathIs(obj.Pkg(), "fmt") && (obj.Name() == "Print" || obj.Name() == "Printf" || obj.Name() == "Println"):
+					report(call, "fmt.%s writes to stdout from a library package; use obs.Logger or return the string", obj.Name())
+				case pathIs(obj.Pkg(), "log") && logFuncs[obj.Name()]:
+					report(call, "log.%s in library package; log through obs.Logger so callers control level and sink", obj.Name())
+				}
+				return true
+			})
+		}
+		return diags
+	}
+	return a
+}

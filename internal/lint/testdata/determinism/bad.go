@@ -1,0 +1,56 @@
+// Package fixture is loaded by the analyzer tests with the import
+// path of a deterministic package, so every rule in the determinism
+// analyzer must fire here.
+package fixture
+
+import (
+	"context"
+	"math/rand" // want determinism "imports math/rand"
+	"time"
+
+	"vup/internal/parallel"
+	"vup/internal/randx"
+)
+
+// wallClock trips the time.Now ban.
+func wallClock() int64 {
+	return time.Now().Unix() // want determinism "time.Now"
+}
+
+// rawRand uses the forbidden import so the file compiles.
+func rawRand() int {
+	return rand.Int()
+}
+
+// sharedRNG captures one generator inside the worker closure: draws
+// then depend on goroutine interleaving.
+func sharedRNG(n int) error {
+	rng := randx.New(1)
+	out := make([]float64, n)
+	return parallel.ForEach(context.Background(), n, parallel.Options{}, func(_ context.Context, i int) error {
+		out[i] = rng.Float64() // want determinism "captures shared"
+		return nil
+	})
+}
+
+// splitRNG is the sanctioned shape: per-job generators derived in a
+// fixed order before the fan-out, indexed inside it. No diagnostics.
+func splitRNG(n int) error {
+	root := randx.New(1)
+	rngs := make([]*randx.RNG, n)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+	out := make([]float64, n)
+	return parallel.ForEach(context.Background(), n, parallel.Options{}, func(_ context.Context, i int) error {
+		local := rngs[i]
+		out[i] = local.Float64()
+		return nil
+	})
+}
+
+// allowedClock shows a justified suppression: no diagnostic survives.
+func allowedClock() float64 {
+	start := time.Now() //lint:allow determinism fixture stage timer, observability only
+	return time.Since(start).Seconds()
+}

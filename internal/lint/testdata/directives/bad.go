@@ -1,0 +1,20 @@
+// Package fixture exercises the //lint:allow machinery itself: a
+// directive without a reason is malformed (and suppresses nothing), a
+// justified one works, and one that matches no diagnostic is reported
+// as dead. Expectations for this package are asserted in code, not
+// want comments, because the interesting lines already carry their
+// directive as the trailing comment.
+package fixture
+
+import "os"
+
+func unjustified() {
+	os.Remove("a") //lint:allow errdiscipline
+}
+
+func justified() {
+	os.Remove("b") //lint:allow errdiscipline best-effort cleanup of a scratch file
+}
+
+//lint:allow printhygiene nothing on the next line ever fires
+func quiet() {}

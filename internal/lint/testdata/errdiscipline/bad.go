@@ -1,0 +1,51 @@
+// Package fixture exercises errdiscipline: bare call statements that
+// drop errors fire; the deliberate exemptions stay silent.
+package fixture
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"strings"
+)
+
+func dropsErrors(f *os.File, enc *json.Encoder) {
+	fmt.Fprintf(f, "header\n") // want errdiscipline "fmt.Fprintf"
+	enc.Encode("payload")      // want errdiscipline "enc.Encode"
+	f.Close()                  // want errdiscipline "f.Close"
+	os.Remove("scratch")       // want errdiscipline "os.Remove"
+}
+
+func exemptions(f *os.File, v any) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d\n", 1) // strings.Builder never fails
+	sb.WriteString("tail")        // method on strings.Builder
+
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "x") // bytes.Buffer never fails
+	buf.WriteByte('!')      // method on bytes.Buffer
+
+	h := fnv.New64a()
+	h.Write([]byte("key")) // hash.Hash.Write never fails
+
+	fmt.Println("progress") // stdout prints are printhygiene's turf
+
+	defer f.Close()          // defer is exempt by design
+	_ = os.Remove("scratch") // explicit blank is the audit trail
+	return sb.String() + buf.String()
+}
+
+// realWriter shows the io.Writer case stays flagged even though the
+// hash.Hash exemption keys on the same embedded Write method.
+func realWriter(w io.Writer) {
+	w.Write([]byte("x")) // want errdiscipline "w.Write"
+}
+
+func bestEffort(f *os.File) {
+	f.Sync() //lint:allow errdiscipline best-effort flush on shutdown path
+}
+
+var _ = exemptions

@@ -1,0 +1,66 @@
+// Package fixture exercises every floatsafety check: computed
+// comparison, float map keys, and unguarded NaN-to-JSON flows.
+// Comparisons against compile-time constants are exempt by design.
+package fixture
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// lookup keys a map on raw floats.
+var lookup map[float64]string // want floatsafety "map key"
+
+func equalComputed(a, b float64) bool {
+	return a == b // want floatsafety "exact floating-point =="
+}
+
+func notEqualComputed(a, b float64) bool {
+	return a+1 != b // want floatsafety "exact floating-point !="
+}
+
+// zeroGuard and sentinel compare against constants: exempt.
+func zeroGuard(x float64) bool { return x == 0 }
+func sentinel(x float64) bool  { return x == math.MaxFloat64 }
+
+func equalInts(a, b int) bool { return a == b }
+
+// meanUnguarded is the PR 3 summarize bug in miniature: an empty input
+// makes mean 0/0 = NaN, which json.Marshal rejects at encode time.
+func meanUnguarded(xs []float64) ([]byte, error) {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	return json.Marshal(map[string]float64{"mean": mean}) // want floatsafety "NaN reaches json.Marshal"
+}
+
+// encodeNaN feeds math.NaN straight to an encoder.
+func encodeNaN(w io.Writer) error {
+	return json.NewEncoder(w).Encode([]float64{math.NaN()}) // want floatsafety "NaN reaches"
+}
+
+// meanGuarded calls math.IsNaN before encoding, so the flow is silent.
+func meanGuarded(xs []float64) ([]byte, error) {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if math.IsNaN(mean) {
+		mean = 0
+	}
+	return json.Marshal(map[string]float64{"mean": mean})
+}
+
+// encodeInts has no float flow at all.
+func encodeInts(w io.Writer, counts []int) error {
+	return json.NewEncoder(w).Encode(counts)
+}
+
+// bitsEqual documents an intentional computed comparison.
+func bitsEqual(a, b float64) bool {
+	return a == b //lint:allow floatsafety exact bitwise equality intended for cache-key comparison
+}

@@ -1,0 +1,25 @@
+// Package fixture exercises metricnames: convention suffixes,
+// compile-time-constant names, and single registration.
+package fixture
+
+import "vup/internal/obs"
+
+var (
+	goodCounter = obs.Default.Counter("demo_requests_total", "Requests served.")
+	goodGauge   = obs.Default.Gauge("demo_queue_in_flight", "Jobs in flight.")
+	goodHist    = obs.Default.Histogram("demo_wait_seconds", "Wait time.", nil)
+	goodEntries = obs.Default.Gauge("demo_cache_entries", "Cached artifacts.")
+
+	badSuffix = obs.Default.Gauge("demo_queue_depth", "Depth.")      // want metricnames "violates convention"
+	badCase   = obs.Default.Counter("Demo_requests_total", "Bad.")   // want metricnames "violates convention"
+	duplicate = obs.Default.Counter("demo_requests_total", "Again.") // want metricnames "already registered"
+)
+
+func dynamic(name string) *obs.CounterVec {
+	return obs.Default.Counter(name, "Dynamic.") // want metricnames "compile-time string constant"
+}
+
+func constName() *obs.CounterVec {
+	const n = "demo_named_total"
+	return obs.Default.Counter(n, "Constant-folded names are fine.")
+}

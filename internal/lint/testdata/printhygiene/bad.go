@@ -1,0 +1,28 @@
+// Package fixture exercises printhygiene in a library package: all
+// default-sink printing fires.
+package fixture
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"vup/internal/obs"
+)
+
+func chatty(x int) {
+	fmt.Println("x =", x) // want printhygiene "fmt.Println"
+	fmt.Printf("%d\n", x) // want printhygiene "fmt.Printf"
+	fmt.Print(x)          // want printhygiene "fmt.Print"
+	log.Printf("x=%d", x) // want printhygiene "log.Printf"
+	log.Fatalln("boom")   // want printhygiene "log.Fatalln"
+	println("debug", x)   // want printhygiene "builtin println"
+}
+
+func quiet(x int) string {
+	obs.DefaultLogger().Info("computed", "x", x)
+	if _, err := fmt.Fprintf(os.Stderr, "x=%d\n", x); err != nil {
+		return ""
+	}
+	return fmt.Sprintf("%d", x)
+}

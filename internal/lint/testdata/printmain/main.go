@@ -1,0 +1,9 @@
+// Command fixture proves the printhygiene main-package exemption:
+// a binary owns its stdout.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("binaries may print")
+}

@@ -3,7 +3,8 @@ package regress
 import (
 	"fmt"
 	"math"
-	"math/rand"
+
+	"vup/internal/randx"
 )
 
 // RandomForest is a bagged ensemble of CART regression trees with
@@ -58,7 +59,9 @@ func (m *RandomForest) Fit(x [][]float64, y []float64) error {
 	if maxFeatures > p {
 		maxFeatures = p
 	}
-	rng := rand.New(rand.NewSource(m.Seed))
+	// randx.New wraps rand.New(rand.NewSource(seed)), so the bootstrap
+	// and feature draws are stream-identical to the pre-randx code.
+	rng := randx.New(m.Seed)
 
 	m.trees = make([]*Tree, 0, m.NTrees)
 	bx := make([][]float64, n)

@@ -134,7 +134,7 @@ func (m *SVR) Fit(x [][]float64, y []float64) error {
 
 		oldAi, oldAj := alpha[i], alpha[j]
 		yi, yj := yext(i), yext(j)
-		if yi != yj {
+		if yi != yj { //lint:allow floatsafety SMO labels are exactly ±1, assigned not computed
 			quad := q(i, i) + q(j, j) + 2*q(i, j)
 			if quad <= 0 {
 				quad = smoTau

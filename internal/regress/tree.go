@@ -98,7 +98,7 @@ func (m *Tree) grow(x [][]float64, y []float64, idx []int, depth, minLeaf int) *
 
 func constantTargets(y []float64, idx []int) bool {
 	for _, i := range idx[1:] {
-		if y[i] != y[idx[0]] {
+		if y[i] != y[idx[0]] { //lint:allow floatsafety constant-target check compares stored training values
 			return false
 		}
 	}
@@ -165,6 +165,7 @@ func bestSplit(x [][]float64, y []float64, idx []int, minLeaf int, candidates []
 			leftSum += y[i]
 			leftSq += y[i] * y[i]
 			// Only split between distinct feature values.
+			//lint:allow floatsafety split points sit between distinct stored feature values
 			if x[order[k+1]][f] == x[i][f] {
 				continue
 			}

@@ -18,7 +18,7 @@ var (
 		"HTTP requests served, by route pattern and status class.",
 		"route", "status")
 	httpInFlight = obs.Default.Gauge(
-		"http_in_flight_requests",
+		"http_requests_in_flight",
 		"Requests currently being served.")
 	httpDuration = obs.Default.Histogram(
 		"http_request_duration_seconds",

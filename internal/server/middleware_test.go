@@ -77,7 +77,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		`http_requests_total{route="/v1/vehicles/{id}",status="4xx"}`,
 		`http_requests_total{route="/v1/vehicles/{id}/forecast",status="4xx"}`,
 		`http_request_duration_seconds_bucket{route="/healthz",le="+Inf"}`,
-		"http_in_flight_requests",
+		"http_requests_in_flight",
 		"server_write_errors_total",
 		"pipeline_fit_seconds_bucket",
 	} {
@@ -158,7 +158,7 @@ func TestMiddlewareConcurrent(t *testing.T) {
 	if !ok || hist.Count < workers*per {
 		t.Errorf("latency histogram count %d, want >= %d", hist.Count, workers*per)
 	}
-	if inflight, _ := obs.FindSample(obs.Default.Gather(), "http_in_flight_requests"); inflight.Value != 0 {
+	if inflight, _ := obs.FindSample(obs.Default.Gather(), "http_requests_in_flight"); inflight.Value != 0 {
 		t.Errorf("in-flight gauge stuck at %v after drain", inflight.Value)
 	}
 }

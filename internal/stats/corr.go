@@ -53,6 +53,7 @@ func ranks(xs []float64) []float64 {
 	rk := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		//lint:allow floatsafety rank ties are exact duplicates of stored input values
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
 			j++
 		}

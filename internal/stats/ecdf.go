@@ -53,7 +53,7 @@ func (e *ECDF) Points() (xs, fs []float64) {
 	n := len(e.sorted)
 	for i := 0; i < n; i++ {
 		// Skip to the last occurrence of a tied value so F jumps once.
-		if i+1 < n && e.sorted[i+1] == e.sorted[i] {
+		if i+1 < n && e.sorted[i+1] == e.sorted[i] { //lint:allow floatsafety tie dedup compares stored input values, not computations
 			continue
 		}
 		xs = append(xs, e.sorted[i])

@@ -133,6 +133,7 @@ func SignificantLags(xs []float64, maxLag, k int) []int {
 	}
 	// Sort by descending |r|, stable toward smaller lags.
 	for i := 1; i < len(sig); i++ {
+		//lint:allow floatsafety deterministic sort tiebreak; equal keys must fall through to the lag ordering
 		for j := i; j > 0 && (sig[j].r > sig[j-1].r || (sig[j].r == sig[j-1].r && sig[j].lag < sig[j-1].lag)); j-- {
 			sig[j], sig[j-1] = sig[j-1], sig[j]
 		}

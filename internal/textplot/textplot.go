@@ -55,10 +55,10 @@ func LinePlot(title string, lines []Line, width, height int) string {
 		b.WriteString("(no data)\n")
 		return b.String()
 	}
-	if xmax == xmin {
+	if xmax == xmin { //lint:allow floatsafety degenerate axis guard; equal bounds widen the range
 		xmax = xmin + 1
 	}
-	if ymax == ymin {
+	if ymax == ymin { //lint:allow floatsafety degenerate axis guard; equal bounds widen the range
 		ymax = ymin + 1
 	}
 	grid := make([][]rune, height)
@@ -138,7 +138,7 @@ func BoxStrip(title string, labels []string, boxes []stats.BoxStats, width int) 
 		lo = math.Min(lo, box.Min)
 		hi = math.Max(hi, box.Max)
 	}
-	if hi == lo {
+	if hi == lo { //lint:allow floatsafety degenerate axis guard; equal bounds widen the range
 		hi = lo + 1
 	}
 	labelWidth := 0
