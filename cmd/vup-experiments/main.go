@@ -12,6 +12,8 @@
 //	                                     # timing table (Section 4.5, live)
 //	vup-experiments -workers 1           # sequential sweep (byte-identical
 //	                                     # report, reference for timings)
+//	vup-experiments -run fig5a -trace    # per-experiment span waterfall on
+//	                                     # stderr (stdout unchanged)
 //
 // The sweeps fan out on a bounded worker pool (internal/parallel);
 // -workers caps it (default: all CPUs). Reports are byte-identical for
@@ -20,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +32,7 @@ import (
 	"time"
 
 	"vup/internal/experiments"
+	"vup/internal/obs/trace"
 )
 
 func main() {
@@ -44,6 +48,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generation seed")
 		timing  = flag.Bool("timing", false, "print the collected pipeline stage timings after the run (live Section 4.5 table)")
 		workers = flag.Int("workers", 0, "worker-pool size for the parallel sweeps (<=0: all CPUs; 1: sequential). Reports are byte-identical at any setting")
+		traced  = flag.Bool("trace", false, "trace each experiment and print its span waterfall to stderr (stdout stays byte-identical)")
 	)
 	flag.Parse()
 
@@ -70,13 +75,29 @@ func main() {
 	if *runID != "all" {
 		ids = strings.Split(*runID, ",")
 	}
+	// One keep-everything collector for the whole run: figure sweeps
+	// are traced end to end, and each waterfall prints to stderr so
+	// stdout stays byte-identical with and without -trace.
+	var collector *trace.Collector
+	if *traced {
+		collector = trace.NewCollector(trace.Options{SampleRate: 1, Capacity: len(ids) + 1, Seed: *seed})
+	}
+
 	var md strings.Builder
 	if *mdPath != "" {
 		fmt.Fprintf(&md, "# Regenerated experiments (scale %s, seed %d)\n\n", *scale, *seed)
 	}
 	for _, id := range ids {
 		start := time.Now()
-		rep, err := experiments.Run(id, cfg)
+		ctx, root := collector.StartTrace(context.Background(), "experiment "+id)
+		rep, err := experiments.RunContext(ctx, id, cfg)
+		root.SetError(err)
+		root.End()
+		if collector != nil {
+			if td, ok := collector.Get(root.TraceID()); ok {
+				_, _ = fmt.Fprint(os.Stderr, trace.Waterfall(td))
+			}
+		}
 		if err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}

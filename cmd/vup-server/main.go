@@ -25,11 +25,19 @@
 // as the plain forecast, so it never retrains a cached model; horizon
 // and interval cannot be combined.
 //
+// Every API request runs under a root trace span whose ID is echoed in
+// the X-Trace-Id response header; completed traces pass a tail sampler
+// (errors and slow requests always kept, the rest at -trace-sample) and
+// land in a bounded ring buffer. -trace-buffer 0 disables tracing, at
+// which point the span API is an allocation-free no-op.
+//
 // With -debug-addr set, a second listener serves Go runtime
 // diagnostics (opt-in, keep it off public interfaces):
 //
 //	GET /debug/pprof/       profiles (heap, goroutine, CPU via ?seconds=N)
 //	GET /debug/vars         expvar JSON (memstats, cmdline)
+//	GET /debug/traces       stored traces, newest first (JSON)
+//	GET /debug/traces/{id}  one trace as a text waterfall (?format=json for data)
 package main
 
 import (
@@ -46,19 +54,23 @@ import (
 	"vup"
 	"vup/internal/canbus"
 	"vup/internal/obs"
+	"vup/internal/obs/trace"
 	"vup/internal/regress"
 	"vup/internal/server"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		debugAddr = flag.String("debug-addr", "", "optional listen address for pprof and expvar endpoints (e.g. :6060); disabled when empty")
-		units     = flag.Int("units", 30, "fleet size to generate")
-		days      = flag.Int("days", 600, "observation days")
-		seed      = flag.Int64("seed", 1, "generation seed")
-		cacheSize = flag.Int("cache-size", 256, "trained-forecast cache capacity in entries; 0 disables caching and request coalescing")
-		verbose   = flag.Bool("v", false, "log at debug level")
+		addr        = flag.String("addr", ":8080", "listen address")
+		debugAddr   = flag.String("debug-addr", "", "optional listen address for pprof, expvar and trace endpoints (e.g. :6060); disabled when empty")
+		units       = flag.Int("units", 30, "fleet size to generate")
+		days        = flag.Int("days", 600, "observation days")
+		seed        = flag.Int64("seed", 1, "generation seed")
+		cacheSize   = flag.Int("cache-size", 256, "trained-forecast cache capacity in entries; 0 disables caching and request coalescing")
+		traceBuffer = flag.Int("trace-buffer", 256, "stored-trace ring buffer capacity behind /debug/traces; 0 disables tracing")
+		traceSample = flag.Float64("trace-sample", 0.1, "tail-sampling keep probability for fast, clean traces (errors and slow requests are always kept; >=1 keeps everything)")
+		traceSlow   = flag.Duration("trace-slow", 100*time.Millisecond, "root latency at or above which a trace is always kept")
+		verbose     = flag.Bool("v", false, "log at debug level")
 	)
 	flag.Parse()
 
@@ -97,6 +109,15 @@ func main() {
 	api := server.New(store, base)
 	api.Cache = server.NewForecastCache(*cacheSize)
 	logg.Info("forecast cache", "capacity", *cacheSize, "enabled", api.Cache.Enabled())
+	if *traceBuffer > 0 {
+		api.Traces = trace.NewCollector(trace.Options{
+			Capacity:      *traceBuffer,
+			SampleRate:    *traceSample,
+			SlowThreshold: *traceSlow,
+			Seed:          *seed,
+		})
+		logg.Info("request tracing", "buffer", *traceBuffer, "sample", *traceSample, "slow", *traceSlow)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api.Handler(),
@@ -110,7 +131,7 @@ func main() {
 
 	var dbg *http.Server
 	if *debugAddr != "" {
-		dbg = newDebugServer(*debugAddr)
+		dbg = newDebugServer(*debugAddr, api.Traces)
 		go func() {
 			logg.Info("debug endpoints listening", "addr", *debugAddr)
 			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -150,9 +171,10 @@ func main() {
 	}
 }
 
-// newDebugServer exposes the Go diagnostics endpoints on their own
+// newDebugServer exposes the Go diagnostics endpoints — and, when
+// tracing is enabled, the stored request traces — on their own
 // listener so they never ride on the public API address.
-func newDebugServer(addr string) *http.Server {
+func newDebugServer(addr string, traces *trace.Collector) *http.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -160,6 +182,10 @@ func newDebugServer(addr string) *http.Server {
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if traces != nil {
+		mux.Handle("GET /debug/traces", traces.Handler())
+		mux.Handle("GET /debug/traces/{id}", traces.Handler())
+	}
 	return &http.Server{
 		Addr:              addr,
 		Handler:           mux,

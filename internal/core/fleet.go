@@ -39,6 +39,14 @@ type FleetResult struct {
 // are aggregated in dataset order after the pool drains, so a
 // workers=N run is byte-identical to the sequential one.
 func EvaluateFleet(datasets []*etl.VehicleDataset, cfg Config, workers int) (*FleetResult, error) {
+	return EvaluateFleetContext(context.Background(), datasets, cfg, workers)
+}
+
+// EvaluateFleetContext is EvaluateFleet under a request context: the
+// pool derives per-worker contexts from ctx, so when it carries an
+// active trace the per-vehicle evaluations appear as (concurrent)
+// child spans.
+func EvaluateFleetContext(ctx context.Context, datasets []*etl.VehicleDataset, cfg Config, workers int) (*FleetResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -47,12 +55,12 @@ func EvaluateFleet(datasets []*etl.VehicleDataset, cfg Config, workers int) (*Fl
 	}
 	results := make([]*Result, len(datasets))
 	failures := make([]error, len(datasets))
-	err := parallel.ForEach(context.Background(), len(datasets),
+	err := parallel.ForEach(ctx, len(datasets),
 		parallel.Options{Workers: workers, Stage: cfg.stage()},
-		func(_ context.Context, i int) error {
+		func(ctx context.Context, i int) error {
 			// Per-vehicle failures are data conditions, not pool
 			// errors: record them by index and keep the fan-out alive.
-			results[i], failures[i] = EvaluateVehicle(datasets[i], cfg)
+			results[i], failures[i] = EvaluateVehicleContext(ctx, datasets[i], cfg)
 			return nil
 		})
 	if err != nil {

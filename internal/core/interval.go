@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -62,7 +63,14 @@ func ForecastInterval(d *etl.VehicleDataset, cfg Config, level float64) (*Interv
 // forecast the quantile band is centred on. The pipeline is compiled
 // once — no second pass over the dataset.
 func (p *Plan) ForecastInterval(level float64) (*Interval, error) {
-	res, err := p.Evaluate()
+	return p.ForecastIntervalContext(context.Background(), level)
+}
+
+// ForecastIntervalContext is ForecastInterval under a request context,
+// so the evaluation, fit and prediction appear as child spans of an
+// active trace.
+func (p *Plan) ForecastIntervalContext(ctx context.Context, level float64) (*Interval, error) {
+	res, err := p.EvaluateContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -70,11 +78,11 @@ func (p *Plan) ForecastInterval(level float64) (*Interval, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := p.Fit()
+	f, err := p.FitContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	hours, err := f.Forecast(nil)
+	hours, err := f.ForecastContext(ctx, nil)
 	if err != nil {
 		return nil, err
 	}

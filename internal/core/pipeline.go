@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -61,11 +62,18 @@ func scenarioView(d *etl.VehicleDataset, cfg Config) (*etl.VehicleDataset, error
 // NewPlan directly to share the compiled features with a forecast or
 // interval on the same vehicle.
 func EvaluateVehicle(d *etl.VehicleDataset, cfg Config) (*Result, error) {
-	p, err := NewPlan(d, cfg)
+	return EvaluateVehicleContext(context.Background(), d, cfg)
+}
+
+// EvaluateVehicleContext is EvaluateVehicle under a request context,
+// so the plan compilation and hold-out run appear as child spans of an
+// active trace.
+func EvaluateVehicleContext(ctx context.Context, d *etl.VehicleDataset, cfg Config) (*Result, error) {
+	p, err := NewPlanContext(ctx, d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return p.Evaluate()
+	return p.EvaluateContext(ctx)
 }
 
 // viewDate returns the calendar date of a view day. Compacted views

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"vup/internal/etl"
 	"vup/internal/featsel"
 	"vup/internal/geo"
+	"vup/internal/obs/trace"
 	"vup/internal/regress"
 	"vup/internal/stats"
 	"vup/internal/timeseries"
@@ -37,6 +39,22 @@ type Plan struct {
 // view length), so every per-window lag selection gathers from it by
 // block copies instead of re-walking the dataset maps.
 func NewPlan(d *etl.VehicleDataset, cfg Config) (*Plan, error) {
+	return NewPlanContext(context.Background(), d, cfg)
+}
+
+// NewPlanContext is NewPlan under a request context: when the context
+// carries an active trace span, the compilation is recorded as a
+// "plan.build" child (with the materialization under it).
+func NewPlanContext(ctx context.Context, d *etl.VehicleDataset, cfg Config) (p *Plan, err error) {
+	ctx, sp := trace.Start(ctx, "plan.build")
+	if sp != nil {
+		sp.SetAttr("vehicle", d.VehicleID)
+		sp.SetAttr("algorithm", string(cfg.Algorithm))
+		defer func() {
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -55,7 +73,7 @@ func NewPlan(d *etl.VehicleDataset, cfg Config) (*Plan, error) {
 		maxLag = 1 // degenerate view; windows will refuse their rows
 	}
 	mt := time.Now() //lint:allow determinism stage timer; feeds pipeline_feature_build_seconds only, never figure bytes
-	mat, err := featsel.Materialize(view, maxLag, cfg.Channels, cfg.IncludeContext, cfg.TargetChannels)
+	mat, err := featsel.MaterializeContext(ctx, view, maxLag, cfg.Channels, cfg.IncludeContext, cfg.TargetChannels)
 	featureBuildSeconds.With().ObserveSince(mt)
 	if err != nil {
 		return nil, err
@@ -108,6 +126,29 @@ func clampHours(pred float64) float64 {
 // selection per window, gather the window's matrix from the superset,
 // train a fresh model and predict the test day.
 func (p *Plan) Evaluate() (*Result, error) {
+	return p.EvaluateContext(context.Background())
+}
+
+// EvaluateContext is Evaluate under a request context: when the
+// context carries an active trace span, the hold-out run is recorded
+// as a "plan.evaluate" child with window and skip counts.
+func (p *Plan) EvaluateContext(ctx context.Context) (res *Result, err error) {
+	_, sp := trace.Start(ctx, "plan.evaluate")
+	if sp != nil {
+		sp.SetAttr("vehicle", p.d.VehicleID)
+		defer func() {
+			if res != nil {
+				sp.SetAttrInt("predictions", len(res.Predictions))
+				sp.SetAttrInt("skipped_windows", res.SkippedWindows)
+			}
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
+	return p.evaluate()
+}
+
+func (p *Plan) evaluate() (*Result, error) {
 	windows, err := timeseries.Enumerate(p.view.Len(), p.cfg.W, p.cfg.Strategy)
 	if err != nil {
 		return nil, fmt.Errorf("core: vehicle %s: %w", p.d.VehicleID, err)
@@ -186,12 +227,31 @@ type Fitted struct {
 // Fit trains a forecasting model on the most recent window of the
 // plan's view (the whole series under the expanding strategy).
 func (p *Plan) Fit() (*Fitted, error) {
+	return p.FitContext(context.Background())
+}
+
+// FitContext is Fit under a request context: when the context carries
+// an active trace span, the training run is recorded as a "plan.fit"
+// child with "featsel.select_lags" and "model.fit" under it.
+func (p *Plan) FitContext(ctx context.Context) (f *Fitted, err error) {
+	ctx, sp := trace.Start(ctx, "plan.fit")
+	if sp != nil {
+		sp.SetAttr("vehicle", p.d.VehicleID)
+		sp.SetAttr("algorithm", string(p.cfg.Algorithm))
+		defer func() {
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
 	n := p.view.Len()
 	trainFrom := 0
 	if p.cfg.Strategy == timeseries.Sliding && n > p.cfg.W {
 		trainFrom = n - p.cfg.W
 	}
+	_, lagSpan := trace.Start(ctx, "featsel.select_lags")
 	lags := p.selectLags(trainFrom, n)
+	lagSpan.SetAttrInt("lags", len(lags))
+	lagSpan.End()
 	var scratch featsel.Scratch
 	mt := time.Now() //lint:allow determinism stage timer; feeds pipeline_feature_build_seconds only, never figure bytes
 	x, y, err := p.mat.MatrixInto(&scratch, lags, trainFrom, n)
@@ -206,7 +266,12 @@ func (p *Plan) Fit() (*Fitted, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := model.Fit(x, y); err != nil {
+	_, fitSpan := trace.Start(ctx, "model.fit")
+	fitSpan.SetAttrInt("rows", len(x))
+	err = model.Fit(x, y)
+	fitSpan.SetError(err)
+	fitSpan.End()
+	if err != nil {
 		return nil, err
 	}
 	return &Fitted{plan: p, lags: lags, model: model}, nil
@@ -285,13 +350,28 @@ func (f *Fitted) override(ext *featsel.Extension, step int, target map[string]fl
 // NextDay, the next working day for NextWorkingDay — with optional
 // known target-day channel values.
 func (f *Fitted) Forecast(target map[string]float64) (float64, error) {
+	return f.ForecastContext(context.Background(), target)
+}
+
+// ForecastContext is Forecast under a request context: when the
+// context carries an active trace span, the prediction is recorded as
+// a "model.predict" child.
+func (f *Fitted) ForecastContext(ctx context.Context, target map[string]float64) (pred float64, err error) {
+	_, sp := trace.Start(ctx, "model.predict")
+	if sp != nil {
+		sp.SetAttr("vehicle", f.plan.d.VehicleID)
+		defer func() {
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
 	ext := f.extension(1)
 	f.override(ext, 0, target)
 	row := make([]float64, f.plan.mat.RowWidth(f.lags))
 	if !f.plan.mat.ExtendedRow(row, 0, f.lags, ext) {
 		return 0, fmt.Errorf("core: vehicle %s: series too short for lags %v", f.plan.d.VehicleID, f.lags)
 	}
-	pred, err := f.model.Predict(row)
+	pred, err = f.model.Predict(row)
 	if err != nil {
 		return 0, err
 	}
@@ -305,6 +385,26 @@ func (f *Fitted) Forecast(target map[string]float64) (float64, error) {
 // step. One extension is built up front and mutated in place — no
 // per-step dataset clone.
 func (f *Fitted) Horizon(h int, targets []map[string]float64) ([]float64, error) {
+	return f.HorizonContext(context.Background(), h, targets)
+}
+
+// HorizonContext is Horizon under a request context: when the context
+// carries an active trace span, the iterated forecast is recorded as a
+// "model.horizon" child with the step count.
+func (f *Fitted) HorizonContext(ctx context.Context, h int, targets []map[string]float64) (out []float64, err error) {
+	_, sp := trace.Start(ctx, "model.horizon")
+	if sp != nil {
+		sp.SetAttr("vehicle", f.plan.d.VehicleID)
+		sp.SetAttrInt("steps", h)
+		defer func() {
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
+	return f.horizon(h, targets)
+}
+
+func (f *Fitted) horizon(h int, targets []map[string]float64) ([]float64, error) {
 	if h <= 0 {
 		return nil, fmt.Errorf("%w: horizon %d", ErrConfig, h)
 	}

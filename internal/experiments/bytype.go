@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -22,7 +23,7 @@ func init() {
 // and the per-type error distribution is reported — the paper's
 // observation being that "for many vehicle types and models it was
 // still possible to accurately forecast non-stationary trends".
-func runByType(cfg Config) (*Report, error) {
+func runByType(ctx context.Context, cfg Config) (*Report, error) {
 	f, err := fleet.Generate(fleet.Config{Units: cfg.Units, Start: fleet.StudyStart, Days: cfg.Days, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
@@ -71,7 +72,7 @@ func runByType(cfg Config) (*Report, error) {
 		if len(datasets) == 0 {
 			continue
 		}
-		fr, err := core.EvaluateFleet(datasets, pc, cfg.Workers)
+		fr, err := core.EvaluateFleetContext(ctx, datasets, pc, cfg.Workers)
 		if err != nil {
 			// Some types (e.g. coring machines) may lack enough
 			// working days at this scale; report them as failed.

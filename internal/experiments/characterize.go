@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -33,7 +34,7 @@ func generateFleet(cfg Config) (*fleet.Fleet, map[string][]fleet.DayUsage, error
 
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
 
-func runFig1a(cfg Config) (*Report, error) {
+func runFig1a(ctx context.Context, cfg Config) (*Report, error) {
 	f, usage, err := generateFleet(cfg)
 	if err != nil {
 		return nil, err
@@ -115,7 +116,7 @@ func boxTable(name string, labels []string, boxes []stats.BoxStats) Table {
 	return t
 }
 
-func runFig1b(cfg Config) (*Report, error) {
+func runFig1b(ctx context.Context, cfg Config) (*Report, error) {
 	f, usage, err := generateFleet(cfg)
 	if err != nil {
 		return nil, err
@@ -140,7 +141,7 @@ func runFig1b(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-func runFig1c(cfg Config) (*Report, error) {
+func runFig1c(ctx context.Context, cfg Config) (*Report, error) {
 	f, usage, err := generateFleet(cfg)
 	if err != nil {
 		return nil, err
@@ -177,7 +178,7 @@ func runFig1c(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-func runFig1d(cfg Config) (*Report, error) {
+func runFig1d(ctx context.Context, cfg Config) (*Report, error) {
 	f, usage, err := generateFleet(cfg)
 	if err != nil {
 		return nil, err
@@ -211,7 +212,7 @@ func runFig1d(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-func runFig2(cfg Config) (*Report, error) {
+func runFig2(ctx context.Context, cfg Config) (*Report, error) {
 	f, usage, err := generateFleet(cfg)
 	if err != nil {
 		return nil, err
@@ -252,7 +253,7 @@ func runFig2(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-func runFig3(cfg Config) (*Report, error) {
+func runFig3(ctx context.Context, cfg Config) (*Report, error) {
 	// Illustrative: enumerate both strategies over a short horizon, as
 	// the paper's Figure 3 sketch does.
 	const n, w = 12, 5

@@ -41,7 +41,7 @@ func pipelineConfig(cfg Config, alg regress.Algorithm, scenario core.Scenario, s
 	return pc
 }
 
-func runFig4(cfg Config) (*Report, error) {
+func runFig4(ctx context.Context, cfg Config) (*Report, error) {
 	datasets, err := evalDatasets(cfg)
 	if err != nil {
 		return nil, err
@@ -63,7 +63,7 @@ func runFig4(cfg Config) (*Report, error) {
 			pc := pipelineConfig(cfg, regress.AlgLasso, core.NextDay, "fig4")
 			pc.W = w
 			pc.K = k
-			fr, err := core.EvaluateFleet(datasets, pc, cfg.Workers)
+			fr, err := core.EvaluateFleetContext(ctx, datasets, pc, cfg.Workers)
 			if err != nil {
 				continue // window too large for this scale
 			}
@@ -97,7 +97,7 @@ func filterLE(vals []int, limit int) []int {
 }
 
 // runFig5 is the shared algorithm-comparison runner.
-func runFig5(cfg Config, scenario core.Scenario, id string) (*Report, error) {
+func runFig5(ctx context.Context, cfg Config, scenario core.Scenario, id string) (*Report, error) {
 	datasets, err := evalDatasets(cfg)
 	if err != nil {
 		return nil, err
@@ -108,11 +108,11 @@ func runFig5(cfg Config, scenario core.Scenario, id string) (*Report, error) {
 	// algorithm order, so the table and plots below are byte-identical
 	// at any worker count.
 	algs := regress.Algorithms()
-	frs, err := parallel.Map(context.Background(), len(algs),
+	frs, err := parallel.Map(ctx, len(algs),
 		parallel.Options{Workers: cfg.Workers, Stage: id},
-		func(_ context.Context, i int) (*core.FleetResult, error) {
+		func(ctx context.Context, i int) (*core.FleetResult, error) {
 			pc := pipelineConfig(cfg, algs[i], scenario, id)
-			fr, err := core.EvaluateFleet(datasets, pc, cfg.Workers)
+			fr, err := core.EvaluateFleetContext(ctx, datasets, pc, cfg.Workers)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s with %s: %w", id, algs[i], err)
 			}
@@ -147,12 +147,16 @@ func runFig5(cfg Config, scenario core.Scenario, id string) (*Report, error) {
 	return rep, nil
 }
 
-func runFig5a(cfg Config) (*Report, error) { return runFig5(cfg, core.NextDay, "fig5a") }
-func runFig5b(cfg Config) (*Report, error) { return runFig5(cfg, core.NextWorkingDay, "fig5b") }
+func runFig5a(ctx context.Context, cfg Config) (*Report, error) {
+	return runFig5(ctx, cfg, core.NextDay, "fig5a")
+}
+func runFig5b(ctx context.Context, cfg Config) (*Report, error) {
+	return runFig5(ctx, cfg, core.NextWorkingDay, "fig5b")
+}
 
 // runFig6 renders predicted vs actual for one unit under the given
 // scenario using the paper's best single model (SVR).
-func runFig6(cfg Config, scenario core.Scenario, id string) (*Report, error) {
+func runFig6(ctx context.Context, cfg Config, scenario core.Scenario, id string) (*Report, error) {
 	datasets, err := evalDatasets(cfg)
 	if err != nil {
 		return nil, err
@@ -165,7 +169,7 @@ func runFig6(cfg Config, scenario core.Scenario, id string) (*Report, error) {
 	var res *core.Result
 	var used *etl.VehicleDataset
 	for _, d := range datasets {
-		if res, err = core.EvaluateVehicle(d, pc); err == nil {
+		if res, err = core.EvaluateVehicleContext(ctx, d, pc); err == nil {
 			used = d
 			break
 		}
@@ -200,10 +204,14 @@ func runFig6(cfg Config, scenario core.Scenario, id string) (*Report, error) {
 	return rep, nil
 }
 
-func runFig6a(cfg Config) (*Report, error) { return runFig6(cfg, core.NextDay, "fig6a") }
-func runFig6b(cfg Config) (*Report, error) { return runFig6(cfg, core.NextWorkingDay, "fig6b") }
+func runFig6a(ctx context.Context, cfg Config) (*Report, error) {
+	return runFig6(ctx, cfg, core.NextDay, "fig6a")
+}
+func runFig6b(ctx context.Context, cfg Config) (*Report, error) {
+	return runFig6(ctx, cfg, core.NextWorkingDay, "fig6b")
+}
 
-func runTiming(cfg Config) (*Report, error) {
+func runTiming(ctx context.Context, cfg Config) (*Report, error) {
 	datasets, err := evalDatasets(cfg)
 	if err != nil {
 		return nil, err
@@ -233,7 +241,7 @@ func runTiming(cfg Config) (*Report, error) {
 	// (baselines in microseconds, GB in tens of milliseconds), which
 	// contention cannot invert.
 	algs := regress.Algorithms()
-	entries, err := parallel.Map(context.Background(), len(algs),
+	entries, err := parallel.Map(ctx, len(algs),
 		parallel.Options{Workers: cfg.Workers, Stage: "timing"},
 		func(_ context.Context, i int) (entry, error) {
 			model, err := regress.New(algs[i])

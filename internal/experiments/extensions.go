@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -16,7 +17,7 @@ func init() {
 	register("ext-levels", "Future work: classification of discrete usage levels", runExtLevels)
 }
 
-func runExtWeather(cfg Config) (*Report, error) {
+func runExtWeather(ctx context.Context, cfg Config) (*Report, error) {
 	datasets, err := weatherDatasets(cfg)
 	if err != nil {
 		return nil, err
@@ -42,7 +43,7 @@ func runExtWeather(cfg Config) (*Report, error) {
 			}, nil
 		}
 		pc.TargetChannels = variant.target
-		fr, err := core.EvaluateFleet(datasets, pc, cfg.Workers)
+		fr, err := core.EvaluateFleetContext(ctx, datasets, pc, cfg.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ext-weather %s: %w", variant.name, err)
 		}
@@ -60,7 +61,7 @@ func runExtWeather(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-func runExtLevels(cfg Config) (*Report, error) {
+func runExtLevels(ctx context.Context, cfg Config) (*Report, error) {
 	datasets, err := evalDatasets(cfg)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -76,8 +77,11 @@ func ensureTrailingNewline(s string) string {
 	return s + "\n"
 }
 
-// Runner produces a report for a configuration.
-type Runner func(Config) (*Report, error)
+// Runner produces a report for a configuration. The context is
+// propagated into the evaluation fan-outs below, so a runner invoked
+// under an active trace span (vup-experiments -trace) records its
+// fleet evaluations and fits as child spans.
+type Runner func(context.Context, Config) (*Report, error)
 
 // registry maps experiment IDs to runners. Populated by init
 // functions next to each experiment.
@@ -109,6 +113,13 @@ func Title(id string) string { return titleIndex[id] }
 
 // Run executes the experiment with the given ID.
 func Run(id string, cfg Config) (*Report, error) {
+	return RunContext(context.Background(), id, cfg)
+}
+
+// RunContext is Run under a caller context: when the context carries
+// an active trace span, the experiment's pipeline stages appear as
+// child spans.
+func RunContext(ctx context.Context, id string, cfg Config) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -116,5 +127,5 @@ func Run(id string, cfg Config) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	return run(cfg)
+	return run(ctx, cfg)
 }

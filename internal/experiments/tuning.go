@@ -20,7 +20,7 @@ func init() {
 // Section 4.2: for each tunable algorithm, a grid search over the
 // paper's plausible ranges with an ordered train/validation split,
 // reporting the selected point next to the paper's published choice.
-func runTuning(cfg Config) (*Report, error) {
+func runTuning(ctx context.Context, cfg Config) (*Report, error) {
 	datasets, err := evalDatasets(cfg)
 	if err != nil {
 		return nil, err
@@ -34,7 +34,7 @@ func runTuning(cfg Config) (*Report, error) {
 		x [][]float64
 		y []float64
 	}
-	mats, err := parallel.Map(context.Background(), len(datasets),
+	mats, err := parallel.Map(ctx, len(datasets),
 		parallel.Options{Workers: cfg.Workers, Stage: "tuning"},
 		func(_ context.Context, i int) (matrix, error) {
 			d := datasets[i]
@@ -119,7 +119,7 @@ func runTuning(cfg Config) (*Report, error) {
 		best regress.GridPoint
 		mae  float64
 	}
-	selections, err := parallel.Map(context.Background(), len(searches),
+	selections, err := parallel.Map(ctx, len(searches),
 		parallel.Options{Workers: cfg.Workers, Stage: "tuning"},
 		func(_ context.Context, i int) (selection, error) {
 			s := searches[i]

@@ -1,9 +1,11 @@
 package featsel
 
 import (
+	"context"
 	"fmt"
 
 	"vup/internal/etl"
+	"vup/internal/obs/trace"
 )
 
 // Materialized is the lag-superset feature materialization of one
@@ -49,6 +51,28 @@ type Materialized struct {
 // Materialize compiles the superset for d. maxLag must be >= 1; every
 // channel and target channel must exist in the dataset.
 func Materialize(d *etl.VehicleDataset, maxLag int, channels []string, includeContext bool, targetChannels []string) (*Materialized, error) {
+	return MaterializeContext(context.Background(), d, maxLag, channels, includeContext, targetChannels)
+}
+
+// MaterializeContext is Materialize under a request context: when the
+// context carries an active trace span, the one-pass build is recorded
+// as a "featsel.materialize" child with the superset dimensions.
+func MaterializeContext(ctx context.Context, d *etl.VehicleDataset, maxLag int, channels []string, includeContext bool, targetChannels []string) (m *Materialized, err error) {
+	_, sp := trace.Start(ctx, "featsel.materialize")
+	defer func() {
+		if sp != nil {
+			if m != nil {
+				sp.SetAttrInt("days", m.n)
+				sp.SetAttrInt("width", m.width)
+			}
+			sp.SetError(err)
+			sp.End()
+		}
+	}()
+	return materialize(d, maxLag, channels, includeContext, targetChannels)
+}
+
+func materialize(d *etl.VehicleDataset, maxLag int, channels []string, includeContext bool, targetChannels []string) (*Materialized, error) {
 	if maxLag < 1 {
 		return nil, fmt.Errorf("featsel: materialize with max lag %d", maxLag)
 	}

@@ -15,8 +15,9 @@ import (
 var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]+(_total|_seconds|_entries|_in_flight)$`)
 
 // newMetricNames builds the metricnames analyzer. Every call to
-// obs.Registry's Counter, Gauge or Histogram must pass a compile-time
-// constant name matching metricNameRE, and each name must be
+// obs.Registry's Counter, Gauge, Histogram or HistogramWithExemplars
+// must pass a compile-time constant name matching metricNameRE, and
+// each name must be
 // registered at exactly one site across the whole run — obs panics at
 // init on a conflicting re-registration, so a duplicate that slips in
 // is a process crash, not a lint nit. The analyzer keeps cross-package
@@ -47,7 +48,7 @@ func newMetricNames() *Analyzer {
 					return true
 				}
 				switch obj.Name() {
-				case "Counter", "Gauge", "Histogram":
+				case "Counter", "Gauge", "Histogram", "HistogramWithExemplars":
 				default:
 					return true
 				}

@@ -10,9 +10,13 @@ var (
 	goodHist    = obs.Default.Histogram("demo_wait_seconds", "Wait time.", nil)
 	goodEntries = obs.Default.Gauge("demo_cache_entries", "Cached artifacts.")
 
-	badSuffix = obs.Default.Gauge("demo_queue_depth", "Depth.")      // want metricnames "violates convention"
-	badCase   = obs.Default.Counter("Demo_requests_total", "Bad.")   // want metricnames "violates convention"
-	duplicate = obs.Default.Counter("demo_requests_total", "Again.") // want metricnames "already registered"
+	goodExemplar = obs.Default.HistogramWithExemplars("demo_latency_seconds", "Latency.", nil)
+
+	badSuffix   = obs.Default.Gauge("demo_queue_depth", "Depth.")                           // want metricnames "violates convention"
+	badCase     = obs.Default.Counter("Demo_requests_total", "Bad.")                        // want metricnames "violates convention"
+	duplicate   = obs.Default.Counter("demo_requests_total", "Again.")                      // want metricnames "already registered"
+	badExemplar = obs.Default.HistogramWithExemplars("demo_latency_exemplars", "Bad.", nil) // want metricnames "violates convention"
+	dupExemplar = obs.Default.HistogramWithExemplars("demo_latency_seconds", "Again.", nil) // want metricnames "already registered"
 )
 
 func dynamic(name string) *obs.CounterVec {

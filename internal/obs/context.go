@@ -1,0 +1,26 @@
+package obs
+
+import "context"
+
+// loggerKey carries a request-scoped *Logger through a context.
+type loggerKey struct{}
+
+// IntoContext returns a context carrying l, so request handlers and
+// the pipeline below them log with the request's bound fields
+// (trace_id, vehicle) without threading a logger through every call. A
+// nil l returns ctx unchanged.
+func IntoContext(ctx context.Context, l *Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// FromContext returns the context's request-scoped logger, falling
+// back to the process-wide default so callers never need a nil check.
+func FromContext(ctx context.Context) *Logger {
+	if l, ok := ctx.Value(loggerKey{}).(*Logger); ok {
+		return l
+	}
+	return defaultLogger
+}

@@ -59,7 +59,14 @@ func writeSample(w io.Writer, fam Family, s Sample) error {
 	}
 	for _, b := range s.Buckets {
 		le := Label{Name: "le", Value: formatUpper(b.Upper)}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name, renderLabels(s.Labels, &le), b.Count); err != nil {
+		line := fmt.Sprintf("%s_bucket%s %d", fam.Name, renderLabels(s.Labels, &le), b.Count)
+		if b.Exemplar != nil {
+			// OpenMetrics exemplar syntax; Prometheus' text parser
+			// tolerates it and dashboards resolve the trace ID against
+			// /debug/traces/{id}.
+			line += fmt.Sprintf(" # {trace_id=\"%s\"} %s", escapeLabel(b.Exemplar.TraceID), formatValue(b.Exemplar.Value))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
 			return err
 		}
 	}

@@ -48,10 +48,11 @@ func TestWriteTextFormat(t *testing.T) {
 	}
 }
 
-// sampleLine matches one Prometheus text-format sample.
+// sampleLine matches one Prometheus text-format sample, with an
+// optional OpenMetrics exemplar suffix on histogram buckets.
 var sampleLine = regexp.MustCompile(
 	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
-		`(NaN|[+-]?Inf|[+-]?[0-9.eE+-]+)$`)
+		`(NaN|[+-]?Inf|[+-]?[0-9.eE+-]+)( # \{trace_id="[^"]*"\} (NaN|[+-]?Inf|[+-]?[0-9.eE+-]+))?$`)
 
 // parseExposition validates every line is a comment or a sample and
 // returns the sample lines.

@@ -7,24 +7,41 @@ import (
 	"time"
 )
 
+// Exemplar links one histogram observation to the trace that produced
+// it, so a slow bucket on a dashboard resolves to a concrete stored
+// trace at /debug/traces/{trace_id}.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+}
+
 // Histogram counts observations into fixed buckets. Observe is
 // lock-free: one atomic add into the containing bucket, one into the
 // total count and a CAS loop on the float64 sum. Snapshots taken
 // concurrently with observations are not a consistent cut (count, sum
 // and buckets may be a few observations apart), which is the standard
 // scrape-time trade-off and fine for monitoring.
+//
+// Families registered with HistogramWithExemplars additionally retain
+// the last exemplar-carrying observation per bucket (one atomic
+// pointer swap; last-writer-wins is the standard exemplar semantics).
 type Histogram struct {
-	upper   []float64       // sorted finite upper bounds
-	counts  []atomic.Uint64 // len(upper)+1; the last is the +Inf bucket
-	count   atomic.Uint64
-	sumBits atomic.Uint64
+	upper     []float64       // sorted finite upper bounds
+	counts    []atomic.Uint64 // len(upper)+1; the last is the +Inf bucket
+	exemplars []atomic.Pointer[Exemplar]
+	count     atomic.Uint64
+	sumBits   atomic.Uint64
 }
 
-func newHistogram(upper []float64) *Histogram {
-	return &Histogram{
+func newHistogram(upper []float64, exemplars bool) *Histogram {
+	h := &Histogram{
 		upper:  upper,
 		counts: make([]atomic.Uint64, len(upper)+1),
 	}
+	if exemplars {
+		h.exemplars = make([]atomic.Pointer[Exemplar], len(upper)+1)
+	}
+	return h
 }
 
 // Observe records one value.
@@ -40,6 +57,19 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when the family was
+// registered with HistogramWithExemplars and traceID is non-empty,
+// replaces the containing bucket's exemplar. An empty traceID (e.g.
+// tracing disabled for the request) degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if h.exemplars == nil || traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v)
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
 }
 
 // ObserveSince records the seconds elapsed since start — the standard
@@ -67,6 +97,9 @@ func (h *Histogram) snapshot() (count uint64, sum float64, buckets []Bucket) {
 			upper = h.upper[i]
 		}
 		buckets[i] = Bucket{Upper: upper, Count: cum}
+		if h.exemplars != nil {
+			buckets[i].Exemplar = h.exemplars[i].Load()
+		}
 	}
 	return h.count.Load(), h.Sum(), buckets
 }

@@ -49,11 +49,12 @@ func NewRegistry() *Registry {
 // family is one named metric with a fixed label-name schema and one
 // child time series per distinct label-value tuple.
 type family struct {
-	name    string
-	help    string
-	typ     MetricType
-	labels  []string
-	buckets []float64 // histogram upper bounds, sorted, without +Inf
+	name      string
+	help      string
+	typ       MetricType
+	labels    []string
+	buckets   []float64 // histogram upper bounds, sorted, without +Inf
+	exemplars bool      // histogram children retain per-bucket exemplars
 
 	mu       sync.RWMutex
 	children map[string]any
@@ -63,25 +64,26 @@ type family struct {
 // practice-safe label values (0x1f, the ASCII unit separator).
 func labelKey(values []string) string { return strings.Join(values, "\x1f") }
 
-func (r *Registry) register(name, help string, typ MetricType, buckets []float64, labels []string) *family {
+func (r *Registry) register(name, help string, typ MetricType, buckets []float64, labels []string, exemplars bool) *family {
 	if name == "" {
 		panic("obs: empty metric name")
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f, ok := r.families[name]; ok {
-		if f.typ != typ || !equalStrings(f.labels, labels) {
-			panic(fmt.Sprintf("obs: metric %q re-registered with different type or labels", name))
+		if f.typ != typ || !equalStrings(f.labels, labels) || f.exemplars != exemplars {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different type, labels or exemplar setting", name))
 		}
 		return f
 	}
 	f := &family{
-		name:     name,
-		help:     help,
-		typ:      typ,
-		labels:   append([]string(nil), labels...),
-		buckets:  append([]float64(nil), buckets...),
-		children: make(map[string]any),
+		name:      name,
+		help:      help,
+		typ:       typ,
+		labels:    append([]string(nil), labels...),
+		buckets:   append([]float64(nil), buckets...),
+		exemplars: exemplars,
+		children:  make(map[string]any),
 	}
 	sort.Float64s(f.buckets)
 	r.families[name] = f
@@ -126,13 +128,13 @@ func (f *family) child(values []string, make func() any) any {
 // Counter registers (or fetches) a monotonically increasing counter
 // family with the given label names.
 func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
-	return &CounterVec{r.register(name, help, TypeCounter, nil, labels)}
+	return &CounterVec{r.register(name, help, TypeCounter, nil, labels, false)}
 }
 
 // Gauge registers (or fetches) a gauge family — a value that can go up
 // and down, e.g. in-flight requests.
 func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
-	return &GaugeVec{r.register(name, help, TypeGauge, nil, labels)}
+	return &GaugeVec{r.register(name, help, TypeGauge, nil, labels, false)}
 }
 
 // Histogram registers (or fetches) a fixed-bucket histogram family.
@@ -141,7 +143,19 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 	if len(buckets) == 0 {
 		buckets = DurationBuckets
 	}
-	return &HistogramVec{r.register(name, help, TypeHistogram, buckets, labels)}
+	return &HistogramVec{r.register(name, help, TypeHistogram, buckets, labels, false)}
+}
+
+// HistogramWithExemplars registers (or fetches) a histogram family
+// whose buckets additionally retain the last ObserveExemplar trace ID,
+// exposed as OpenMetrics-style exemplars in the text format so a slow
+// bucket links directly to a stored trace. The same name must always
+// be registered with the same exemplar setting.
+func (r *Registry) HistogramWithExemplars(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DurationBuckets
+	}
+	return &HistogramVec{r.register(name, help, TypeHistogram, buckets, labels, true)}
 }
 
 // CounterVec is a counter family; With resolves one time series.
@@ -205,17 +219,20 @@ type HistogramVec struct{ f *family }
 // With returns the histogram for the label values.
 func (v *HistogramVec) With(labelValues ...string) *Histogram {
 	f := v.f
-	return f.child(labelValues, func() any { return newHistogram(f.buckets) }).(*Histogram)
+	return f.child(labelValues, func() any { return newHistogram(f.buckets, f.exemplars) }).(*Histogram)
 }
 
 // Label is one exposition label name/value pair.
 type Label struct{ Name, Value string }
 
 // Bucket is one cumulative histogram bucket; Upper is math.Inf(1) for
-// the implicit +Inf bucket.
+// the implicit +Inf bucket. Exemplar is the bucket's last
+// exemplar-carrying observation, nil for families registered without
+// exemplars or buckets that have not seen one.
 type Bucket struct {
-	Upper float64
-	Count uint64
+	Upper    float64
+	Count    uint64
+	Exemplar *Exemplar
 }
 
 // Sample is a point-in-time reading of one time series. Value carries

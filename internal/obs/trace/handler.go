@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// summary is one row of the GET /debug/traces listing.
+type summary struct {
+	TraceID    string    `json:"trace_id"`
+	Root       string    `json:"root"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	Decision   string    `json:"decision"`
+	Err        string    `json:"error,omitempty"`
+}
+
+// Handler serves the trace store on the debug listener:
+//
+//	GET /debug/traces          JSON list of stored traces, newest first
+//	GET /debug/traces/{id}     text waterfall of one trace
+//	GET /debug/traces/{id}?format=json   the full TraceData
+//
+// Like pprof, this exposes operational internals (vehicle IDs, query
+// shapes); mount it on the private debug address, not the API one.
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/traces", c.serveList)
+	mux.HandleFunc("GET /debug/traces/{id}", c.serveTrace)
+	return mux
+}
+
+func (c *Collector) serveList(w http.ResponseWriter, _ *http.Request) {
+	traces := c.Traces()
+	out := make([]summary, 0, len(traces))
+	for _, td := range traces {
+		out = append(out, summary{
+			TraceID:    td.TraceID,
+			Root:       td.Root,
+			Start:      td.Start,
+			DurationMS: td.Duration.Seconds() * 1e3,
+			Spans:      len(td.Spans),
+			Decision:   td.Decision,
+			Err:        td.Err,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// The header is on the wire; an encode failure has no recovery.
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func (c *Collector) serveTrace(w http.ResponseWriter, r *http.Request) {
+	td, ok := c.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown trace (dropped by sampling, evicted, or never seen)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(td)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(Waterfall(td)))
+}

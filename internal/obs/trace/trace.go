@@ -1,0 +1,208 @@
+// Package trace is the request-scoped counterpart of package obs: a
+// zero-dependency tracing subsystem whose spans propagate through
+// context.Context, nest parent→child, carry attributes and errors, and
+// measure monotonic durations. Completed traces land in a Collector —
+// a bounded ring buffer behind a tail sampler that always keeps
+// errored and slow traces — and are served as JSON summaries and text
+// waterfalls at GET /debug/traces.
+//
+// The aggregate stage histograms of package obs answer "are fits
+// slow"; a trace answers "which vehicle, which window, which config".
+// Trace IDs are drawn from internal/randx, so a seeded Collector emits
+// a reproducible ID stream and tests can assert on exact IDs.
+//
+// When no trace is active — no Collector configured, or the request
+// was not started under Collector.StartTrace — every function in the
+// span API is an allocation-free no-op: Start returns its context
+// unchanged with a nil *Span, and all *Span methods are nil-safe.
+// BenchmarkSpanDisabled pins this at 0 allocs/op.
+package trace
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span attribute: a low-cardinality key with a
+// request-specific value (vehicle ID, algorithm, cache outcome).
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanData is one completed span as stored in a trace: identity,
+// position in the tree, offset from the trace start and monotonic
+// duration.
+type SpanData struct {
+	SpanID   string        `json:"span_id"`
+	ParentID string        `json:"parent_id,omitempty"`
+	Name     string        `json:"name"`
+	Offset   time.Duration `json:"offset_ns"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Err      string        `json:"error,omitempty"`
+}
+
+// spanKey carries the active *Span through a context. The zero-size
+// key boxes to a static interface value, so the disabled-path
+// ctx.Value lookup does not allocate.
+type spanKey struct{}
+
+// FromContext returns the context's active span, or nil when the
+// context carries none.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Start opens a child span under the context's active span and returns
+// a derived context carrying it. When the context has no active span
+// (tracing disabled, or the caller is not under StartTrace) it returns
+// ctx unchanged and a nil *Span without allocating — the instrumented
+// code needs no enabled-check of its own.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tr:       parent.tr,
+		name:     name,
+		spanID:   parent.tr.nextSpanID(),
+		parentID: parent.spanID,
+		start:    time.Now(),
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// Span is one in-progress operation. All methods are safe on a nil
+// receiver (the disabled path) and safe for concurrent use.
+type Span struct {
+	tr       *activeTrace
+	name     string
+	spanID   string
+	parentID string
+	start    time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	err   string
+	ended bool
+}
+
+// TraceID returns the ID of the trace this span belongs to, "" on a
+// nil span.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tr.traceID
+}
+
+// SetAttr attaches a key/value attribute. Later values for the same
+// key append rather than replace; the waterfall prints them in order.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	s.mu.Unlock()
+}
+
+// SetAttrInt attaches an integer attribute.
+func (s *Span) SetAttrInt(key string, value int) {
+	s.SetAttr(key, strconv.Itoa(value))
+}
+
+// SetError marks the span failed. A nil err is ignored, so call sites
+// can record unconditionally. An errored span forces its whole trace
+// through the tail sampler's always-keep path.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended && s.err == "" {
+		s.err = err.Error()
+	}
+	s.mu.Unlock()
+}
+
+// End completes the span with its monotonic duration and hands it to
+// the trace. Ending the root span finalizes the trace and submits it
+// to the collector's tail sampler; spans ended after their root are
+// dropped. End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs, errMsg := s.attrs, s.err
+	s.mu.Unlock()
+	s.tr.finish(SpanData{
+		SpanID:   s.spanID,
+		ParentID: s.parentID,
+		Name:     s.name,
+		Offset:   s.start.Sub(s.tr.start),
+		Duration: dur,
+		Attrs:    attrs,
+		Err:      errMsg,
+	}, s.parentID == "")
+}
+
+// activeTrace accumulates the finished spans of one trace until its
+// root span ends. Spans may finish concurrently (fleet fan-outs end
+// per-vehicle spans on pool workers), so the accumulator is locked.
+type activeTrace struct {
+	c       *Collector
+	traceID string
+	start   time.Time // monotonic anchor for span offsets
+	wall    time.Time // wall-clock start for display
+	nextID  atomic.Uint64
+
+	mu    sync.Mutex
+	spans []SpanData
+	err   string // first span error, drives the keep-errors policy
+	done  bool
+}
+
+// nextSpanID hands out span IDs from a per-trace counter: cheap,
+// lock-free and unique within the trace. Assignment order under
+// concurrency follows scheduling, which is why determinism is claimed
+// for trace IDs (drawn from the seeded collector stream), not span
+// IDs.
+func (a *activeTrace) nextSpanID() string {
+	return strconv.FormatUint(a.nextID.Add(1), 10)
+}
+
+func (a *activeTrace) finish(sd SpanData, root bool) {
+	a.mu.Lock()
+	if a.done {
+		a.mu.Unlock()
+		return
+	}
+	a.spans = append(a.spans, sd)
+	if sd.Err != "" && a.err == "" {
+		a.err = sd.Err
+	}
+	if !root {
+		a.mu.Unlock()
+		return
+	}
+	a.done = true
+	spans, errMsg := a.spans, a.err
+	a.mu.Unlock()
+	a.c.submit(a, sd.Name, spans, sd.Duration, errMsg)
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// waterfallBarWidth is the character width of the timeline bars.
+const waterfallBarWidth = 40
+
+// Waterfall renders one stored trace as a text waterfall: a header
+// line, then one line per span in tree order — timeline bar, duration,
+// name indented by depth, attributes and any error. Bar positions are
+// proportional to each span's offset and duration within the trace.
+func Waterfall(td *TraceData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s %s · %s · %d spans · kept: %s\n",
+		td.TraceID, td.Root, fmtDur(td.Duration), len(td.Spans), td.Decision)
+	if td.Err != "" {
+		fmt.Fprintf(&b, "error: %s\n", td.Err)
+	}
+	children := map[string][]SpanData{}
+	for _, sd := range td.Spans {
+		children[sd.ParentID] = append(children[sd.ParentID], sd)
+	}
+	for _, sibs := range children {
+		sort.SliceStable(sibs, func(i, j int) bool {
+			if sibs[i].Offset != sibs[j].Offset {
+				return sibs[i].Offset < sibs[j].Offset
+			}
+			return spanOrd(sibs[i].SpanID) < spanOrd(sibs[j].SpanID)
+		})
+	}
+	total := td.Duration
+	if total <= 0 {
+		total = 1 // degenerate trace; bars collapse to the left edge
+	}
+	var walk func(parentID string, depth int)
+	walk = func(parentID string, depth int) {
+		for _, sd := range children[parentID] {
+			writeSpanLine(&b, sd, depth, total)
+			walk(sd.SpanID, depth+1)
+		}
+	}
+	walk("", 0)
+	return b.String()
+}
+
+// spanOrd orders span IDs numerically (they are per-trace counters).
+func spanOrd(id string) uint64 {
+	n, err := strconv.ParseUint(id, 10, 64)
+	if err != nil {
+		return ^uint64(0)
+	}
+	return n
+}
+
+func writeSpanLine(b *strings.Builder, sd SpanData, depth int, total time.Duration) {
+	b.WriteString(" [")
+	b.WriteString(bar(sd.Offset, sd.Duration, total))
+	b.WriteString("] ")
+	fmt.Fprintf(b, "%10s  ", fmtDur(sd.Duration))
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(sd.Name)
+	for _, a := range sd.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value)
+	}
+	if sd.Err != "" {
+		fmt.Fprintf(b, " !error=%q", sd.Err)
+	}
+	b.WriteByte('\n')
+}
+
+// bar renders a fixed-width timeline: '=' over the span's [offset,
+// offset+duration) window, spaces elsewhere. Every span paints at
+// least one cell so instant spans stay visible.
+func bar(offset, dur, total time.Duration) string {
+	from := int(int64(waterfallBarWidth) * int64(offset) / int64(total))
+	to := int(int64(waterfallBarWidth) * int64(offset+dur) / int64(total))
+	if from > waterfallBarWidth-1 {
+		from = waterfallBarWidth - 1
+	}
+	if to <= from {
+		to = from + 1
+	}
+	if to > waterfallBarWidth {
+		to = waterfallBarWidth
+	}
+	var cells [waterfallBarWidth]byte
+	for i := range cells {
+		switch {
+		case i >= from && i < to:
+			cells[i] = '='
+		default:
+			cells[i] = ' '
+		}
+	}
+	return string(cells[:])
+}
+
+// fmtDur renders a duration in milliseconds with microsecond
+// precision, the scale of every span in this system.
+func fmtDur(d time.Duration) string {
+	return strconv.FormatFloat(float64(d.Nanoseconds())/1e6, 'f', 3, 64) + "ms"
+}

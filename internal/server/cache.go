@@ -2,12 +2,14 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
 
 	"vup/internal/core"
 	"vup/internal/obs"
+	"vup/internal/obs/trace"
 )
 
 // Forecast-cache telemetry, on the process-wide registry so the
@@ -115,15 +117,28 @@ func (c *ForecastCache) Stats() CacheStats {
 }
 
 // Do returns the artifact for key, building it with build on a miss.
-// gen is the store generation the caller observed; an entry built
-// against an older generation is evicted and rebuilt. Concurrent calls
-// with the same key coalesce onto one build and share its result
+// gen is the vehicle's store generation the caller observed; an entry
+// built against an older generation is evicted and rebuilt. Concurrent
+// calls with the same key coalesce onto one build and share its result
 // (errors included — errors are never stored). The second return
 // reports whether the artifact came from cache or a shared in-flight
 // build rather than a fresh build.
 func (c *ForecastCache) Do(key string, gen uint64, build func() (any, error)) (any, bool, error) {
+	return c.DoContext(context.Background(), key, gen, func(context.Context) (any, error) { return build() })
+}
+
+// DoContext is Do under a request context: when the context carries an
+// active trace span, the lookup is recorded as a "cache.lookup" child
+// whose outcome attribute is hit, miss, coalesced or bypass, and the
+// build runs under the span's context so training stages nest below
+// it.
+func (c *ForecastCache) DoContext(ctx context.Context, key string, gen uint64, build func(context.Context) (any, error)) (any, bool, error) {
+	ctx, sp := trace.Start(ctx, "cache.lookup")
 	if !c.Enabled() {
-		v, err := build()
+		sp.SetAttr("outcome", "bypass")
+		v, err := build(ctx)
+		sp.SetError(err)
+		sp.End()
 		return v, false, err
 	}
 	c.mu.Lock()
@@ -135,6 +150,8 @@ func (c *ForecastCache) Do(key string, gen uint64, build func() (any, error)) (a
 			cacheHits.With().Inc()
 			v := e.val
 			c.mu.Unlock()
+			sp.SetAttr("outcome", "hit")
+			sp.End()
 			return v, true, nil
 		}
 		// Trained against a store state that no longer exists.
@@ -144,7 +161,10 @@ func (c *ForecastCache) Do(key string, gen uint64, build func() (any, error)) (a
 		c.stats.Coalesced++
 		cacheCoalesced.With().Inc()
 		c.mu.Unlock()
+		sp.SetAttr("outcome", "coalesced")
 		<-fl.done
+		sp.SetError(fl.err)
+		sp.End()
 		return fl.val, true, fl.err
 	}
 	fl := &flight{done: make(chan struct{})}
@@ -152,6 +172,7 @@ func (c *ForecastCache) Do(key string, gen uint64, build func() (any, error)) (a
 	c.stats.Misses++
 	cacheMisses.With().Inc()
 	c.mu.Unlock()
+	sp.SetAttr("outcome", "miss")
 
 	finished := false
 	defer func() {
@@ -165,8 +186,10 @@ func (c *ForecastCache) Do(key string, gen uint64, build func() (any, error)) (a
 		c.mu.Lock()
 		delete(c.inflight, key)
 		c.mu.Unlock()
+		sp.SetError(fl.err)
+		sp.End()
 	}()
-	fl.val, fl.err = build()
+	fl.val, fl.err = build(ctx)
 	finished = true
 	close(fl.done)
 
@@ -176,6 +199,8 @@ func (c *ForecastCache) Do(key string, gen uint64, build func() (any, error)) (a
 		c.insertLocked(key, gen, fl.val)
 	}
 	c.mu.Unlock()
+	sp.SetError(fl.err)
+	sp.End()
 	return fl.val, false, fl.err
 }
 

@@ -245,8 +245,8 @@ func TestForecastCacheInvalidationOnPut(t *testing.T) {
 	if err := api.store.Put(&mod); err != nil {
 		t.Fatal(err)
 	}
-	if api.store.Generation() != 1 {
-		t.Fatalf("generation = %d after Put", api.store.Generation())
+	if api.store.Generation("veh-0000") != 1 {
+		t.Fatalf("generation = %d after Put", api.store.Generation("veh-0000"))
 	}
 	// Fresh map: decoding into a reused map merges keys, and the
 	// omitempty cached field would leave a stale true behind.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -11,7 +12,10 @@ import (
 // HTTP telemetry, registered on the process-wide registry so the
 // binary's GET /metrics exposes it alongside the pipeline stage
 // histograms. Routes are labeled with the mux pattern (not the raw
-// URL) to keep cardinality bounded.
+// URL) to keep cardinality bounded. The latency histogram carries
+// exemplars: each bucket remembers the trace ID of its last traced
+// request, so a latency spike on a dashboard links straight to a
+// stored waterfall at /debug/traces/{id}.
 var (
 	httpRequests = obs.Default.Counter(
 		"http_requests_total",
@@ -20,7 +24,7 @@ var (
 	httpInFlight = obs.Default.Gauge(
 		"http_requests_in_flight",
 		"Requests currently being served.")
-	httpDuration = obs.Default.Histogram(
+	httpDuration = obs.Default.HistogramWithExemplars(
 		"http_request_duration_seconds",
 		"Request latency by route pattern.",
 		obs.DurationBuckets, "route")
@@ -62,9 +66,14 @@ func statusClass(code int) string {
 	return strconv.Itoa(code/100) + "xx"
 }
 
-// instrument wraps a handler with the per-route telemetry: request
-// counter by status class, in-flight gauge and latency histogram.
-func instrument(route string, h http.HandlerFunc) http.Handler {
+// instrument wraps a handler with the per-route telemetry — request
+// counter by status class, in-flight gauge, latency histogram — and,
+// when the API has a trace collector, a root span per request. The
+// trace ID is echoed in the X-Trace-Id response header and bound (with
+// the vehicle, when the route has one) onto a request-scoped logger in
+// the context, so the handler and the pipeline below it log and trace
+// under one identity.
+func (a *API) instrument(route string, h http.HandlerFunc) http.Handler {
 	requests2xx := httpRequests.With(route, "2xx") // warm the hot child
 	duration := httpDuration.With(route)
 	inFlight := httpInFlight.With()
@@ -72,6 +81,20 @@ func instrument(route string, h http.HandlerFunc) http.Handler {
 		start := time.Now()
 		inFlight.Inc()
 		defer inFlight.Dec()
+
+		ctx, sp := a.Traces.StartTrace(r.Context(), r.Method+" "+route)
+		traceID := sp.TraceID()
+		if sp != nil {
+			w.Header().Set("X-Trace-Id", traceID)
+			logger := obs.DefaultLogger().With("trace_id", traceID)
+			if id := r.PathValue("id"); id != "" {
+				sp.SetAttr("vehicle", id)
+				logger = logger.With("vehicle", id)
+			}
+			ctx = obs.IntoContext(ctx, logger)
+			r = r.WithContext(ctx)
+		}
+
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
 		status := sw.status
@@ -84,6 +107,13 @@ func instrument(route string, h http.HandlerFunc) http.Handler {
 		} else {
 			httpRequests.With(route, class).Inc()
 		}
-		duration.ObserveSince(start)
+		duration.ObserveExemplar(time.Since(start).Seconds(), traceID)
+		if sp != nil {
+			sp.SetAttrInt("status", status)
+			if status >= 500 {
+				sp.SetError(fmt.Errorf("status %d", status))
+			}
+			sp.End()
+		}
 	})
 }

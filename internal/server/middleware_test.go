@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"vup/internal/core"
 	"vup/internal/obs"
 )
 
@@ -22,10 +23,11 @@ func requestsSample(route, status string) uint64 {
 	return uint64(s.Value)
 }
 
-// sampleLine matches one Prometheus text-format sample line.
+// sampleLine matches one Prometheus text-format sample line, with an
+// optional OpenMetrics exemplar suffix on histogram buckets.
 var sampleLine = regexp.MustCompile(
 	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
-		`(NaN|[+-]?Inf|[+-]?[0-9.eE+-]+)$`)
+		`(NaN|[+-]?Inf|[+-]?[0-9.eE+-]+)( # \{trace_id="[^"]*"\} (NaN|[+-]?Inf|[+-]?[0-9.eE+-]+))?$`)
 
 func TestMetricsEndpoint(t *testing.T) {
 	_, srv := testAPI(t)
@@ -168,7 +170,8 @@ func TestMiddlewareConcurrent(t *testing.T) {
 // the middleware (CI runs this as a smoke check that the cost stays in
 // the nanosecond range).
 func BenchmarkMiddleware(b *testing.B) {
-	h := instrument("/bench", func(w http.ResponseWriter, _ *http.Request) {
+	a := New(&Store{}, core.DefaultConfig())
+	h := a.instrument("/bench", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
 	req := httptest.NewRequest("GET", "/bench", nil)

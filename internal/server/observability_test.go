@@ -1,0 +1,265 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vup/internal/obs/trace"
+)
+
+// decode drains and JSON-decodes a response body.
+func decode(t *testing.T, resp *http.Response, into any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readBody drains a response body as text.
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestHealthzReport checks the operator-facing healthz payload: cache
+// effectiveness numbers move with traffic, the hit ratio stays a valid
+// JSON float, and the build identity is present.
+func TestHealthzReport(t *testing.T) {
+	_, srv, _ := cachedAPI(t, 8)
+	var body map[string]any
+	get(t, srv+"/v1/vehicles/veh-0000/forecast", http.StatusOK, &body) // miss
+	get(t, srv+"/v1/vehicles/veh-0000/forecast", http.StatusOK, &body) // hit
+
+	var health map[string]any
+	get(t, srv+"/healthz", http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Fatalf("status = %v", health["status"])
+	}
+	if up := health["uptime_seconds"].(float64); up < 0 {
+		t.Errorf("uptime_seconds = %v", up)
+	}
+	if v := health["vehicles"].(float64); v != 3 {
+		t.Errorf("vehicles = %v", v)
+	}
+	if e := health["cache_entries"].(float64); e < 1 {
+		t.Errorf("cache_entries = %v after a cached forecast", e)
+	}
+	hits := health["cache_hits"].(float64)
+	misses := health["cache_misses"].(float64)
+	if hits < 1 || misses < 1 {
+		t.Errorf("cache hits/misses = %v/%v, want at least one of each", hits, misses)
+	}
+	ratio := health["cache_hit_ratio"].(float64)
+	if ratio <= 0 || ratio >= 1 {
+		t.Errorf("cache_hit_ratio = %v, want strictly between 0 and 1", ratio)
+	}
+	if gv := health["go_version"].(string); !strings.HasPrefix(gv, "go") {
+		t.Errorf("go_version = %q", gv)
+	}
+}
+
+// TestHealthzColdCacheRatio proves the 0/0 hit ratio stays encodable:
+// before any lookup the ratio must be 0, not NaN (which encoding/json
+// rejects — the response itself arriving is half the test).
+func TestHealthzColdCacheRatio(t *testing.T) {
+	_, srv, _ := cachedAPI(t, 8)
+	var health map[string]any
+	get(t, srv+"/healthz", http.StatusOK, &health)
+	if ratio := health["cache_hit_ratio"].(float64); ratio != 0 {
+		t.Errorf("cold cache_hit_ratio = %v, want 0", ratio)
+	}
+}
+
+// TestCachePerVehicleInvalidation proves invalidation is scoped to the
+// vehicle that changed: replacing veh-0000's dataset retrains veh-0000
+// but must keep serving veh-0001's cached artifact.
+func TestCachePerVehicleInvalidation(t *testing.T) {
+	api, srv, fits := cachedAPI(t, 8)
+	var body map[string]any
+	get(t, srv+"/v1/vehicles/veh-0000/forecast", http.StatusOK, &body)
+	get(t, srv+"/v1/vehicles/veh-0001/forecast", http.StatusOK, &body)
+	if fits.Load() != 2 {
+		t.Fatalf("fits = %d after two cold requests", fits.Load())
+	}
+
+	d, ok := api.store.Get("veh-0000")
+	if !ok {
+		t.Fatal("veh-0000 missing")
+	}
+	mod := *d
+	mod.Hours = append([]float64(nil), d.Hours...)
+	mod.Hours[len(mod.Hours)-1] += 1
+	if err := api.store.Put(&mod); err != nil {
+		t.Fatal(err)
+	}
+	if g := api.store.Generation("veh-0000"); g != 1 {
+		t.Fatalf("veh-0000 generation = %d after Put", g)
+	}
+	if g := api.store.Generation("veh-0001"); g != 0 {
+		t.Fatalf("veh-0001 generation = %d, bumped by another vehicle's Put", g)
+	}
+
+	// The untouched vehicle still hits.
+	var warm map[string]any
+	get(t, srv+"/v1/vehicles/veh-0001/forecast", http.StatusOK, &warm)
+	if fits.Load() != 2 {
+		t.Errorf("fits = %d, veh-0001 retrained after veh-0000's Put", fits.Load())
+	}
+	if warm["cached"] != true {
+		t.Error("veh-0001 response not served from cache")
+	}
+	// The replaced vehicle retrains.
+	var cold map[string]any
+	get(t, srv+"/v1/vehicles/veh-0000/forecast", http.StatusOK, &cold)
+	if fits.Load() != 3 {
+		t.Errorf("fits = %d, veh-0000 not retrained after Put", fits.Load())
+	}
+	if cold["cached"] == true {
+		t.Error("post-invalidation veh-0000 response claims cached")
+	}
+}
+
+// TestForecastTraceEndToEnd is the tracing acceptance path: a cold
+// /forecast returns an X-Trace-Id whose stored trace — served over
+// /debug/traces/{id} like the vup-server debug listener does — shows
+// the request, the cache miss, and the nested pipeline stages.
+func TestForecastTraceEndToEnd(t *testing.T) {
+	api, srv := testAPI(t)
+	api.Cache = NewForecastCache(8)
+	api.Traces = trace.NewCollector(trace.Options{Capacity: 16, SampleRate: 1, Seed: 1})
+	debugSrv := httptest.NewServer(api.Traces.Handler())
+	t.Cleanup(debugSrv.Close)
+
+	resp, err := http.Get(srv.URL + "/v1/vehicles/veh-0000/forecast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forecast status = %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("no X-Trace-Id header on traced request")
+	}
+
+	// The root span ends after the response body is written, so the
+	// trace may land in the store a beat after the client sees the
+	// response; poll briefly.
+	var td trace.TraceData
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var got trace.TraceData
+		r, err := http.Get(debugSrv.URL + "/debug/traces/" + traceID + "?format=json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode == http.StatusOK {
+			decode(t, r, &got)
+			td = got
+			break
+		}
+		r.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s not retrievable: status %d", traceID, r.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if td.TraceID != traceID {
+		t.Fatalf("trace_id = %s, want %s", td.TraceID, traceID)
+	}
+	if len(td.Spans) < 4 {
+		t.Fatalf("spans = %d, want at least request + cache + plan stages", len(td.Spans))
+	}
+	byName := map[string]trace.SpanData{}
+	for _, sp := range td.Spans {
+		byName[sp.Name] = sp
+	}
+	for _, want := range []string{"GET /v1/vehicles/{id}/forecast", "cache.lookup", "plan.build", "plan.fit", "model.predict"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("span %q missing from trace (have %d spans)", want, len(td.Spans))
+		}
+	}
+	// Nesting: the root has no parent, every other span has one, and
+	// the plan stages run under the cache miss.
+	root := td.Spans[0]
+	if root.ParentID != "" {
+		t.Errorf("root span has parent %q", root.ParentID)
+	}
+	for _, sp := range td.Spans[1:] {
+		if sp.ParentID == "" {
+			t.Errorf("span %q is unparented", sp.Name)
+		}
+		if sp.Duration < 0 {
+			t.Errorf("span %q duration = %v", sp.Name, sp.Duration)
+		}
+	}
+	if build, lookup := byName["plan.build"], byName["cache.lookup"]; build.ParentID != lookup.SpanID {
+		t.Errorf("plan.build parent = %q, want the cache.lookup span %q", build.ParentID, lookup.SpanID)
+	}
+	var outcome string
+	for _, a := range byName["cache.lookup"].Attrs {
+		if a.Key == "outcome" {
+			outcome = a.Value
+		}
+	}
+	if outcome != "miss" {
+		t.Errorf("cold cache.lookup outcome = %q, want miss", outcome)
+	}
+
+	// The human-facing waterfall renders the same trace.
+	wf, err := http.Get(debugSrv.URL + "/debug/traces/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := readBody(t, wf)
+	if wf.StatusCode != http.StatusOK {
+		t.Fatalf("waterfall status = %d", wf.StatusCode)
+	}
+	for _, want := range []string{traceID, "cache.lookup", "plan.build", "model.predict"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, text)
+		}
+	}
+
+	// A second identical request is a cache hit with its own trace.
+	resp2, err := http.Get(srv.URL + "/v1/vehicles/veh-0000/forecast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	hitID := resp2.Header.Get("X-Trace-Id")
+	if hitID == "" || hitID == traceID {
+		t.Fatalf("warm request trace id = %q (cold was %s)", hitID, traceID)
+	}
+}
+
+// TestUntracedRequestsHaveNoTraceHeader pins the disabled path: with no
+// collector the API must not emit X-Trace-Id, and /debug/traces has
+// nothing to serve.
+func TestUntracedRequestsHaveNoTraceHeader(t *testing.T) {
+	_, srv := testAPI(t)
+	resp, err := http.Get(srv.URL + "/v1/vehicles/veh-0000/forecast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if id := resp.Header.Get("X-Trace-Id"); id != "" {
+		t.Errorf("untraced request carries X-Trace-Id %q", id)
+	}
+}

@@ -5,10 +5,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -18,20 +21,23 @@ import (
 	"vup/internal/core"
 	"vup/internal/etl"
 	"vup/internal/obs"
+	"vup/internal/obs/trace"
 	"vup/internal/regress"
 )
 
 // Store holds the per-vehicle datasets the API serves. It is safe for
 // concurrent readers once populated; Put may replace datasets at run
-// time, bumping the generation so caches keyed on the previous state
-// invalidate.
+// time, bumping that vehicle's generation so caches keyed on its
+// previous state invalidate — without discarding every other vehicle's
+// cached artifacts, which is what a streaming per-vehicle ingest needs.
 type Store struct {
 	mu       sync.RWMutex
 	datasets map[string]*etl.VehicleDataset
 	// fps caches each dataset's fingerprint, computed once at insert:
 	// datasets are treated as immutable while stored.
-	fps        map[string]uint64
-	generation uint64
+	fps map[string]uint64
+	// gens counts mutations per vehicle; absent means zero.
+	gens map[string]uint64
 }
 
 // NewStore builds a store from datasets, keyed by vehicle ID. Every
@@ -42,6 +48,7 @@ func NewStore(datasets []*etl.VehicleDataset) (*Store, error) {
 	s := &Store{
 		datasets: make(map[string]*etl.VehicleDataset, len(datasets)),
 		fps:      make(map[string]uint64, len(datasets)),
+		gens:     make(map[string]uint64),
 	}
 	for _, d := range datasets {
 		if err := d.Validate(); err != nil {
@@ -53,8 +60,10 @@ func NewStore(datasets []*etl.VehicleDataset) (*Store, error) {
 	return s, nil
 }
 
-// Put inserts or replaces one vehicle's dataset and bumps the store
-// generation, invalidating cached artifacts trained on prior state.
+// Put inserts or replaces one vehicle's dataset and bumps that
+// vehicle's generation, invalidating cached artifacts trained on its
+// prior state. Other vehicles' generations — and therefore their
+// cached artifacts — are untouched.
 func (s *Store) Put(d *etl.VehicleDataset) error {
 	if err := d.Validate(); err != nil {
 		return fmt.Errorf("server: dataset %q: %w", d.VehicleID, err)
@@ -63,16 +72,17 @@ func (s *Store) Put(d *etl.VehicleDataset) error {
 	defer s.mu.Unlock()
 	s.datasets[d.VehicleID] = d
 	s.fps[d.VehicleID] = d.Fingerprint()
-	s.generation++
+	s.gens[d.VehicleID]++
 	return nil
 }
 
-// Generation returns the store's mutation counter. It starts at zero
-// and moves on every Put.
-func (s *Store) Generation() uint64 {
+// Generation returns one vehicle's mutation counter. It starts at zero
+// (including for vehicles loaded at startup) and moves on every Put of
+// that vehicle.
+func (s *Store) Generation(id string) uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.generation
+	return s.gens[id]
 }
 
 // Get returns the dataset of one vehicle.
@@ -84,13 +94,13 @@ func (s *Store) Get(id string) (*etl.VehicleDataset, bool) {
 }
 
 // lookup returns one vehicle's dataset together with its fingerprint
-// and the store generation, all read under a single lock so the
-// triple is mutually consistent for cache keying.
+// and its generation, all read under a single lock so the triple is
+// mutually consistent for cache keying.
 func (s *Store) lookup(id string) (d *etl.VehicleDataset, fp, gen uint64, ok bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	d, ok = s.datasets[id]
-	return d, s.fps[id], s.generation, ok
+	return d, s.fps[id], s.gens[id], ok
 }
 
 // Len returns the number of vehicles without building the ID slice.
@@ -115,6 +125,7 @@ func (s *Store) IDs() []string {
 // API is the HTTP handler set.
 type API struct {
 	store *Store
+	start time.Time // process start, for the healthz uptime
 	// Base is the pipeline configuration requests start from.
 	Base core.Config
 	// Cache, when enabled, answers forecast and evaluation requests
@@ -122,11 +133,15 @@ type API struct {
 	// requests onto one training run. Nil or zero-capacity means every
 	// request trains.
 	Cache *ForecastCache
+	// Traces, when set, opens a root span per API request (echoed in
+	// the X-Trace-Id response header) and stores tail-sampled traces
+	// for GET /debug/traces. Nil disables tracing at zero cost.
+	Traces *trace.Collector
 }
 
 // New creates an API over the store with the given base configuration.
 func New(store *Store, base core.Config) *API {
-	return &API{store: store, Base: base}
+	return &API{store: store, start: time.Now(), Base: base}
 }
 
 // Handler returns the routed http.Handler. Every API route is wrapped
@@ -135,12 +150,12 @@ func New(store *Store, base core.Config) *API {
 // request counters.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("GET /healthz", instrument("/healthz", a.handleHealth))
-	mux.Handle("GET /v1/vehicles", instrument("/v1/vehicles", a.handleVehicles))
-	mux.Handle("GET /v1/vehicles/{id}", instrument("/v1/vehicles/{id}", a.handleVehicle))
-	mux.Handle("GET /v1/vehicles/{id}/forecast", instrument("/v1/vehicles/{id}/forecast", a.handleForecast))
-	mux.Handle("GET /v1/vehicles/{id}/evaluation", instrument("/v1/vehicles/{id}/evaluation", a.handleEvaluation))
-	mux.Handle("GET /v1/vehicles/{id}/levels", instrument("/v1/vehicles/{id}/levels", a.handleLevels))
+	mux.Handle("GET /healthz", a.instrument("/healthz", a.handleHealth))
+	mux.Handle("GET /v1/vehicles", a.instrument("/v1/vehicles", a.handleVehicles))
+	mux.Handle("GET /v1/vehicles/{id}", a.instrument("/v1/vehicles/{id}", a.handleVehicle))
+	mux.Handle("GET /v1/vehicles/{id}/forecast", a.instrument("/v1/vehicles/{id}/forecast", a.handleForecast))
+	mux.Handle("GET /v1/vehicles/{id}/evaluation", a.instrument("/v1/vehicles/{id}/evaluation", a.handleEvaluation))
+	mux.Handle("GET /v1/vehicles/{id}/levels", a.instrument("/v1/vehicles/{id}/levels", a.handleLevels))
 	mux.Handle("GET /metrics", obs.Handler())
 	return mux
 }
@@ -165,8 +180,45 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// healthResponse is the GET /healthz payload: liveness plus the
+// numbers an operator checks first (uptime, store size, cache
+// effectiveness) and enough build identity to know what is running.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Vehicles      int     `json:"vehicles"`
+	CacheEntries  int     `json:"cache_entries"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	// CacheHitRatio is hits/(hits+misses), 0 before any lookup.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"revision,omitempty"`
+}
+
 func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "vehicles": a.store.Len()})
+	stats := a.Cache.Stats()
+	resp := healthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(a.start).Seconds(),
+		Vehicles:      a.store.Len(),
+		CacheEntries:  a.Cache.Len(),
+		CacheHits:     stats.Hits,
+		CacheMisses:   stats.Misses,
+		GoVersion:     runtime.Version(),
+	}
+	// Guard the ratio: 0/0 is NaN, which encoding/json refuses.
+	if total := stats.Hits + stats.Misses; total > 0 {
+		resp.CacheHitRatio = float64(stats.Hits) / float64(total)
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				resp.Revision = s.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // vehicleSummary is the listing payload.
@@ -341,8 +393,12 @@ func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		kind := "interval:" + strconv.FormatFloat(level, 'g', -1, 64)
-		val, cached, err := a.Cache.Do(cacheKey(kind, d.VehicleID, fp, cfg), gen, func() (any, error) {
-			return core.ForecastInterval(d, cfg, level)
+		val, cached, err := a.Cache.DoContext(r.Context(), cacheKey(kind, d.VehicleID, fp, cfg), gen, func(ctx context.Context) (any, error) {
+			p, err := core.NewPlanContext(ctx, d, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return p.ForecastIntervalContext(ctx, level)
 		})
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "forecast failed: %v", err)
@@ -354,16 +410,16 @@ func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
 		resp.Lo, resp.Hi, resp.Level = &iv.Lo, &iv.Hi, &iv.Level
 		resp.Cached = cached
 	} else {
-		val, cached, err := a.Cache.Do(cacheKey("point", d.VehicleID, fp, cfg), gen, func() (any, error) {
-			p, err := core.NewPlan(d, cfg)
+		val, cached, err := a.Cache.DoContext(r.Context(), cacheKey("point", d.VehicleID, fp, cfg), gen, func(ctx context.Context) (any, error) {
+			p, err := core.NewPlanContext(ctx, d, cfg)
 			if err != nil {
 				return nil, err
 			}
-			fitted, err := p.Fit()
+			fitted, err := p.FitContext(ctx)
 			if err != nil {
 				return nil, err
 			}
-			hours, err := fitted.Forecast(nil)
+			hours, err := fitted.ForecastContext(ctx, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -378,7 +434,7 @@ func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
 		resp.Lags = pf.lags
 		resp.Cached = cached
 		if horizon > 0 {
-			steps, err := pf.fitted.Horizon(horizon, nil)
+			steps, err := pf.fitted.HorizonContext(r.Context(), horizon, nil)
 			if err != nil {
 				writeError(w, http.StatusUnprocessableEntity, "forecast failed: %v", err)
 				return
@@ -463,8 +519,8 @@ func (a *API) handleEvaluation(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	val, cached, err := a.Cache.Do(cacheKey("eval", d.VehicleID, fp, cfg), gen, func() (any, error) {
-		return core.EvaluateVehicle(d, cfg)
+	val, cached, err := a.Cache.DoContext(r.Context(), cacheKey("eval", d.VehicleID, fp, cfg), gen, func(ctx context.Context) (any, error) {
+		return core.EvaluateVehicleContext(ctx, d, cfg)
 	})
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "evaluation failed: %v", err)

@@ -246,7 +246,7 @@ func TestStore(t *testing.T) {
 	if _, ok := s.Get("x"); ok {
 		t.Error("empty store returned a dataset")
 	}
-	if g := s.Generation(); g != 0 {
+	if g := s.Generation("x"); g != 0 {
 		t.Errorf("fresh store generation = %d", g)
 	}
 }
