@@ -1,12 +1,14 @@
 // Command fleetgen generates the synthetic industrial-vehicle dataset
 // and writes it as CSV in the study's relational format: one row per
 // vehicle-day with utilization hours, CAN channel aggregates and
-// contextual features.
+// contextual features — and/or as a binary fleet store directory that
+// vup-server -data-dir boots from directly.
 //
 // Usage:
 //
 //	fleetgen -units 60 -days 730 -seed 1 -out fleet.csv
 //	fleetgen -scale full -out fleet.csv   # the full 2 239-vehicle study
+//	fleetgen -units 60 -out "" -store-dir ./fleetdata   # binary store only
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"vup/internal/etl"
 	"vup/internal/fleet"
+	"vup/internal/fstore"
 	"vup/internal/randx"
 )
 
@@ -26,11 +29,12 @@ func main() {
 	log.SetPrefix("fleetgen: ")
 
 	var (
-		units = flag.Int("units", 60, "number of vehicles")
-		days  = flag.Int("days", 730, "observation days starting 2015-01-01")
-		seed  = flag.Int64("seed", 1, "generation seed")
-		scale = flag.String("scale", "custom", `"custom" (use -units/-days) or "full" (the study's 2 239 vehicles over 1 369 days)`)
-		out   = flag.String("out", "fleet.csv", "output CSV path (- for stdout)")
+		units    = flag.Int("units", 60, "number of vehicles")
+		days     = flag.Int("days", 730, "observation days starting 2015-01-01")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		scale    = flag.String("scale", "custom", `"custom" (use -units/-days) or "full" (the study's 2 239 vehicles over 1 369 days)`)
+		out      = flag.String("out", "fleet.csv", `output CSV path (- for stdout, "" to skip CSV)`)
+		storeDir = flag.String("store-dir", "", "also save the fleet as a binary store directory (internal/fstore) that vup-server -data-dir boots from")
 	)
 	flag.Parse()
 
@@ -40,12 +44,15 @@ func main() {
 		cfg.Seed = *seed
 	}
 
-	if err := run(cfg, *out); err != nil {
+	if *out == "" && *storeDir == "" {
+		log.Fatal("nothing to do: both -out and -store-dir are empty")
+	}
+	if err := run(cfg, *out, *storeDir); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(cfg fleet.Config, out string) error {
+func run(cfg fleet.Config, out, storeDir string) error {
 	f, err := fleet.Generate(cfg)
 	if err != nil {
 		return err
@@ -53,6 +60,37 @@ func run(cfg fleet.Config, out string) error {
 	usage := f.SimulateAll()
 	rng := randx.New(cfg.Seed + 1)
 
+	datasets := make([]*etl.VehicleDataset, 0, len(f.Units))
+	for _, u := range f.Units {
+		d, err := etl.FromUsage(u, usage[u.Vehicle.ID], rng.Split())
+		if err != nil {
+			return fmt.Errorf("building dataset for %s: %w", u.Vehicle.ID, err)
+		}
+		datasets = append(datasets, d)
+	}
+
+	if out != "" {
+		if err := writeCSV(datasets, out); err != nil {
+			return err
+		}
+	}
+	if storeDir != "" {
+		dir, err := fstore.Open(storeDir)
+		if err != nil {
+			return err
+		}
+		if _, err := dir.Save(datasets); err != nil {
+			return err
+		}
+		if err := dir.Close(); err != nil {
+			return err
+		}
+		_, _ = fmt.Fprintf(os.Stderr, "fleetgen: saved %d vehicles to store %s\n", len(datasets), storeDir)
+	}
+	return nil
+}
+
+func writeCSV(datasets []*etl.VehicleDataset, out string) error {
 	w := bufio.NewWriter(os.Stdout)
 	if out != "-" {
 		file, err := os.Create(out)
@@ -66,11 +104,7 @@ func run(cfg fleet.Config, out string) error {
 
 	wroteHeader := false
 	rows := 0
-	for _, u := range f.Units {
-		d, err := etl.FromUsage(u, usage[u.Vehicle.ID], rng.Split())
-		if err != nil {
-			return fmt.Errorf("building dataset for %s: %w", u.Vehicle.ID, err)
-		}
+	for _, d := range datasets {
 		tab, err := d.ToTable()
 		if err != nil {
 			return err
@@ -86,6 +120,6 @@ func run(cfg fleet.Config, out string) error {
 		}
 		rows += tab.Rows()
 	}
-	_, _ = fmt.Fprintf(os.Stderr, "fleetgen: wrote %d vehicle-day rows for %d vehicles\n", rows, len(f.Units))
+	_, _ = fmt.Fprintf(os.Stderr, "fleetgen: wrote %d vehicle-day rows for %d vehicles\n", rows, len(datasets))
 	return nil
 }

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"vup/internal/experiments"
+	"vup/internal/fstore"
 	"vup/internal/obs/trace"
 )
 
@@ -40,15 +41,16 @@ func main() {
 	log.SetPrefix("vup-experiments: ")
 
 	var (
-		runID   = flag.String("run", "all", "experiment id to run, or \"all\"")
-		scale   = flag.String("scale", "small", `"small" (laptop) or "full" (study scale)`)
-		csvDir  = flag.String("csv", "", "directory to write the regenerated data series as CSV (optional)")
-		mdPath  = flag.String("md", "", "write a combined Markdown report to this path (optional)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		timing  = flag.Bool("timing", false, "print the collected pipeline stage timings after the run (live Section 4.5 table)")
-		workers = flag.Int("workers", 0, "worker-pool size for the parallel sweeps (<=0: all CPUs; 1: sequential). Reports are byte-identical at any setting")
-		traced  = flag.Bool("trace", false, "trace each experiment and print its span waterfall to stderr (stdout stays byte-identical)")
+		runID    = flag.String("run", "all", "experiment id to run, or \"all\"")
+		scale    = flag.String("scale", "small", `"small" (laptop) or "full" (study scale)`)
+		csvDir   = flag.String("csv", "", "directory to write the regenerated data series as CSV (optional)")
+		mdPath   = flag.String("md", "", "write a combined Markdown report to this path (optional)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		timing   = flag.Bool("timing", false, "print the collected pipeline stage timings after the run (live Section 4.5 table)")
+		workers  = flag.Int("workers", 0, "worker-pool size for the parallel sweeps (<=0: all CPUs; 1: sequential). Reports are byte-identical at any setting")
+		traced   = flag.Bool("trace", false, "trace each experiment and print its span waterfall to stderr (stdout stays byte-identical)")
+		storeDir = flag.String("store-dir", "", "save the evaluation fleet as a binary store directory (internal/fstore) before running, so a vup-server can serve the exact datasets the figures used")
 	)
 	flag.Parse()
 
@@ -70,6 +72,24 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+
+	if *storeDir != "" {
+		datasets, err := experiments.Datasets(cfg)
+		if err != nil {
+			log.Fatalf("building evaluation fleet: %v", err)
+		}
+		dir, err := fstore.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("opening store %s: %v", *storeDir, err)
+		}
+		if _, err := dir.Save(datasets); err != nil {
+			log.Fatalf("saving store %s: %v", *storeDir, err)
+		}
+		if err := dir.Close(); err != nil {
+			log.Fatalf("closing store %s: %v", *storeDir, err)
+		}
+		log.Printf("saved %d evaluation vehicles to store %s", len(datasets), *storeDir)
+	}
 
 	ids := experiments.IDs()
 	if *runID != "all" {

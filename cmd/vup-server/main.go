@@ -4,11 +4,20 @@
 //
 // Usage:
 //
-//	vup-server -addr :8080 -units 30 -days 600 [-cache-size 256] [-debug-addr :6060]
+//	vup-server -addr :8080 -units 30 -days 600 [-cache-size 256] [-data-dir /var/lib/vup] [-debug-addr :6060]
 //
 // Forecast and evaluation responses are served from a bounded LRU
 // cache of trained artifacts with request coalescing; -cache-size 0
 // restores train-per-request.
+//
+// With -data-dir, the fleet persists across restarts in the on-disk
+// store (internal/fstore): a cold boot loads the saved snapshots
+// instead of regenerating, every Put snapshots the changed vehicle,
+// and graceful shutdown writes a full compacting snapshot. Dataset
+// fingerprints survive the round-trip bit-for-bit, so forecast-cache
+// keys computed before a restart stay valid after it (warm start). A
+// corrupt store is a startup error naming the file and byte offset —
+// delete or restore the directory to recover.
 //
 // Endpoints:
 //
@@ -42,6 +51,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"net/http"
@@ -53,6 +63,8 @@ import (
 
 	"vup"
 	"vup/internal/canbus"
+	"vup/internal/etl"
+	"vup/internal/fstore"
 	"vup/internal/obs"
 	"vup/internal/obs/trace"
 	"vup/internal/regress"
@@ -67,6 +79,7 @@ func main() {
 		days        = flag.Int("days", 600, "observation days")
 		seed        = flag.Int64("seed", 1, "generation seed")
 		cacheSize   = flag.Int("cache-size", 256, "trained-forecast cache capacity in entries; 0 disables caching and request coalescing")
+		dataDir     = flag.String("data-dir", "", "fleet store directory; loads the saved fleet on boot (generating and saving one on first run) and persists changes; empty keeps the fleet in memory only")
 		traceBuffer = flag.Int("trace-buffer", 256, "stored-trace ring buffer capacity behind /debug/traces; 0 disables tracing")
 		traceSample = flag.Float64("trace-sample", 0.1, "tail-sampling keep probability for fast, clean traces (errors and slow requests are always kept; >=1 keeps everything)")
 		traceSlow   = flag.Duration("trace-slow", 100*time.Millisecond, "root latency at or above which a trace is always kept")
@@ -80,18 +93,52 @@ func main() {
 	}
 	logg := obs.NewLogger(os.Stderr, level).With("component", "vup-server")
 
-	fc := vup.SmallFleet()
-	fc.Units = *units
-	fc.Days = *days
-	fc.Seed = *seed
-	logg.Info("generating fleet", "units", *units, "days", *days, "seed", *seed)
-	start := time.Now()
-	datasets, err := vup.GenerateDatasets(fc, *seed+1)
-	if err != nil {
-		logg.Error("generation failed", "error", err)
-		os.Exit(1)
+	var dir *fstore.Dir
+	var datasets []*etl.VehicleDataset
+	if *dataDir != "" {
+		var err error
+		dir, err = fstore.Open(*dataDir)
+		if err != nil {
+			logg.Error("fleet store open failed", "dir", *dataDir, "error", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		loaded, man, err := dir.Load()
+		switch {
+		case err == nil:
+			datasets = loaded
+			logg.Info("fleet loaded from store", "dir", *dataDir, "vehicles", len(man.Vehicles), "took", time.Since(start).Round(time.Millisecond))
+		case errors.Is(err, fstore.ErrNoManifest):
+			logg.Info("fleet store empty, generating", "dir", *dataDir)
+		default:
+			// A corrupt store must stop the boot, not silently fall back
+			// to a regenerated fleet with different fingerprints.
+			logg.Error("fleet store load failed", "dir", *dataDir, "error", err)
+			os.Exit(1)
+		}
 	}
-	logg.Info("fleet ready", "vehicles", len(datasets), "took", time.Since(start).Round(time.Millisecond))
+	if datasets == nil {
+		fc := vup.SmallFleet()
+		fc.Units = *units
+		fc.Days = *days
+		fc.Seed = *seed
+		logg.Info("generating fleet", "units", *units, "days", *days, "seed", *seed)
+		start := time.Now()
+		var err error
+		datasets, err = vup.GenerateDatasets(fc, *seed+1)
+		if err != nil {
+			logg.Error("generation failed", "error", err)
+			os.Exit(1)
+		}
+		logg.Info("fleet ready", "vehicles", len(datasets), "took", time.Since(start).Round(time.Millisecond))
+		if dir != nil {
+			if _, err := dir.Save(datasets); err != nil {
+				logg.Error("fleet store save failed", "dir", *dataDir, "error", err)
+				os.Exit(1)
+			}
+			logg.Info("fleet saved to store", "dir", *dataDir, "vehicles", len(datasets))
+		}
+	}
 
 	base := vup.DefaultConfig()
 	base.Algorithm = regress.AlgLasso // responsive default; override per request
@@ -105,6 +152,11 @@ func main() {
 	if err != nil {
 		logg.Error("store rejected datasets", "error", err)
 		os.Exit(1)
+	}
+	if dir != nil {
+		// Every Put snapshots the changed vehicle before it becomes
+		// visible; a full compacting snapshot runs at shutdown.
+		store.SetPersister(dir.SaveVehicle)
 	}
 	api := server.New(store, base)
 	api.Cache = server.NewForecastCache(*cacheSize)
@@ -167,6 +219,18 @@ func main() {
 			if err := dbg.Shutdown(shutdownCtx); err != nil {
 				logg.Error("debug shutdown failed", "error", err)
 			}
+		}
+		if dir != nil {
+			start := time.Now()
+			if _, err := dir.Save(store.Snapshot()); err != nil {
+				logg.Error("shutdown snapshot failed", "dir", *dataDir, "error", err)
+				os.Exit(1)
+			}
+			if err := dir.Close(); err != nil {
+				logg.Error("fleet store close failed", "dir", *dataDir, "error", err)
+				os.Exit(1)
+			}
+			logg.Info("fleet snapshot written", "dir", *dataDir, "took", time.Since(start).Round(time.Millisecond))
 		}
 	}
 }

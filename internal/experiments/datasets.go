@@ -52,6 +52,13 @@ func buildDatasets(units []fleet.Unit, usage map[string][]fleet.DayUsage, rngs [
 		})
 }
 
+// Datasets builds the per-vehicle daily datasets the evaluation
+// figures train on — exported so tooling (vup-experiments -store-dir)
+// can persist the exact fleet the experiments saw.
+func Datasets(cfg Config) ([]*etl.VehicleDataset, error) {
+	return evalDatasets(cfg)
+}
+
 // evalDatasets builds the per-vehicle daily datasets the evaluation
 // figures train on (the first EvalVehicles units of the fleet).
 func evalDatasets(cfg Config) ([]*etl.VehicleDataset, error) {

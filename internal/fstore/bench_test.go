@@ -1,0 +1,185 @@
+package fstore
+
+// Store throughput benchmarks: snapshot encode/decode per vehicle, and
+// full-fleet save/cold-boot for a 1 000-vehicle year — the numbers
+// recorded in BENCH_store.json. Fleets are built synthetically (not via
+// fleet.Generate) so the benchmark measures the store, not the
+// simulator.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"vup/internal/etl"
+	"vup/internal/fleet"
+)
+
+// benchChannels matches the study's analog channel count (Table 1).
+var benchChannels = []string{"engine_speed", "fuel_rate", "coolant_temp", "oil_pressure", "boost_pressure"}
+
+// synthDataset builds one deterministic vehicle-year without running
+// the fleet simulator.
+func synthDataset(id, days int) *etl.VehicleDataset {
+	d := &etl.VehicleDataset{
+		VehicleID: fmt.Sprintf("veh-%04d", id),
+		Type:      fleet.Type(id % 3),
+		ModelID:   fmt.Sprintf("model-%d", id%7),
+		Country:   "IT",
+		Start:     time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC),
+		Hours:     make([]float64, days),
+		Observed:  make([]bool, days),
+		Channels:  make(map[string][]float64, len(benchChannels)),
+	}
+	for _, name := range benchChannels {
+		d.Channels[name] = make([]float64, days)
+	}
+	for i := 0; i < days; i++ {
+		phase := float64(id)/10 + float64(i)/7
+		d.Hours[i] = 4 + 3*math.Sin(phase)
+		d.Observed[i] = i%11 != 0
+		for c, name := range benchChannels {
+			d.Channels[name][i] = float64(c+1) * (100 + 10*math.Cos(phase+float64(c)))
+		}
+	}
+	d.Enrich()
+	return d
+}
+
+func synthFleet(n, days int) []*etl.VehicleDataset {
+	out := make([]*etl.VehicleDataset, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, synthDataset(i, days))
+	}
+	return out
+}
+
+func BenchmarkEncodeDataset(b *testing.B) {
+	d := synthDataset(0, 365)
+	enc, err := EncodeDataset(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeDataset(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeDataset(b *testing.B) {
+	enc, err := EncodeDataset(synthDataset(0, 365))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeDataset(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fleetBytes is the on-disk size of a fleet's snapshots, for MB/s.
+func fleetBytes(b *testing.B, datasets []*etl.VehicleDataset) int64 {
+	b.Helper()
+	var total int64
+	for _, d := range datasets {
+		enc, err := EncodeDataset(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += int64(len(enc))
+	}
+	return total
+}
+
+// BenchmarkStoreSave writes a full 1 000-vehicle-year snapshot
+// (fsync-per-file durability included — this is the shutdown path).
+func BenchmarkStoreSave(b *testing.B) {
+	datasets := synthFleet(1000, 365)
+	b.SetBytes(fleetBytes(b, datasets))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dir.Save(datasets); err != nil {
+			b.Fatal(err)
+		}
+		if err := dir.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreColdBoot measures what vup-server -data-dir pays on
+// start: open the directory, decode every snapshot, verify every
+// checksum and fingerprint.
+func BenchmarkStoreColdBoot(b *testing.B) {
+	datasets := synthFleet(1000, 365)
+	path := b.TempDir()
+	dir, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := dir.Save(datasets); err != nil {
+		b.Fatal(err)
+	}
+	if err := dir.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fleetBytes(b, datasets))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir, err := Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loaded, _, err := dir.Load()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(loaded) != len(datasets) {
+			b.Fatalf("loaded %d vehicles, want %d", len(loaded), len(datasets))
+		}
+		if err := dir.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLogAppend measures streaming ingest: one fsynced log record
+// per day appended.
+func BenchmarkLogAppend(b *testing.B) {
+	datasets := synthFleet(1, 365)
+	dir, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := dir.Save(datasets); err != nil {
+		b.Fatal(err)
+	}
+	d := datasets[0]
+	chans := make(map[string]float64, len(d.Channels))
+	for name := range d.Channels {
+		chans[name] = 1
+	}
+	next := d.Date(d.Len() - 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next = next.AddDate(0, 0, 1)
+		if err := dir.Append(d.VehicleID, Day{Date: next, Hours: 5, Observed: true, Channels: chans}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := dir.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package fstore
+
+// Bounds-checked binary primitives shared by the VUPD snapshot and
+// append-log codecs. Faults are reported as *relational.FormatError
+// with the same failure classes as the table decoder, so callers test
+// one set of sentinels (relational.ErrTruncated, ErrChecksum, ...)
+// across both layers; the file-level loaders wrap them into
+// *CorruptError with the file path.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"vup/internal/relational"
+)
+
+// castagnoli is the CRC-32C polynomial table; the same checksum the
+// VUPT table format uses seals VUPD files and log records.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func formatErrf(off int, class error, format string, args ...any) error {
+	return &relational.FormatError{Offset: int64(off), Err: class, Detail: fmt.Sprintf(format, args...)}
+}
+
+func appendU16(buf []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(buf, v) }
+func appendU32(buf []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(buf, v) }
+func appendU64(buf []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(buf, v) }
+
+// appendString16 appends a u16 length prefix and the string bytes.
+func appendString16(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// appendTime appends the 12-byte time cell (i64 seconds, i32 nanos).
+func appendTime(buf []byte, t time.Time) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.Unix()))
+	return binary.LittleEndian.AppendUint32(buf, uint32(t.Nanosecond()))
+}
+
+type reader struct {
+	data []byte
+	off  int
+}
+
+func newReader(data []byte) *reader { return &reader{data: data} }
+
+func (r *reader) need(n int) error {
+	if n < 0 || len(r.data)-r.off < n {
+		return formatErrf(r.off, relational.ErrTruncated, "need %d more bytes, have %d", n, len(r.data)-r.off)
+	}
+	return nil
+}
+
+func (r *reader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.data[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if err := r.need(n); err != nil {
+		return nil, err
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) string16() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) time() (time.Time, error) {
+	sec, err := r.u64()
+	if err != nil {
+		return time.Time{}, err
+	}
+	nsec, err := r.u32()
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Unix(int64(sec), int64(int32(nsec))).UTC(), nil
+}

@@ -1,0 +1,496 @@
+package fstore
+
+// The fleet directory: one VUPD snapshot per vehicle, a JSON manifest
+// binding IDs to files and dataset fingerprints, and the append log.
+// Dir is the handle the server and the generators hold; all methods
+// are safe for concurrent use.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vup/internal/etl"
+	"vup/internal/relational"
+)
+
+// Filenames inside a fleet directory.
+const (
+	manifestName = "manifest.json"
+	logName      = "append.log"
+	snapshotExt  = ".vds"
+)
+
+// ErrNoManifest is returned by Load on a directory that has never been
+// saved to — the caller's signal to generate or ingest a fleet and
+// Save it.
+var ErrNoManifest = errors.New("fstore: no manifest in directory")
+
+// CorruptError is the file-level decode failure: which file, at which
+// byte offset, and why. The wrapped error carries the failure class
+// (relational.ErrChecksum, relational.ErrTruncated, ErrMismatch, ...)
+// for errors.Is.
+type CorruptError struct {
+	File   string
+	Offset int64
+	Err    error
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("fstore: %s: offset %d: %v", e.File, e.Offset, e.Err)
+}
+
+// Unwrap exposes the underlying fault to errors.Is / errors.As.
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// corruptErr wraps a decode failure with its file; if the underlying
+// error is a *relational.FormatError the fault offset is lifted out.
+func corruptErr(file string, err error) error {
+	ce := &CorruptError{File: file, Err: err}
+	var fe *relational.FormatError
+	if errors.As(err, &fe) {
+		ce.Offset = fe.Offset
+	}
+	return ce
+}
+
+// ManifestEntry describes one vehicle snapshot.
+type ManifestEntry struct {
+	ID   string `json:"id"`
+	File string `json:"file"`
+	// Fingerprint is the dataset's etl fingerprint as 16 hex digits —
+	// the data half of forecast-cache keys. Load recomputes it from
+	// the decoded snapshot and fails loudly on drift, which is what
+	// makes a fingerprint read from the manifest trustworthy for cache
+	// warm-starting.
+	Fingerprint string `json:"fingerprint"`
+	Days        int    `json:"days"`
+	// AppliedSeq is the highest append-log sequence number already
+	// folded into this snapshot; replay skips records at or below it.
+	AppliedSeq uint64 `json:"applied_seq"`
+}
+
+// Manifest indexes a fleet directory.
+type Manifest struct {
+	FormatVersion int             `json:"format_version"`
+	Vehicles      []ManifestEntry `json:"vehicles"`
+}
+
+// Entry returns the manifest entry for one vehicle ID.
+func (m *Manifest) Entry(id string) (ManifestEntry, bool) {
+	for _, e := range m.Vehicles {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return ManifestEntry{}, false
+}
+
+// FingerprintOf returns one vehicle's recorded dataset fingerprint.
+func (m *Manifest) FingerprintOf(id string) (uint64, bool) {
+	e, ok := m.Entry(id)
+	if !ok {
+		return 0, false
+	}
+	fp, err := strconv.ParseUint(e.Fingerprint, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return fp, true
+}
+
+// Dir is an open fleet directory.
+type Dir struct {
+	path string
+
+	mu       sync.Mutex
+	manifest *Manifest // last manifest read or written; nil before first Save/Load
+	log      *os.File  // append handle, opened on first Append
+	lastSeq  uint64    // highest sequence number present in the log
+}
+
+// Open prepares a fleet directory for use, creating it if needed. An
+// existing manifest and append log are indexed (the log is fully
+// parsed so appends continue the sequence); a torn or corrupt log
+// fails here, loudly, rather than at the first append.
+func Open(path string) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("fstore: open %s: %w", path, err)
+	}
+	d := &Dir{path: path}
+	m, err := d.readManifest()
+	if err != nil && !errors.Is(err, ErrNoManifest) {
+		return nil, err
+	}
+	d.manifest = m
+	logPath := filepath.Join(path, logName)
+	if data, err := os.ReadFile(logPath); err == nil && len(data) > 0 {
+		recs, err := parseLog(data)
+		if err != nil {
+			return nil, corruptErr(logPath, err)
+		}
+		d.lastSeq = recs[len(recs)-1].seq
+	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("fstore: open %s: %w", logPath, err)
+	}
+	return d, nil
+}
+
+// Path returns the directory path.
+func (d *Dir) Path() string { return d.path }
+
+// Close releases the append-log handle, if open.
+func (d *Dir) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil {
+		return nil
+	}
+	err := d.log.Close()
+	d.log = nil
+	return err
+}
+
+// snapshotFileName maps a vehicle ID to its snapshot file name:
+// filesystem-safe bytes pass through, everything else is %XX
+// percent-encoded (injective, so distinct IDs never collide).
+func snapshotFileName(id string) string {
+	var b strings.Builder
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String() + snapshotExt
+}
+
+// writeFileSync writes data to path atomically (temp file + rename)
+// and fsyncs both the file and the directory.
+func writeFileSync(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Save writes a full snapshot: one VUPD file per dataset, a fresh
+// manifest, and an emptied append log (everything logged so far is,
+// by contract, already reflected in the datasets — Save IS the log
+// compaction). Snapshot files not referenced by the new manifest are
+// removed. Not atomic across files: a crash mid-Save leaves a
+// manifest/snapshot fingerprint disagreement that the next Load
+// reports loudly instead of serving.
+func (d *Dir) Save(datasets []*etl.VehicleDataset) (*Manifest, error) {
+	start := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	sorted := append([]*etl.VehicleDataset(nil), datasets...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].VehicleID < sorted[j].VehicleID })
+
+	m := &Manifest{FormatVersion: DatasetFormatVersion}
+	var bytesWritten int
+	seen := map[string]bool{}
+	for _, ds := range sorted {
+		if seen[ds.VehicleID] {
+			return nil, fmt.Errorf("%w: duplicate vehicle %q in Save", ErrMismatch, ds.VehicleID)
+		}
+		seen[ds.VehicleID] = true
+		data, err := EncodeDataset(ds)
+		if err != nil {
+			return nil, err
+		}
+		name := snapshotFileName(ds.VehicleID)
+		if err := writeFileSync(filepath.Join(d.path, name), data); err != nil {
+			return nil, fmt.Errorf("fstore: save %q: %w", ds.VehicleID, err)
+		}
+		bytesWritten += len(data)
+		m.Vehicles = append(m.Vehicles, ManifestEntry{
+			ID:          ds.VehicleID,
+			File:        name,
+			Fingerprint: fmt.Sprintf("%016x", ds.Fingerprint()),
+			Days:        ds.Len(),
+		})
+	}
+	n, err := d.writeManifestLocked(m)
+	if err != nil {
+		return nil, err
+	}
+	bytesWritten += n
+
+	// The new snapshots embody every logged day: drop the log and any
+	// snapshot file the manifest no longer references.
+	if d.log != nil {
+		_ = d.log.Close()
+		d.log = nil
+	}
+	if err := os.Remove(filepath.Join(d.path, logName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("fstore: truncate log: %w", err)
+	}
+	d.lastSeq = 0
+	entries, err := os.ReadDir(d.path)
+	if err != nil {
+		return nil, fmt.Errorf("fstore: sweep %s: %w", d.path, err)
+	}
+	referenced := map[string]bool{}
+	for _, e := range m.Vehicles {
+		referenced[e.File] = true
+	}
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, snapshotExt) && !referenced[name] {
+			if err := os.Remove(filepath.Join(d.path, name)); err != nil {
+				return nil, fmt.Errorf("fstore: sweep %s: %w", name, err)
+			}
+		}
+	}
+
+	d.manifest = m
+	snapshotBytes.With().Add(uint64(bytesWritten))
+	snapshotSeconds.With().ObserveSince(start)
+	return m, nil
+}
+
+// SaveVehicle snapshots a single vehicle — the Store.Put hook — and
+// updates its manifest entry, marking every log record up to the
+// current sequence as applied for that vehicle (the dataset being
+// saved is the caller's live, fully-appended state).
+func (d *Dir) SaveVehicle(ds *etl.VehicleDataset) error {
+	start := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.manifest == nil {
+		return fmt.Errorf("%w (run Save first)", ErrNoManifest)
+	}
+	data, err := EncodeDataset(ds)
+	if err != nil {
+		return err
+	}
+	name := snapshotFileName(ds.VehicleID)
+	if err := writeFileSync(filepath.Join(d.path, name), data); err != nil {
+		return fmt.Errorf("fstore: save %q: %w", ds.VehicleID, err)
+	}
+	entry := ManifestEntry{
+		ID:          ds.VehicleID,
+		File:        name,
+		Fingerprint: fmt.Sprintf("%016x", ds.Fingerprint()),
+		Days:        ds.Len(),
+		AppliedSeq:  d.lastSeq,
+	}
+	m := &Manifest{FormatVersion: d.manifest.FormatVersion}
+	replaced := false
+	for _, e := range d.manifest.Vehicles {
+		if e.ID == ds.VehicleID {
+			m.Vehicles = append(m.Vehicles, entry)
+			replaced = true
+		} else {
+			m.Vehicles = append(m.Vehicles, e)
+		}
+	}
+	if !replaced {
+		m.Vehicles = append(m.Vehicles, entry)
+		sort.Slice(m.Vehicles, func(i, j int) bool { return m.Vehicles[i].ID < m.Vehicles[j].ID })
+	}
+	n, err := d.writeManifestLocked(m)
+	if err != nil {
+		return err
+	}
+	d.manifest = m
+	snapshotBytes.With().Add(uint64(len(data) + n))
+	snapshotSeconds.With().ObserveSince(start)
+	return nil
+}
+
+func (d *Dir) writeManifestLocked(m *Manifest) (int, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("fstore: encode manifest: %w", err)
+	}
+	data = append(data, '\n')
+	if err := writeFileSync(filepath.Join(d.path, manifestName), data); err != nil {
+		return 0, fmt.Errorf("fstore: write manifest: %w", err)
+	}
+	return len(data), nil
+}
+
+func (d *Dir) readManifest() (*Manifest, error) {
+	path := filepath.Join(d.path, manifestName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoManifest, d.path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fstore: read manifest: %w", err)
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, corruptErr(path, fmt.Errorf("%w: manifest: %v", relational.ErrCorrupt, err))
+	}
+	if m.FormatVersion != DatasetFormatVersion {
+		return nil, corruptErr(path, fmt.Errorf("%w: manifest format_version %d, want %d", relational.ErrBadVersion, m.FormatVersion, DatasetFormatVersion))
+	}
+	return m, nil
+}
+
+// Manifest returns the directory's current manifest (nil before the
+// first Save or Load).
+func (d *Dir) Manifest() *Manifest {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.manifest
+}
+
+// Load cold-boots the fleet: reads the manifest, decodes every
+// snapshot, verifies each dataset's recomputed fingerprint against
+// the manifest (so a fingerprint read from the manifest is proof the
+// bytes on disk still mean what they meant when cached artifacts were
+// keyed on them), then replays unapplied append-log records and
+// re-derives contexts. Datasets come back sorted by vehicle ID.
+func (d *Dir) Load() ([]*etl.VehicleDataset, *Manifest, error) {
+	start := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	m, err := d.readManifest()
+	if err != nil {
+		return nil, nil, err
+	}
+	datasets := make([]*etl.VehicleDataset, 0, len(m.Vehicles))
+	byID := make(map[string]*etl.VehicleDataset, len(m.Vehicles))
+	for _, e := range m.Vehicles {
+		path := filepath.Join(d.path, e.File)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fstore: load %q: %w", e.ID, err)
+		}
+		ds, err := DecodeDataset(data)
+		if err != nil {
+			return nil, nil, corruptErr(path, err)
+		}
+		if ds.VehicleID != e.ID {
+			return nil, nil, corruptErr(path, fmt.Errorf("%w: snapshot is for vehicle %q, manifest says %q", ErrMismatch, ds.VehicleID, e.ID))
+		}
+		if got := fmt.Sprintf("%016x", ds.Fingerprint()); got != e.Fingerprint {
+			return nil, nil, corruptErr(path, fmt.Errorf("%w: dataset fingerprint %s, manifest says %s", ErrMismatch, got, e.Fingerprint))
+		}
+		if ds.Len() != e.Days {
+			return nil, nil, corruptErr(path, fmt.Errorf("%w: snapshot has %d days, manifest says %d", ErrMismatch, ds.Len(), e.Days))
+		}
+		if byID[e.ID] != nil {
+			return nil, nil, corruptErr(filepath.Join(d.path, manifestName), fmt.Errorf("%w: duplicate manifest entry %q", ErrMismatch, e.ID))
+		}
+		datasets = append(datasets, ds)
+		byID[e.ID] = ds
+	}
+
+	// Fold in the incremental days logged since each snapshot.
+	logPath := filepath.Join(d.path, logName)
+	replayed := 0
+	if data, err := os.ReadFile(logPath); err == nil && len(data) > 0 {
+		recs, err := parseLog(data)
+		if err != nil {
+			return nil, nil, corruptErr(logPath, err)
+		}
+		touched := map[string]bool{}
+		for _, rec := range recs {
+			ds := byID[rec.vehicleID]
+			if ds == nil {
+				return nil, nil, &CorruptError{File: logPath, Offset: rec.offset,
+					Err: fmt.Errorf("%w: log record %d names unknown vehicle %q", ErrMismatch, rec.seq, rec.vehicleID)}
+			}
+			entry, _ := m.Entry(rec.vehicleID)
+			if rec.seq <= entry.AppliedSeq {
+				continue // already folded into the snapshot
+			}
+			if err := applyDays(ds, rec.days); err != nil {
+				return nil, nil, &CorruptError{File: logPath, Offset: rec.offset, Err: err}
+			}
+			touched[rec.vehicleID] = true
+			replayed++
+		}
+		for id := range touched {
+			byID[id].Enrich()
+			if err := byID[id].Validate(); err != nil {
+				return nil, nil, fmt.Errorf("fstore: replayed dataset %q: %w", id, err)
+			}
+		}
+		d.lastSeq = recs[len(recs)-1].seq
+	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("fstore: load %s: %w", logPath, err)
+	}
+
+	sort.Slice(datasets, func(i, j int) bool { return datasets[i].VehicleID < datasets[j].VehicleID })
+	d.manifest = m
+	logReplayed.With().Add(uint64(replayed))
+	loadSeconds.With().ObserveSince(start)
+	return datasets, m, nil
+}
+
+// Append durably logs incremental days for one vehicle: one framed,
+// checksummed record, fsynced before return. The in-memory dataset is
+// the caller's to update (ApplyDays); the next Load folds the record
+// in, and the next Save compacts it away.
+func (d *Dir) Append(vehicleID string, days ...Day) error {
+	if vehicleID == "" {
+		return fmt.Errorf("%w: empty vehicle id", ErrMismatch)
+	}
+	if len(days) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil {
+		f, err := os.OpenFile(filepath.Join(d.path, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("fstore: open log: %w", err)
+		}
+		d.log = f
+	}
+	rec := encodeLogRecord(d.lastSeq+1, vehicleID, days)
+	if _, err := d.log.Write(rec); err != nil {
+		return fmt.Errorf("fstore: append: %w", err)
+	}
+	if err := d.log.Sync(); err != nil {
+		return fmt.Errorf("fstore: append sync: %w", err)
+	}
+	d.lastSeq++
+	logBytes.With().Add(uint64(len(rec)))
+	return nil
+}

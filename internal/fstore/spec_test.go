@@ -1,0 +1,153 @@
+package fstore
+
+// Spec conformance: the worked examples in FORMAT.md §6 are normative.
+// Each ```hex spec:<label>``` block must decode with the reference
+// implementation, and re-encoding the decoded value must reproduce the
+// documented bytes exactly. If the format changes, FORMAT.md must
+// change with it — this test is the tripwire.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"vup/internal/relational"
+)
+
+// specExamples parses FORMAT.md and returns label → bytes for every
+// fenced block opened with "```hex spec:<label>". Whitespace inside a
+// block is insignificant.
+func specExamples(t *testing.T) map[string][]byte {
+	t.Helper()
+	f, err := os.Open("FORMAT.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out := map[string][]byte{}
+	var label string
+	var hexText strings.Builder
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case label == "" && strings.HasPrefix(line, "```hex spec:"):
+			label = strings.TrimPrefix(line, "```hex spec:")
+			hexText.Reset()
+		case label != "" && strings.HasPrefix(line, "```"):
+			clean := strings.Join(strings.Fields(hexText.String()), "")
+			data, err := hex.DecodeString(clean)
+			if err != nil {
+				t.Fatalf("block %q: bad hex: %v", label, err)
+			}
+			if _, dup := out[label]; dup {
+				t.Fatalf("duplicate spec block %q", label)
+			}
+			out[label] = data
+			label = ""
+		case label != "":
+			hexText.WriteString(line)
+			hexText.WriteString(" ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if label != "" {
+		t.Fatalf("unterminated spec block %q", label)
+	}
+	return out
+}
+
+func TestSpecExampleTable(t *testing.T) {
+	data, ok := specExamples(t)["vupt-table"]
+	if !ok {
+		t.Fatal("FORMAT.md has no spec:vupt-table block")
+	}
+	tab, err := relational.DecodeTable(data)
+	if err != nil {
+		t.Fatalf("documented table bytes do not decode: %v", err)
+	}
+	if got := tab.Rows(); got != 2 {
+		t.Errorf("rows = %d, want 2", got)
+	}
+	h, err := tab.FloatCol("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[0] != 1.5 || h[1] != 8.0 {
+		t.Errorf("column h = %v, want [1.5 8]", h)
+	}
+	reenc := relational.EncodeTable(tab)
+	if !bytes.Equal(reenc, data) {
+		t.Errorf("re-encoding the documented table drifts from FORMAT.md §6.1")
+	}
+}
+
+func TestSpecExampleDataset(t *testing.T) {
+	data, ok := specExamples(t)["vupd-dataset"]
+	if !ok {
+		t.Fatal("FORMAT.md has no spec:vupd-dataset block")
+	}
+	d, err := DecodeDataset(data)
+	if err != nil {
+		t.Fatalf("documented snapshot bytes do not decode: %v", err)
+	}
+	if d.VehicleID != "v1" || d.ModelID != "m1" || d.Country != "IT" {
+		t.Errorf("identity = %q/%q/%q, want v1/m1/IT", d.VehicleID, d.ModelID, d.Country)
+	}
+	want := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	if !d.Start.Equal(want) {
+		t.Errorf("start = %v, want %v", d.Start, want)
+	}
+	if d.Len() != 2 || d.Hours[0] != 1.5 || d.Hours[1] != 8 {
+		t.Errorf("hours = %v, want [1.5 8]", d.Hours)
+	}
+	if rpm := d.Channels["rpm"]; len(rpm) != 2 || rpm[0] != 900 || rpm[1] != 1250 {
+		t.Errorf("rpm = %v, want [900 1250]", d.Channels["rpm"])
+	}
+	if d.Dates != nil {
+		t.Error("contiguous example decoded with explicit Dates")
+	}
+	reenc, err := EncodeDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc, data) {
+		t.Errorf("re-encoding the documented snapshot drifts from FORMAT.md §6.2")
+	}
+}
+
+func TestSpecExampleLogRecord(t *testing.T) {
+	data, ok := specExamples(t)["log-record"]
+	if !ok {
+		t.Fatal("FORMAT.md has no spec:log-record block")
+	}
+	recs, err := parseLog(data)
+	if err != nil {
+		t.Fatalf("documented log record does not parse: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("parsed %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.seq != 3 || rec.vehicleID != "v1" || len(rec.days) != 1 {
+		t.Fatalf("record = seq %d vehicle %q days %d, want 3/v1/1", rec.seq, rec.vehicleID, len(rec.days))
+	}
+	day := rec.days[0]
+	wantDate := time.Date(2017, 1, 3, 0, 0, 0, 0, time.UTC)
+	if !day.Date.Equal(wantDate) || day.Hours != 4.25 || !day.Observed {
+		t.Errorf("day = %+v, want %v, 4.25h, observed", day, wantDate)
+	}
+	if day.Channels["rpm"] != 1100 {
+		t.Errorf("rpm = %v, want 1100", day.Channels["rpm"])
+	}
+	reenc := encodeLogRecord(rec.seq, rec.vehicleID, rec.days)
+	if !bytes.Equal(reenc, data) {
+		t.Errorf("re-encoding the documented record drifts from FORMAT.md §6.3")
+	}
+}

@@ -1,0 +1,162 @@
+package relational
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// testTable builds a table exercising every column type.
+func testTable(t *testing.T, rows int) *Table {
+	t.Helper()
+	schema := MustSchema(
+		Column{Name: "vehicle_id", Type: String},
+		Column{Name: "date", Type: Time},
+		Column{Name: "hours", Type: Float},
+		Column{Name: "faults", Type: Int},
+		Column{Name: "observed", Type: Bool},
+	)
+	tab := NewTable(schema)
+	start := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < rows; i++ {
+		err := tab.Append(
+			"veh-0001",
+			start.AddDate(0, 0, i),
+			float64(i)*1.5,
+			int64(i*i),
+			i%2 == 0,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestTableBinaryRoundTrip(t *testing.T) {
+	for _, rows := range []int{0, 1, 7, 8, 9, 100} {
+		orig := testTable(t, rows)
+		data := EncodeTable(orig)
+		got, err := DecodeTable(data)
+		if err != nil {
+			t.Fatalf("rows=%d: decode: %v", rows, err)
+		}
+		if !reflect.DeepEqual(orig, got) {
+			t.Errorf("rows=%d: round-trip not DeepEqual\norig: %+v\ngot:  %+v", rows, orig, got)
+		}
+	}
+}
+
+func TestTableBinaryRoundTripEmptyTable(t *testing.T) {
+	orig := NewTable(MustSchema(Column{Name: "x", Type: Float}))
+	got, err := DecodeTable(EncodeTable(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Errorf("empty table round-trip not DeepEqual: %+v vs %+v", orig, got)
+	}
+}
+
+func TestTableBinaryDeterministic(t *testing.T) {
+	a := EncodeTable(testTable(t, 13))
+	b := EncodeTable(testTable(t, 13))
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two encodings of the same table differ")
+	}
+}
+
+// mustFormatError asserts err is a *FormatError of the given class and
+// returns it.
+func mustFormatError(t *testing.T, err, class error) *FormatError {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want error of class %v, got nil", class)
+	}
+	if !errors.Is(err, class) {
+		t.Fatalf("error %v is not class %v", err, class)
+	}
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %v is not a *FormatError", err)
+	}
+	return fe
+}
+
+func TestDecodeTableBadMagic(t *testing.T) {
+	data := EncodeTable(testTable(t, 3))
+	data[0] = 'X'
+	fe := mustFormatError(t, decodeErr(data), ErrBadMagic)
+	if fe.Offset != 0 {
+		t.Errorf("offset = %d, want 0", fe.Offset)
+	}
+}
+
+func TestDecodeTableBadVersion(t *testing.T) {
+	data := EncodeTable(testTable(t, 3))
+	data[4] = 0xFF
+	fe := mustFormatError(t, decodeErr(data), ErrBadVersion)
+	if fe.Offset != 4 {
+		t.Errorf("offset = %d, want 4", fe.Offset)
+	}
+}
+
+func TestDecodeTableTruncated(t *testing.T) {
+	data := EncodeTable(testTable(t, 50))
+	// Every proper prefix must fail loudly — never return a table.
+	for cut := 0; cut < len(data); cut++ {
+		got, err := DecodeTable(data[:cut])
+		if err == nil {
+			t.Fatalf("cut=%d: decode of truncated input succeeded (%d rows)", cut, got.Rows())
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Fatalf("cut=%d: error %v is not a *FormatError", cut, err)
+		}
+		if fe.Offset < 0 || fe.Offset > int64(cut) {
+			t.Fatalf("cut=%d: fault offset %d outside input", cut, fe.Offset)
+		}
+	}
+}
+
+func TestDecodeTableChecksumMismatch(t *testing.T) {
+	data := EncodeTable(testTable(t, 8))
+	// Flip one payload bit after the header; the structure still
+	// parses, so only the checksum can catch it.
+	data[len(data)-12] ^= 0x01
+	fe := mustFormatError(t, decodeErr(data), ErrChecksum)
+	if fe.Offset != int64(len(data)-4) {
+		t.Errorf("offset = %d, want %d (checksum position)", fe.Offset, len(data)-4)
+	}
+}
+
+func TestDecodeTableTrailingBytes(t *testing.T) {
+	data := append(EncodeTable(testTable(t, 3)), 0xAA)
+	fe := mustFormatError(t, decodeErr(data), ErrCorrupt)
+	if fe.Offset != int64(len(data)-1) {
+		t.Errorf("offset = %d, want %d (first trailing byte)", fe.Offset, len(data)-1)
+	}
+}
+
+func TestDecodeTableHugeRowCount(t *testing.T) {
+	data := EncodeTable(testTable(t, 1))
+	// The row count sits right after the 5 column descriptors; locate
+	// it by re-deriving the header size instead of hard-coding.
+	off := 4 + 2 + 2
+	for _, name := range []string{"vehicle_id", "date", "hours", "faults", "observed"} {
+		off += 1 + len(name) + 2
+	}
+	for i := 0; i < 8; i++ {
+		data[off+i] = 0xFF
+	}
+	fe := mustFormatError(t, decodeErr(data), ErrTruncated)
+	if fe.Offset != int64(off) {
+		t.Errorf("offset = %d, want %d (row count)", fe.Offset, off)
+	}
+}
+
+func decodeErr(data []byte) error {
+	_, err := DecodeTable(data)
+	return err
+}

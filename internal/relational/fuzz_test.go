@@ -1,0 +1,57 @@
+package relational
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeTable drives the binary decoder with arbitrary bytes: it
+// must never panic, never allocate unbounded memory, and classify
+// every rejection as a *FormatError. Inputs that do decode must
+// re-encode and decode again to the same table (the format is
+// canonical for null-free files).
+func FuzzDecodeTable(f *testing.F) {
+	schema := MustSchema(
+		Column{Name: "id", Type: String},
+		Column{Name: "date", Type: Time},
+		Column{Name: "hours", Type: Float},
+		Column{Name: "n", Type: Int},
+		Column{Name: "ok", Type: Bool},
+	)
+	tab := NewTable(schema)
+	day := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		if err := tab.Append("veh-0001", day.AddDate(0, 0, i), float64(i)/3, int64(i), i%2 == 0); err != nil {
+			f.Fatal(err)
+		}
+	}
+	good := EncodeTable(tab)
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte("VUPT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeTable(data)
+		if err != nil {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("decode error %v is not a *FormatError", err)
+			}
+			if fe.Offset < 0 || fe.Offset > int64(len(data)) {
+				t.Fatalf("fault offset %d outside input of %d bytes", fe.Offset, len(data))
+			}
+			return
+		}
+		// Accepted input: the decoded table must itself round-trip.
+		again, err := DecodeTable(EncodeTable(got))
+		if err != nil {
+			t.Fatalf("re-encode of accepted input failed to decode: %v", err)
+		}
+		if again.Rows() != got.Rows() || again.Schema().Len() != got.Schema().Len() {
+			t.Fatalf("re-encoded table shape changed: %dx%d vs %dx%d",
+				got.Rows(), got.Schema().Len(), again.Rows(), again.Schema().Len())
+		}
+	})
+}

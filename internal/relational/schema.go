@@ -1,9 +1,20 @@
-// Package relational implements the small in-memory columnar table
-// engine the data-preparation pipeline targets. The paper's step (v)
-// is "Transformation, to tailor input data to a relational data
-// format"; this package is that format: typed schemas, columnar
-// storage, filtering, sorting, group-by aggregation and CSV
-// round-tripping.
+// Package relational implements the small columnar table engine the
+// data-preparation pipeline targets. The paper's step (v) is
+// "Transformation, to tailor input data to a relational data format";
+// this package is that format: typed schemas, columnar storage,
+// filtering, sorting, group-by aggregation, CSV round-tripping, and a
+// checksummed binary serialization (the VUPT format, binary.go).
+//
+// The column types map one-to-one onto the paper's Table 1 feature
+// schema: Float carries the daily utilization hours and the analog CAN
+// channel aggregates (fuel rate, engine speed, …), Int the ordinal
+// context features (week, month, year), String the categorical ones
+// (vehicle model, country), Bool the binary flags (holiday, working
+// day, observed) and Time the calendar date each row describes. A
+// vehicle-day dataset rendered through etl.VehicleDataset.ToTable —
+// or persisted through internal/fstore — is exactly such a table, so
+// the on-disk format in internal/fstore/FORMAT.md is the durable form
+// of the paper's relational representation.
 package relational
 
 import (

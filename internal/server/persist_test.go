@@ -1,0 +1,276 @@
+package server
+
+// Acceptance tests for the on-disk fleet store wiring: a server booted
+// from a saved fleet must be indistinguishable from one holding the
+// generated fleet — same forecasts, same fingerprints, and therefore a
+// warm forecast cache across the restart.
+
+import (
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"vup/internal/canbus"
+	"vup/internal/core"
+	"vup/internal/etl"
+	"vup/internal/fleet"
+	"vup/internal/fstore"
+	"vup/internal/randx"
+	"vup/internal/regress"
+)
+
+func persistDatasets(t *testing.T) []*etl.VehicleDataset {
+	t.Helper()
+	f, err := fleet.Generate(fleet.Config{Units: 2, Days: 400, Seed: 5, Start: fleet.StudyStart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage := f.SimulateAll()
+	rng := randx.New(6)
+	var datasets []*etl.VehicleDataset
+	for _, u := range f.Units {
+		d, err := etl.FromUsage(u, usage[u.Vehicle.ID], rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		datasets = append(datasets, d)
+	}
+	return datasets
+}
+
+func persistConfig() core.Config {
+	base := core.DefaultConfig()
+	base.Algorithm = regress.AlgLasso
+	base.W = 90
+	base.K = 8
+	base.MaxLag = 21
+	base.Stride = 10
+	base.Channels = []string{canbus.ChanFuelRate}
+	return base
+}
+
+// TestForecastIdenticalAfterDiskRoundTrip is the issue's acceptance
+// criterion: a server booted from -data-dir serves /forecast responses
+// identical to the in-memory path (timing field aside).
+func TestForecastIdenticalAfterDiskRoundTrip(t *testing.T) {
+	datasets := persistDatasets(t)
+	base := persistConfig()
+
+	memStore, err := NewStore(datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memSrv := httptest.NewServer(New(memStore, base).Handler())
+	defer memSrv.Close()
+
+	dir, err := fstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Save(datasets); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := fstore.Open(dir.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := reopened.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskStore, err := NewStore(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskSrv := httptest.NewServer(New(diskStore, base).Handler())
+	defer diskSrv.Close()
+
+	id := datasets[0].VehicleID
+	for _, path := range []string{
+		"/v1/vehicles/" + id + "/forecast",
+		"/v1/vehicles/" + id + "/forecast?alg=SVR&scenario=next-working-day",
+		"/v1/vehicles/" + id + "/forecast?horizon=5",
+		"/v1/vehicles/" + id + "/forecast?interval=0.8",
+		"/v1/vehicles/" + id,
+	} {
+		var mem, disk map[string]any
+		get(t, memSrv.URL+path, 200, &mem)
+		get(t, diskSrv.URL+path, 200, &disk)
+		// took_ms is wall-clock; everything else must match exactly.
+		delete(mem, "took_ms")
+		delete(disk, "took_ms")
+		if !reflect.DeepEqual(mem, disk) {
+			t.Errorf("GET %s differs across the disk round-trip:\n  mem:  %v\n  disk: %v", path, mem, disk)
+		}
+	}
+}
+
+// TestWarmStartCacheAcrossRestart verifies the warm-start contract:
+// cache keys derive from dataset fingerprints, fingerprints survive
+// the disk round-trip, so artifacts trained before a restart are hits
+// after it.
+func TestWarmStartCacheAcrossRestart(t *testing.T) {
+	datasets := persistDatasets(t)
+	base := persistConfig()
+
+	store1, err := NewStore(datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewForecastCache(16)
+	api1 := New(store1, base)
+	api1.Cache = cache
+	srv1 := httptest.NewServer(api1.Handler())
+
+	id := datasets[0].VehicleID
+	var before forecastResponse
+	get(t, srv1.URL+"/v1/vehicles/"+id+"/forecast", 200, &before)
+	if before.Cached {
+		t.Fatal("first request must train, not hit")
+	}
+	srv1.Close()
+
+	// "Restart": persist the fleet, load it back in a fresh store. The
+	// cache survives (in production it is in-process state rebuilt per
+	// run; the point is that its keys remain valid, which only holds if
+	// fingerprints are bit-stable across the disk round-trip).
+	dir, err := fstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := dir.Save(datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := dir.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range loaded {
+		want, ok := man.FingerprintOf(d.VehicleID)
+		if !ok {
+			t.Fatalf("vehicle %q missing from manifest", d.VehicleID)
+		}
+		if got := d.Fingerprint(); got != want || got != datasets[i].Fingerprint() {
+			t.Fatalf("fingerprint of %q drifted across disk: %016x, manifest %016x, original %016x",
+				d.VehicleID, got, want, datasets[i].Fingerprint())
+		}
+	}
+	store2, err := NewStore(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api2 := New(store2, base)
+	api2.Cache = cache
+	srv2 := httptest.NewServer(api2.Handler())
+	defer srv2.Close()
+
+	var after forecastResponse
+	get(t, srv2.URL+"/v1/vehicles/"+id+"/forecast", 200, &after)
+	if !after.Cached {
+		t.Error("post-restart request missed the cache: fingerprint-keyed warm start is broken")
+	}
+	if after.Hours != before.Hours || !reflect.DeepEqual(after.Lags, before.Lags) {
+		t.Errorf("cached forecast drifted: %v/%v before, %v/%v after", before.Hours, before.Lags, after.Hours, after.Lags)
+	}
+}
+
+// TestStorePutPersists exercises the Put → SaveVehicle hook: a dataset
+// replaced at run time must be on disk before Put returns.
+func TestStorePutPersists(t *testing.T) {
+	datasets := persistDatasets(t)
+	store, err := NewStore(datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := fstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Save(datasets); err != nil {
+		t.Fatal(err)
+	}
+	store.SetPersister(dir.SaveVehicle)
+
+	grown, err := datasets[0].Subset(fullIndex(datasets[0])) // deep copy, safe to mutate
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fstore.ApplyDays(grown, fstore.Day{
+		Date:     grown.Date(grown.Len()-1).AddDate(0, 0, 1),
+		Hours:    3,
+		Observed: true,
+		Channels: singleDayChannels(grown),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(grown); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := fstore.Open(dir.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, man, err := reopened.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := man.FingerprintOf(grown.VehicleID)
+	if want != grown.Fingerprint() {
+		t.Errorf("manifest fingerprint %016x, want %016x after Put", want, grown.Fingerprint())
+	}
+	for _, d := range loaded {
+		if d.VehicleID == grown.VehicleID && d.Len() != grown.Len() {
+			t.Errorf("reloaded %q has %d days, want %d", d.VehicleID, d.Len(), grown.Len())
+		}
+	}
+}
+
+// TestStorePutRejectedByPersister: a failing persister must leave the
+// in-memory store untouched, so memory never runs ahead of disk.
+func TestStorePutRejectedByPersister(t *testing.T) {
+	datasets := persistDatasets(t)
+	store, err := NewStore(datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	store.SetPersister(func(*etl.VehicleDataset) error { return boom })
+
+	replacement, err := datasets[0].Subset(fullIndex(datasets[0])[:datasets[0].Len()-10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := store.Generation(replacement.VehicleID)
+	if err := store.Put(replacement); !errors.Is(err, boom) {
+		t.Fatalf("Put error = %v, want %v", err, boom)
+	}
+	d, ok := store.Get(replacement.VehicleID)
+	if !ok || d.Len() != datasets[0].Len() {
+		t.Error("rejected Put mutated the store")
+	}
+	if store.Generation(replacement.VehicleID) != gen {
+		t.Error("rejected Put bumped the generation")
+	}
+}
+
+// singleDayChannels builds a one-day channel map matching the
+// dataset's channel set.
+func singleDayChannels(d *etl.VehicleDataset) map[string]float64 {
+	out := make(map[string]float64, len(d.Channels))
+	for name := range d.Channels {
+		out[name] = 1
+	}
+	return out
+}
+
+// fullIndex returns [0, 1, …, Len-1], the identity Subset index.
+func fullIndex(d *etl.VehicleDataset) []int {
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

@@ -1,7 +1,9 @@
 // Package server exposes the prediction pipeline as an HTTP API — the
 // shape a fleet-management backend would deploy: per-vehicle forecast,
-// hold-out evaluation and fleet listing endpoints over an in-memory
-// dataset store. Handlers are stdlib net/http only.
+// hold-out evaluation and fleet listing endpoints over a dataset store
+// that serves from memory and can be durably backed by the on-disk
+// fleet store (internal/fstore) via SetPersister. Handlers are stdlib
+// net/http only.
 package server
 
 import (
@@ -38,6 +40,9 @@ type Store struct {
 	fps map[string]uint64
 	// gens counts mutations per vehicle; absent means zero.
 	gens map[string]uint64
+	// persist, when set, is called on every Put before the dataset
+	// becomes visible; a persist failure rejects the Put.
+	persist func(*etl.VehicleDataset) error
 }
 
 // NewStore builds a store from datasets, keyed by vehicle ID. Every
@@ -60,20 +65,51 @@ func NewStore(datasets []*etl.VehicleDataset) (*Store, error) {
 	return s, nil
 }
 
+// SetPersister installs a durability hook called synchronously on
+// every subsequent Put, before the dataset becomes visible to readers.
+// A failing hook rejects the Put, so memory and disk cannot drift
+// apart silently. The server wires this to fstore.Dir.SaveVehicle when
+// started with -data-dir.
+func (s *Store) SetPersister(fn func(*etl.VehicleDataset) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persist = fn
+}
+
 // Put inserts or replaces one vehicle's dataset and bumps that
 // vehicle's generation, invalidating cached artifacts trained on its
 // prior state. Other vehicles' generations — and therefore their
-// cached artifacts — are untouched.
+// cached artifacts — are untouched. With a persister installed, the
+// dataset is persisted first and an error leaves the store unchanged.
 func (s *Store) Put(d *etl.VehicleDataset) error {
 	if err := d.Validate(); err != nil {
 		return fmt.Errorf("server: dataset %q: %w", d.VehicleID, err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.persist != nil {
+		if err := s.persist(d); err != nil {
+			return fmt.Errorf("server: persist %q: %w", d.VehicleID, err)
+		}
+	}
 	s.datasets[d.VehicleID] = d
 	s.fps[d.VehicleID] = d.Fingerprint()
 	s.gens[d.VehicleID]++
 	return nil
+}
+
+// Snapshot returns every stored dataset, sorted by vehicle ID — the
+// input shape fstore.Dir.Save expects for a full on-disk snapshot at
+// shutdown.
+func (s *Store) Snapshot() []*etl.VehicleDataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*etl.VehicleDataset, 0, len(s.datasets))
+	for _, d := range s.datasets {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].VehicleID < out[j].VehicleID })
+	return out
 }
 
 // Generation returns one vehicle's mutation counter. It starts at zero
