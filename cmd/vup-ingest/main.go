@@ -1,0 +1,310 @@
+// Command vup-ingest replays raw 10-minute CAN reports against a
+// running vup-server, closing the paper's data loop online: the same
+// deterministic fleet the server generated is extended by -extra-days
+// of simulated operation, each day is run through the on-board-unit
+// simulation (internal/telematics: sessions → CAN frames → decoded
+// samples → 10-minute aggregate reports) and POSTed to
+// /v1/vehicles/{id}/ingest.
+//
+// Usage:
+//
+//	vup-ingest -addr http://localhost:8080 -units 30 -days 600 -seed 1 \
+//	    -extra-days 7 [-rate 200] [-burst 500] [-skew 50ms]
+//
+// -units, -days and -seed MUST match the server's generation flags:
+// the usage simulation is prefix-deterministic, so the replayed days
+// line up exactly after the server's stored series.
+//
+// The ingest endpoint appends whole days, so one POST carries all of a
+// day's reports for one vehicle. -rate paces the aggregate upload in
+// reports/second through a token bucket of capacity -burst (0 rate
+// means unthrottled); -skew staggers vehicle start times (vehicle i
+// waits i×skew) so the fleet does not phase-lock its uploads. Batches
+// shed by the server's backpressure gate (503 + Retry-After) are
+// retried with the advertised delay.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vup/internal/canbus"
+	"vup/internal/fleet"
+	"vup/internal/randx"
+	"vup/internal/telematics"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://localhost:8080", "vup-server base URL")
+		units     = flag.Int("units", 30, "fleet size (must match the server's -units)")
+		days      = flag.Int("days", 600, "days the server generated (must match the server's -days)")
+		seed      = flag.Int64("seed", 1, "generation seed (must match the server's -seed)")
+		extraDays = flag.Int("extra-days", 7, "days of new operation to simulate and replay")
+		rate      = flag.Float64("rate", 0, "aggregate upload pacing in reports/second; 0 = unthrottled")
+		burst     = flag.Int("burst", 500, "token-bucket capacity in reports (pacing burst)")
+		skew      = flag.Duration("skew", 0, "per-vehicle start stagger: vehicle i begins after i×skew")
+		period    = flag.Duration("period", time.Minute, "CAN sample period inside working sessions")
+	)
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		// Accept vup-server style addresses (":8080", "host:8080").
+		if strings.HasPrefix(base, ":") {
+			base = "localhost" + base
+		}
+		base = "http://" + base
+	}
+
+	start := time.Now()
+	res, err := run(options{
+		addr: base, units: *units, days: *days, seed: *seed,
+		extraDays: *extraDays, rate: *rate, burst: *burst, skew: *skew, period: *period,
+		logf: func(format string, args ...any) { _, _ = fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	})
+	if err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "vup-ingest:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("replayed %d reports in %d batches over %s: accepted %d, rejected %d, days appended %d, shed+retried %d\n",
+		res.Reports, res.Batches, time.Since(start).Round(time.Millisecond),
+		res.Accepted, res.Rejected, res.DaysAppended, res.Shed)
+	if res.Errors > 0 {
+		_, _ = fmt.Fprintf(os.Stderr, "vup-ingest: %d batches failed\n", res.Errors)
+		os.Exit(1)
+	}
+}
+
+// options parameterizes one replay; the smoke test drives run directly
+// against an in-process server.
+type options struct {
+	addr      string
+	units     int
+	days      int
+	seed      int64
+	extraDays int
+	rate      float64
+	burst     int
+	skew      time.Duration
+	period    time.Duration
+	client    *http.Client
+	logf      func(format string, args ...any)
+}
+
+// tally aggregates the replay outcome across vehicle goroutines.
+type tally struct {
+	mu           sync.Mutex
+	Batches      int
+	Reports      int
+	Accepted     int
+	Rejected     int
+	DaysAppended int
+	Shed         int
+	Errors       int
+}
+
+// wire mirrors the ingest endpoint's JSON report shape.
+type wireChannel struct {
+	Samples int     `json:"samples"`
+	Mean    float64 `json:"mean"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+}
+
+type wireReport struct {
+	Start           time.Time              `json:"start"`
+	EngineOnSeconds float64                `json:"engine_on_seconds"`
+	Channels        map[string]wireChannel `json:"channels"`
+}
+
+type wireBatch struct {
+	Reports []wireReport `json:"reports"`
+}
+
+type wireAck struct {
+	Accepted     int            `json:"accepted"`
+	Rejected     int            `json:"rejected"`
+	Reasons      map[string]int `json:"rejected_reasons"`
+	DaysAppended int            `json:"days_appended"`
+}
+
+// pacer is a token bucket over report counts: tokens refill at rate/s
+// up to burst; a send of n reports debits n and sleeps off any deficit.
+type pacer struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newPacer(rate float64, burst int) *pacer {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &pacer{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+func (p *pacer) wait(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	now := time.Now()
+	p.tokens += now.Sub(p.last).Seconds() * p.rate
+	if p.tokens > p.burst {
+		p.tokens = p.burst
+	}
+	p.last = now
+	p.tokens -= float64(n)
+	var sleep time.Duration
+	if p.tokens < 0 {
+		sleep = time.Duration(-p.tokens / p.rate * float64(time.Second))
+	}
+	p.mu.Unlock()
+	time.Sleep(sleep)
+}
+
+func run(o options) (*tally, error) {
+	if o.extraDays <= 0 {
+		return nil, fmt.Errorf("extra-days must be positive, got %d", o.extraDays)
+	}
+	if o.period <= 0 {
+		o.period = time.Minute
+	}
+	if o.client == nil {
+		o.client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	logf := o.logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	// Regenerate the server's fleet, grown by the replay horizon. The
+	// per-day usage simulation is prefix-deterministic, so days
+	// [0, o.days) are bitwise the series the server already stores and
+	// [o.days, o.days+o.extraDays) are genuinely new operation.
+	f, err := fleet.Generate(fleet.Config{Units: o.units, Days: o.days + o.extraDays, Seed: o.seed, Start: fleet.StudyStart})
+	if err != nil {
+		return nil, err
+	}
+	usage := f.SimulateAll()
+	logf("simulating %d extra days for %d vehicles", o.extraDays, len(f.Units))
+
+	// Device randomness split deterministically per unit, in unit order.
+	devRng := randx.New(o.seed + 2)
+	devices := make([]*telematics.Device, len(f.Units))
+	for i, u := range f.Units {
+		devices[i] = telematics.NewDevice(u.Vehicle, devRng.Split())
+	}
+
+	pace := newPacer(o.rate, o.burst)
+	res := &tally{}
+	var wg sync.WaitGroup
+	for i, u := range f.Units {
+		wg.Add(1)
+		go func(i int, u fleet.Unit) {
+			defer wg.Done()
+			if o.skew > 0 {
+				time.Sleep(time.Duration(i) * o.skew)
+			}
+			id := u.Vehicle.ID
+			for di := o.days; di < o.days+o.extraDays; di++ {
+				du := usage[id][di]
+				reports, err := devices[i].SimulateDay(du.Date, du.Hours, o.period)
+				if err != nil {
+					logf("vehicle %s day %s: simulation failed: %v", id, du.Date.Format("2006-01-02"), err)
+					res.mu.Lock()
+					res.Errors++
+					res.mu.Unlock()
+					return
+				}
+				if len(reports) == 0 {
+					continue // inactive day: the next upload materializes it as a gap
+				}
+				pace.wait(len(reports))
+				ack, shed, err := postDay(o.client, o.addr, id, reports)
+				res.mu.Lock()
+				res.Shed += shed
+				if err != nil {
+					res.Errors++
+					res.mu.Unlock()
+					logf("vehicle %s day %s: %v", id, du.Date.Format("2006-01-02"), err)
+					return
+				}
+				res.Batches++
+				res.Reports += len(reports)
+				res.Accepted += ack.Accepted
+				res.Rejected += ack.Rejected
+				res.DaysAppended += ack.DaysAppended
+				res.mu.Unlock()
+			}
+		}(i, u)
+	}
+	wg.Wait()
+	return res, nil
+}
+
+// postDay uploads one vehicle-day of reports, honouring backpressure:
+// a 503 is retried after the server's Retry-After, a bounded number of
+// times. It returns the server's ack and how often the batch was shed.
+func postDay(client *http.Client, addr, vehicleID string, reports []canbus.Report) (*wireAck, int, error) {
+	batch := wireBatch{Reports: make([]wireReport, 0, len(reports))}
+	for _, r := range reports {
+		wr := wireReport{
+			Start:           r.Start,
+			EngineOnSeconds: r.EngineOnSeconds,
+			Channels:        make(map[string]wireChannel, len(r.Channels)),
+		}
+		for name, cs := range r.Channels {
+			wr.Channels[name] = wireChannel{Samples: cs.Samples, Mean: cs.Mean, Min: cs.Min, Max: cs.Max}
+		}
+		batch.Reports = append(batch.Reports, wr)
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return nil, 0, err
+	}
+	url := addr + "/v1/vehicles/" + vehicleID + "/ingest"
+	shed := 0
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, shed, err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < 8 {
+			delay := time.Second
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				delay = time.Duration(ra) * time.Second
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			shed++
+			time.Sleep(delay)
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return nil, shed, fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, msg)
+		}
+		var ack wireAck
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			return nil, shed, fmt.Errorf("POST %s: decoding ack: %w", url, err)
+		}
+		return &ack, shed, nil
+	}
+}

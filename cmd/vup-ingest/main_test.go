@@ -1,0 +1,90 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vup"
+	"vup/internal/canbus"
+	"vup/internal/regress"
+	"vup/internal/server"
+)
+
+// TestReplaySmoke drives the full replay path against an in-process
+// server: regenerate the fleet the server holds, simulate extra days
+// of operation, upload the raw reports and verify they all land — the
+// CI smoke for the CAN→forecast loop (at least 100 reports replayed).
+func TestReplaySmoke(t *testing.T) {
+	const (
+		units = 4
+		days  = 60
+		seed  = int64(7)
+		extra = 3
+	)
+	fc := vup.SmallFleet()
+	fc.Units = units
+	fc.Days = days
+	fc.Seed = seed
+	datasets, err := vup.GenerateDatasets(fc, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := server.NewStore(datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := vup.DefaultConfig()
+	base.Algorithm = regress.AlgLinear
+	base.W = 30
+	base.K = 6
+	base.MaxLag = 14
+	base.Stride = 10
+	base.Channels = []string{canbus.ChanFuelRate}
+	api := server.New(store, base)
+	api.Cache = server.NewForecastCache(16)
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+
+	res, err := run(options{
+		addr:      srv.URL,
+		units:     units,
+		days:      days,
+		seed:      seed,
+		extraDays: extra,
+		period:    time.Minute,
+		client:    srv.Client(),
+		logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d batches failed", res.Errors)
+	}
+	if res.Reports < 100 {
+		t.Fatalf("replayed only %d reports, want >= 100 for the smoke", res.Reports)
+	}
+	if res.Accepted != res.Reports {
+		t.Errorf("accepted %d of %d reports (rejected %d)", res.Accepted, res.Reports, res.Rejected)
+	}
+	if res.DaysAppended == 0 {
+		t.Fatal("no days appended")
+	}
+
+	// The store must have grown by exactly the appended days.
+	total := 0
+	for _, d := range datasets {
+		cur, ok := store.Get(d.VehicleID)
+		if !ok {
+			t.Fatalf("vehicle %q vanished", d.VehicleID)
+		}
+		total += cur.Len() - days
+		if cur.Len() < days {
+			t.Errorf("vehicle %q shrank to %d days", d.VehicleID, cur.Len())
+		}
+	}
+	if total != res.DaysAppended {
+		t.Errorf("store grew by %d days, ack'd %d", total, res.DaysAppended)
+	}
+}

@@ -29,6 +29,15 @@
 //	GET /v1/vehicles/{id}/forecast?horizon=7        iterated multi-step forecast
 //	GET /v1/vehicles/{id}/forecast?interval=0.8     residual-calibrated band
 //	GET /v1/vehicles/{id}/evaluation?alg=Lasso&stride=10
+//	POST /v1/vehicles/{id}/ingest                   raw 10-minute report batches
+//
+// Ingested reports are summarized into whole days, repaired with
+// -ingest-policy, appended durably (one fsynced append-log record per
+// batch under -data-dir) and become forecast-visible with a
+// per-vehicle generation bump — other vehicles' cached artifacts are
+// untouched. At most -ingest-concurrency batches are in flight;
+// beyond that the server sheds with 503 + Retry-After. See cmd/vup-ingest
+// for a replay driver.
 //
 // A horizon request is derived from the same cached trained artifact
 // as the plain forecast, so it never retrains a cached model; horizon
@@ -73,17 +82,19 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		debugAddr   = flag.String("debug-addr", "", "optional listen address for pprof, expvar and trace endpoints (e.g. :6060); disabled when empty")
-		units       = flag.Int("units", 30, "fleet size to generate")
-		days        = flag.Int("days", 600, "observation days")
-		seed        = flag.Int64("seed", 1, "generation seed")
-		cacheSize   = flag.Int("cache-size", 256, "trained-forecast cache capacity in entries; 0 disables caching and request coalescing")
-		dataDir     = flag.String("data-dir", "", "fleet store directory; loads the saved fleet on boot (generating and saving one on first run) and persists changes; empty keeps the fleet in memory only")
-		traceBuffer = flag.Int("trace-buffer", 256, "stored-trace ring buffer capacity behind /debug/traces; 0 disables tracing")
-		traceSample = flag.Float64("trace-sample", 0.1, "tail-sampling keep probability for fast, clean traces (errors and slow requests are always kept; >=1 keeps everything)")
-		traceSlow   = flag.Duration("trace-slow", 100*time.Millisecond, "root latency at or above which a trace is always kept")
-		verbose     = flag.Bool("v", false, "log at debug level")
+		addr         = flag.String("addr", ":8080", "listen address")
+		debugAddr    = flag.String("debug-addr", "", "optional listen address for pprof, expvar and trace endpoints (e.g. :6060); disabled when empty")
+		units        = flag.Int("units", 30, "fleet size to generate")
+		days         = flag.Int("days", 600, "observation days")
+		seed         = flag.Int64("seed", 1, "generation seed")
+		cacheSize    = flag.Int("cache-size", 256, "trained-forecast cache capacity in entries; 0 disables caching and request coalescing")
+		dataDir      = flag.String("data-dir", "", "fleet store directory; loads the saved fleet on boot (generating and saving one on first run) and persists changes; empty keeps the fleet in memory only")
+		ingestPolicy = flag.String("ingest-policy", "forward-fill", "missing-day repair for ingested gap days: zero, forward-fill or interpolate")
+		ingestConc   = flag.Int("ingest-concurrency", 4, "concurrent ingest batches admitted before shedding with 503")
+		traceBuffer  = flag.Int("trace-buffer", 256, "stored-trace ring buffer capacity behind /debug/traces; 0 disables tracing")
+		traceSample  = flag.Float64("trace-sample", 0.1, "tail-sampling keep probability for fast, clean traces (errors and slow requests are always kept; >=1 keeps everything)")
+		traceSlow    = flag.Duration("trace-slow", 100*time.Millisecond, "root latency at or above which a trace is always kept")
+		verbose      = flag.Bool("v", false, "log at debug level")
 	)
 	flag.Parse()
 
@@ -155,11 +166,26 @@ func main() {
 	}
 	if dir != nil {
 		// Every Put snapshots the changed vehicle before it becomes
-		// visible; a full compacting snapshot runs at shutdown.
+		// visible; a full compacting snapshot runs at shutdown. Ingested
+		// batches take the cheaper path: one fsynced append-log record
+		// per batch, replayed over the snapshot at the next boot.
 		store.SetPersister(dir.SaveVehicle)
+		store.SetAppender(dir.Append)
 	}
 	api := server.New(store, base)
 	api.Cache = server.NewForecastCache(*cacheSize)
+	switch *ingestPolicy {
+	case "zero":
+		api.IngestPolicy = etl.MissingZero
+	case "forward-fill":
+		api.IngestPolicy = etl.MissingForwardFill
+	case "interpolate":
+		api.IngestPolicy = etl.MissingInterpolate
+	default:
+		logg.Error("unknown -ingest-policy", "policy", *ingestPolicy)
+		os.Exit(1)
+	}
+	api.IngestConcurrency = *ingestConc
 	logg.Info("forecast cache", "capacity", *cacheSize, "enabled", api.Cache.Enabled())
 	if *traceBuffer > 0 {
 		api.Traces = trace.NewCollector(trace.Options{

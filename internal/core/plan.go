@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"vup/internal/etl"
@@ -83,6 +84,86 @@ func NewPlanContext(ctx context.Context, d *etl.VehicleDataset, cfg Config) (p *
 
 // View exposes the scenario view the plan was compiled over.
 func (p *Plan) View() *etl.VehicleDataset { return p.view }
+
+// ExtendContext compiles a plan for d — the same vehicle's series with
+// days appended, as produced by the streaming-ingest path — by reusing
+// the receiver's materialization through featsel.AppendDays instead of
+// the full O(n×F) rebuild. The receiver is untouched and stays valid
+// for readers holding cached artifacts.
+//
+// Extension is only sound when the receiver's compiled state is a
+// strict prefix of the new one, so ExtendContext refuses (and the
+// caller falls back to NewPlanContext) when the vehicle identity
+// changed, the series shrank or rewrote history, the scenario view
+// dropped previously-kept days, or the clamped lag budget differs —
+// the one structural parameter a longer series can move.
+func (p *Plan) ExtendContext(ctx context.Context, d *etl.VehicleDataset) (np *Plan, err error) {
+	ctx, sp := trace.Start(ctx, "plan.extend")
+	if sp != nil {
+		sp.SetAttr("vehicle", d.VehicleID)
+		defer func() {
+			if np != nil {
+				sp.SetAttrInt("appended_days", np.view.Len()-p.view.Len())
+			}
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.VehicleID != p.d.VehicleID {
+		return nil, fmt.Errorf("core: extend plan of %s with dataset of %s", p.d.VehicleID, d.VehicleID)
+	}
+	if d.Len() < p.d.Len() {
+		return nil, fmt.Errorf("core: vehicle %s: series shrank from %d to %d days", d.VehicleID, p.d.Len(), d.Len())
+	}
+	// The compiled rows embed the old series; any rewrite of the shared
+	// prefix invalidates them. Hours also decide next-working-day view
+	// membership, so this one check covers both. (Channel prefixes are
+	// spot-checked over the lag window inside AppendDays; the ingest
+	// path appends to a clone and never rewrites history.)
+	if !hoursPrefixEqual(d.Hours, p.d.Hours) {
+		return nil, fmt.Errorf("core: vehicle %s: series rewrote history", d.VehicleID)
+	}
+	view, err := scenarioView(d, p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if view.Len() < p.view.Len() {
+		return nil, fmt.Errorf("core: vehicle %s: scenario view shrank from %d to %d days", d.VehicleID, p.view.Len(), view.Len())
+	}
+	maxLag := p.cfg.MaxLag
+	if maxLag > view.Len()-1 {
+		maxLag = view.Len() - 1
+	}
+	if maxLag < 1 {
+		maxLag = 1
+	}
+	if maxLag != p.mat.MaxLag() {
+		return nil, fmt.Errorf("core: vehicle %s: lag budget moved from %d to %d, rebuild required", d.VehicleID, p.mat.MaxLag(), maxLag)
+	}
+	mt := time.Now() //lint:allow determinism stage timer; feeds pipeline_feature_build_seconds only, never figure bytes
+	mat, err := p.mat.AppendDays(view)
+	featureBuildSeconds.With().ObserveSince(mt)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{cfg: p.cfg, d: d, view: view, mat: mat}, nil
+}
+
+// hoursPrefixEqual reports whether b is a bitwise prefix of a.
+func hoursPrefixEqual(a, b []float64) bool {
+	if len(a) < len(b) {
+		return false
+	}
+	for i := range b {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
 
 // selectLags runs the per-window feature-selection step on the
 // training slice of the view's hours: rank lags 1..MaxLag (clamped to

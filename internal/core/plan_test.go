@@ -205,6 +205,116 @@ func TestFittedConcurrentUse(t *testing.T) {
 	}
 }
 
+// TestPlanExtendMatchesFreshPlan is the ingest-path reuse contract: a
+// plan extended over appended days must be observationally identical
+// to one compiled from scratch on the grown series — same evaluation,
+// same fit, same forecast — under both scenarios.
+func TestPlanExtendMatchesFreshPlan(t *testing.T) {
+	// Same seed ⇒ the 320-day series is a bitwise prefix of the 326-day
+	// one (the usage simulation consumes randomness per day in order).
+	// 320 days leave enough working days for the compacted scenario to
+	// host fastConfig's 80-day training window.
+	prefix := testDataset(t, 35, 320)
+	grown := testDataset(t, 35, 326)
+	for _, scenario := range []Scenario{NextDay, NextWorkingDay} {
+		cfg := fastConfig()
+		cfg.Scenario = scenario
+
+		p, err := NewPlan(prefix, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extended, err := p.ExtendContext(t.Context(), grown)
+		if err != nil {
+			t.Fatalf("scenario %v: extend failed: %v", scenario, err)
+		}
+		fresh, err := NewPlan(grown, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		eRes, err := extended.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fRes, err := fresh.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eRes.PE != fRes.PE || eRes.MAE != fRes.MAE || len(eRes.Predictions) != len(fRes.Predictions) {
+			t.Fatalf("scenario %v: extended evaluate diverges: PE %v vs %v, MAE %v vs %v, preds %d vs %d",
+				scenario, eRes.PE, fRes.PE, eRes.MAE, fRes.MAE, len(eRes.Predictions), len(fRes.Predictions))
+		}
+
+		ef, err := extended.Fit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ff, err := fresh.Fit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eHours, err := ef.Forecast(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fHours, err := ff.Forecast(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eHours != fHours {
+			t.Fatalf("scenario %v: extended forecast %v != fresh %v", scenario, eHours, fHours)
+		}
+		// The old plan still answers for the old series.
+		if p.View().Len() >= extended.View().Len() {
+			t.Fatalf("scenario %v: extension did not grow the view", scenario)
+		}
+		if _, err := p.Fit(); err != nil {
+			t.Fatalf("scenario %v: parent plan broken after extension: %v", scenario, err)
+		}
+	}
+}
+
+// TestPlanExtendRefusals: every unsound extension must fall back to a
+// rebuild via an error, never silently serve stale rows.
+func TestPlanExtendRefusals(t *testing.T) {
+	d := testDataset(t, 36, 160)
+	grown := testDataset(t, 36, 165)
+	cfg := fastConfig()
+	p, err := NewPlan(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different vehicle.
+	other := grown.Clone()
+	other.VehicleID = "veh-other"
+	if _, err := p.ExtendContext(t.Context(), other); err == nil {
+		t.Error("extension across vehicles accepted")
+	}
+	// Shrunk series.
+	smaller := testDataset(t, 36, 100)
+	if _, err := p.ExtendContext(t.Context(), smaller); err == nil {
+		t.Error("shrunk series accepted")
+	}
+	// Rewritten history.
+	rewritten := grown.Clone()
+	rewritten.Hours[10] += 0.25
+	if _, err := p.ExtendContext(t.Context(), rewritten); err == nil {
+		t.Error("rewritten history accepted")
+	}
+	// Moved lag clamp: MaxLag beyond the view forces the clamp to track
+	// the series length, which a longer series moves.
+	clamped := fastConfig()
+	clamped.MaxLag = 500
+	pc, err := NewPlan(d, clamped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.ExtendContext(t.Context(), grown); err == nil {
+		t.Error("moved lag clamp accepted")
+	}
+}
+
 // TestSelectLagsDegenerateWindow pins the guard for windows too short
 // to rank any lag: selection is skipped entirely and the spec falls
 // back to lag 1, instead of handing stats a non-positive budget.

@@ -41,12 +41,28 @@ func (p MissingPolicy) String() string {
 // according to policy (preparation step i). It returns the number of
 // repaired days.
 func Clean(d *VehicleDataset, policy MissingPolicy) (int, error) {
+	return CleanFrom(d, policy, 0)
+}
+
+// CleanFrom is the incremental form of Clean for streaming ingest:
+// only days at index >= from are sanitized and repaired, so appending
+// k days to an n-day dataset costs O(k) plus the neighbour walk —
+// which is bounded to the unobserved gap itself, because the backward
+// scan stops at the nearest observed day (an already-cleaned prefix
+// day at worst). Days before from are never modified; a repair is
+// therefore final once made, even if a later append brings the
+// observed neighbour an interpolation would have preferred.
+// CleanFrom(d, policy, 0) is exactly Clean.
+func CleanFrom(d *VehicleDataset, policy MissingPolicy, from int) (int, error) {
 	if err := d.Validate(); err != nil {
 		return 0, err
 	}
+	if from < 0 {
+		from = 0
+	}
 	repaired := 0
 	// Value sanitation first.
-	for i := range d.Hours {
+	for i := from; i < len(d.Hours); i++ {
 		if math.IsNaN(d.Hours[i]) || math.IsInf(d.Hours[i], 0) || d.Hours[i] < 0 {
 			d.Hours[i] = 0
 		}
@@ -55,8 +71,8 @@ func Clean(d *VehicleDataset, policy MissingPolicy) (int, error) {
 		}
 	}
 	for _, vals := range d.Channels {
-		for i, v := range vals {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
+		for i := from; i < len(vals); i++ {
+			if math.IsNaN(vals[i]) || math.IsInf(vals[i], 0) {
 				vals[i] = 0
 			}
 		}
@@ -66,7 +82,7 @@ func Clean(d *VehicleDataset, policy MissingPolicy) (int, error) {
 	// fall back to MissingZero when no observed neighbour exists — a
 	// partial fill (hours zeroed, channels left stale) or a skipped-
 	// but-counted day would leak unrepaired values into the models.
-	for i := range d.Observed {
+	for i := from; i < len(d.Observed); i++ {
 		if d.Observed[i] {
 			continue
 		}

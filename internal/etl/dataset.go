@@ -298,6 +298,31 @@ func (d *VehicleDataset) AttachWeather(wx []weather.Day) error {
 	return nil
 }
 
+// Clone returns a deep copy sharing no mutable state with d. Unlike
+// Subset over the identity index, Clone preserves a nil Dates array,
+// so the copy's Fingerprint equals the original's — which is what the
+// store's copy-on-write append path needs to keep cache keys stable.
+func (d *VehicleDataset) Clone() *VehicleDataset {
+	out := &VehicleDataset{
+		VehicleID: d.VehicleID,
+		Type:      d.Type,
+		ModelID:   d.ModelID,
+		Country:   d.Country,
+		Start:     d.Start,
+		Hours:     append([]float64(nil), d.Hours...),
+		Channels:  make(map[string][]float64, len(d.Channels)),
+		Context:   append([]Context(nil), d.Context...),
+		Observed:  append([]bool(nil), d.Observed...),
+	}
+	for name, vals := range d.Channels {
+		out.Channels[name] = append([]float64(nil), vals...)
+	}
+	if d.Dates != nil {
+		out.Dates = append([]time.Time(nil), d.Dates...)
+	}
+	return out
+}
+
 // Subset returns a new dataset holding only the days at the given
 // indices, in the given order. Each kept day retains its true calendar
 // date (the Dates array) and context, so a compacted next-working-day

@@ -280,6 +280,119 @@ func TestCleanInterpolateNoObservedDays(t *testing.T) {
 	}
 }
 
+// TestCleanFromMatchesClean: cleaning only the appended suffix of a
+// dataset whose prefix was already cleaned must yield exactly the
+// state a full Clean produces on the same data.
+func TestCleanFromMatchesClean(t *testing.T) {
+	for _, policy := range []MissingPolicy{MissingZero, MissingForwardFill, MissingInterpolate} {
+		dirty := func() *VehicleDataset {
+			d := testDataset(t, 40)
+			d.Observed[10] = false
+			d.Hours[10] = math.NaN()
+			d.Observed[35] = false
+			d.Observed[36] = false
+			d.Hours[36] = -7
+			d.Channels[canbus.ChanSpeed][38] = math.Inf(-1)
+			return d
+		}
+		full := dirty()
+		if _, err := Clean(full, policy); err != nil {
+			t.Fatal(err)
+		}
+		incr := dirty()
+		if _, err := Clean(incr, policy); err != nil {
+			t.Fatal(err)
+		}
+		// "Append" five more days with a gap, then clean only the suffix.
+		grow := func(d *VehicleDataset) {
+			for i := 0; i < 5; i++ {
+				d.Hours = append(d.Hours, float64(i))
+				d.Observed = append(d.Observed, i != 2)
+				d.Context = append(d.Context, Context{})
+				for name := range d.Channels {
+					d.Channels[name] = append(d.Channels[name], float64(i))
+				}
+			}
+			d.Hours[len(d.Hours)-1] = math.Inf(1)
+			d.Enrich()
+		}
+		grow(full)
+		grow(incr)
+		if _, err := Clean(full, policy); err != nil {
+			t.Fatal(err)
+		}
+		repaired, err := CleanFrom(incr, policy, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if repaired != 1 {
+			t.Errorf("policy %v: suffix repaired = %d, want 1", policy, repaired)
+		}
+		if full.Fingerprint() != incr.Fingerprint() {
+			t.Errorf("policy %v: incremental clean diverged from full clean", policy)
+		}
+	}
+}
+
+// TestCleanFromLeavesPrefixUntouched: CleanFrom must never rewrite
+// days before from, even dirty ones.
+func TestCleanFromLeavesPrefixUntouched(t *testing.T) {
+	d := testDataset(t, 20)
+	d.Hours[3] = math.NaN()
+	d.Observed[4] = false
+	d.Hours[4] = 9
+	if _, err := CleanFrom(d, MissingZero, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(d.Hours[3]) || d.Hours[4] != 9 {
+		t.Errorf("prefix modified: hours[3]=%v hours[4]=%v", d.Hours[3], d.Hours[4])
+	}
+}
+
+func TestCleanFromNegativeFrom(t *testing.T) {
+	d := testDataset(t, 5)
+	d.Hours[0] = math.NaN()
+	if _, err := CleanFrom(d, MissingZero, -3); err != nil {
+		t.Fatal(err)
+	}
+	if d.Hours[0] != 0 {
+		t.Error("negative from should clamp to 0 and sanitize everything")
+	}
+}
+
+func TestCloneIsDeepAndFingerprintStable(t *testing.T) {
+	d := testDataset(t, 30)
+	c := d.Clone()
+	if c.Fingerprint() != d.Fingerprint() {
+		t.Fatal("clone fingerprint differs")
+	}
+	if c.Dates != nil {
+		t.Error("clone materialized Dates for a contiguous dataset")
+	}
+	c.Hours[0] += 1
+	c.Channels[canbus.ChanSpeed][1] += 1
+	c.Observed[2] = !c.Observed[2]
+	if c.Fingerprint() == d.Fingerprint() {
+		t.Error("mutating the clone changed the original's fingerprint view")
+	}
+	if d.Hours[0] == c.Hours[0] || d.Channels[canbus.ChanSpeed][1] == c.Channels[canbus.ChanSpeed][1] {
+		t.Error("clone shares backing arrays with the original")
+	}
+
+	// A subsetted dataset has explicit dates; the clone must keep them.
+	sub, err := d.Subset([]int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sub.Clone()
+	if sc.Fingerprint() != sub.Fingerprint() {
+		t.Error("clone of dated dataset drifted")
+	}
+	if sc.Dates == nil {
+		t.Error("clone dropped the Dates array")
+	}
+}
+
 func TestCleanUnknownPolicy(t *testing.T) {
 	d := testDataset(t, 5)
 	d.Observed[0] = false

@@ -3,6 +3,8 @@ package featsel
 import (
 	"context"
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"vup/internal/etl"
 	"vup/internal/obs/trace"
@@ -46,6 +48,12 @@ type Materialized struct {
 	hours []float64
 	chans [][]float64
 	tgts  [][]float64
+
+	// tailOwned guards the spare capacity past len(data): AppendDays
+	// extends a parent in place only after winning this flag, so two
+	// concurrent extensions of the same parent never write the same
+	// tail — the loser (and every later child) reallocates.
+	tailOwned atomic.Bool
 }
 
 // Materialize compiles the superset for d. maxLag must be >= 1; every
@@ -136,6 +144,131 @@ func materialize(d *etl.VehicleDataset, maxLag int, channels []string, includeCo
 		}
 	}
 	return m, nil
+}
+
+// AppendDays extends the materialization to cover d, a dataset whose
+// first Len() days are value-identical to the one m was built from
+// (the streaming-ingest append: same series, new tail). It returns a
+// new *Materialized — m stays valid for concurrent readers holding
+// cached plans — and costs O(k×F) for k appended days, independent of
+// the dataset length: only the new rows are computed, and the backing
+// array is reused in place when m has unclaimed spare capacity (one
+// winner per parent, decided by tailOwned; everyone else reallocates
+// with geometric headroom, so a chain of single-day appends is
+// amortized O(F) per day).
+//
+// The caller owns the prefix-equality contract; AppendDays verifies
+// only the slice every new row can actually read — the trailing
+// MaxLag days of the overlap, bitwise — and refuses on drift. A
+// dataset that shrank or lost a configured channel is also refused;
+// the caller falls back to a full Materialize.
+func (m *Materialized) AppendDays(d *etl.VehicleDataset) (*Materialized, error) {
+	n2 := d.Len()
+	if n2 < m.n {
+		return nil, fmt.Errorf("featsel: append from %d to %d days: dataset shrank", m.n, n2)
+	}
+	hours := d.Hours
+	chans := make([][]float64, len(m.channels))
+	for i, ch := range m.channels {
+		col, ok := d.Channels[ch]
+		if !ok {
+			return nil, fmt.Errorf("featsel: append dataset has no channel %q", ch)
+		}
+		chans[i] = col
+	}
+	tgts := make([][]float64, len(m.targetChannels))
+	for i, ch := range m.targetChannels {
+		col, ok := d.Channels[ch]
+		if !ok {
+			return nil, fmt.Errorf("featsel: append dataset has no target channel %q", ch)
+		}
+		tgts[i] = col
+	}
+	// The lag window feeding the new rows must be unchanged. Bitwise
+	// comparison: NaN-safe and invisible to float tolerance debates.
+	lo := m.n - m.maxLag
+	if lo < 0 {
+		lo = 0
+	}
+	if !bitsEqual(hours[lo:m.n], m.hours[lo:m.n]) {
+		return nil, fmt.Errorf("featsel: append dataset rewrote hours in the lag window [%d, %d)", lo, m.n)
+	}
+	for i, col := range chans {
+		if !bitsEqual(col[lo:m.n], m.chans[i][lo:m.n]) {
+			return nil, fmt.Errorf("featsel: append dataset rewrote channel %q in the lag window", m.channels[i])
+		}
+	}
+	for i, col := range tgts {
+		if !bitsEqual(col[lo:m.n], m.tgts[i][lo:m.n]) {
+			return nil, fmt.Errorf("featsel: append dataset rewrote target channel %q in the lag window", m.targetChannels[i])
+		}
+	}
+
+	child := &Materialized{
+		maxLag:         m.maxLag,
+		channels:       m.channels,
+		includeContext: m.includeContext,
+		targetChannels: m.targetChannels,
+		n:              n2,
+		block:          m.block,
+		ctxOff:         m.ctxOff,
+		tgtOff:         m.tgtOff,
+		width:          m.width,
+		hours:          hours,
+		chans:          chans,
+		tgts:           tgts,
+	}
+	need := n2 * m.width
+	if n2 == m.n {
+		// Nothing to append: share the rows as-is (no writes, no claim),
+		// re-pointing the base columns at the caller's dataset.
+		child.data = m.data[:need:need]
+		return child, nil
+	}
+	if cap(m.data) >= need && m.tailOwned.CompareAndSwap(false, true) {
+		// Won the parent's tail: the region past m.n*width was zeroed at
+		// allocation and, by the CAS chain, never written by anyone else.
+		child.data = m.data[:need]
+	} else {
+		headroom := n2/4 + 4 // geometric: reallocs per day amortize out
+		child.data = append(make([]float64, 0, (n2+headroom)*m.width), m.data[:m.n*m.width]...)
+		child.data = child.data[:need]
+	}
+	for t := m.n; t < n2; t++ {
+		row := child.data[t*m.width : (t+1)*m.width]
+		limit := m.maxLag
+		if t < limit {
+			limit = t
+		}
+		for lag := 1; lag <= limit; lag++ {
+			off := (lag - 1) * m.block
+			i := t - lag
+			row[off] = hours[i]
+			for c, col := range chans {
+				row[off+1+c] = col[i]
+			}
+		}
+		if m.includeContext {
+			fillContext(row[m.ctxOff:m.ctxOff+contextWidth], d.Context[t])
+		}
+		for c, col := range tgts {
+			row[m.tgtOff+c] = col[t]
+		}
+	}
+	return child, nil
+}
+
+// bitsEqual reports whether two float slices are bitwise identical.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Len returns the number of materialized days.

@@ -2,6 +2,7 @@ package featsel
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -222,6 +223,265 @@ func TestMaterializedExtendedRow(t *testing.T) {
 			}
 		}
 	}
+}
+
+// growDataset appends k synthetic days to a copy-free view chain: it
+// returns a dataset value sharing the first d.Len() entries with d and
+// carrying k fresh days after them.
+func growDataset(t *testing.T, d *etl.VehicleDataset, k int) *etl.VehicleDataset {
+	t.Helper()
+	out := &etl.VehicleDataset{
+		VehicleID: d.VehicleID, Country: d.Country, Start: d.Start,
+		Hours:    append(append([]float64(nil), d.Hours...), make([]float64, k)...),
+		Channels: map[string][]float64{},
+		Observed: append(append([]bool(nil), d.Observed...), make([]bool, k)...),
+	}
+	for name, vals := range d.Channels {
+		out.Channels[name] = append(append([]float64(nil), vals...), make([]float64, k)...)
+	}
+	n := d.Len()
+	for i := 0; i < k; i++ {
+		out.Hours[n+i] = 3 + float64(i)
+		out.Observed[n+i] = true
+		out.Channels["alpha"][n+i] = 200 + float64(i)
+		out.Channels["beta"][n+i] = -40 - float64(i)
+		out.Channels["gamma"][n+i] = float64(i) * 0.25
+	}
+	out.Enrich()
+	return out
+}
+
+// TestAppendDaysMatchesFreshMaterialize: the extended superset must be
+// bitwise identical to materializing the grown dataset from scratch.
+func TestAppendDaysMatchesFreshMaterialize(t *testing.T) {
+	d := materializeDataset(t, 70)
+	channels := []string{"alpha", "beta"}
+	targets := []string{"gamma", "alpha"}
+	m, err := Materialize(d, 11, channels, true, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three successive appends of 1, 3 and 1 days exercise both the
+	// realloc path (first append: materialize leaves no spare capacity)
+	// and the in-place tail path (later appends inherit headroom).
+	cur := m
+	grown := d
+	for _, k := range []int{1, 3, 1} {
+		grown = growDataset(t, grown, k)
+		next, err := cur.AppendDays(grown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.Len() != grown.Len() {
+			t.Fatalf("extended len %d, want %d", next.Len(), grown.Len())
+		}
+		cur = next
+	}
+	fresh, err := Materialize(grown, 11, channels, true, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur.data) != len(fresh.data) {
+		t.Fatalf("data len %d vs fresh %d", len(cur.data), len(fresh.data))
+	}
+	for i := range fresh.data {
+		if math.Float64bits(cur.data[i]) != math.Float64bits(fresh.data[i]) {
+			t.Fatalf("superset drifted at flat index %d: %v vs %v", i, cur.data[i], fresh.data[i])
+		}
+	}
+	// And the gather surface agrees end to end.
+	lags := []int{1, 5, 11}
+	a := make([]float64, cur.RowWidth(lags))
+	b := make([]float64, fresh.RowWidth(lags))
+	for day := 0; day < grown.Len(); day++ {
+		if cur.GatherRow(a, day, lags) != fresh.GatherRow(b, day, lags) {
+			t.Fatalf("day %d: gather availability differs", day)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("day %d col %d: %v vs %v", day, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// TestAppendDaysForkSafety: two children extended from one parent must
+// not trample each other — only one may claim the parent's tail in
+// place; the other reallocates. The parent's own rows stay intact.
+func TestAppendDaysForkSafety(t *testing.T) {
+	d := materializeDataset(t, 50)
+	m, err := Materialize(d, 7, []string{"alpha"}, false, []string{"alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the parent spare capacity by extending once first.
+	g1 := growDataset(t, d, 1)
+	parent, err := m.AppendDays(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fork: two different continuations of the same parent.
+	gA := growDataset(t, g1, 1)
+	gB := growDataset(t, g1, 1)
+	gB.Hours[gB.Len()-1] = 23.5
+	gB.Channels["alpha"][gB.Len()-1] = -1
+	childA, err := parent.AppendDays(gA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	childB, err := parent.AppendDays(gB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lags := []int{1}
+	rowA := make([]float64, childA.RowWidth(lags))
+	rowB := make([]float64, childB.RowWidth(lags))
+	last := gA.Len() - 1
+	if !childA.GatherRow(rowA, last, lags) || !childB.GatherRow(rowB, last, lags) {
+		t.Fatal("forked children refuse their own last day")
+	}
+	// The forked day's target-channel value differs by construction:
+	// 200 on the A branch, the -1 override on B. childB was built after
+	// childA, so if both had claimed the parent's tail in place, B's
+	// write would have trampled A's row and this check would see -1.
+	tA, tB := rowA[len(rowA)-1], rowB[len(rowB)-1]
+	if tA != 200 || tB != -1 {
+		t.Errorf("forked target columns = %v and %v, want 200 and -1", tA, tB)
+	}
+	if got := childB.Y(last); got != 23.5 {
+		t.Errorf("child B target = %v, want 23.5", got)
+	}
+	// Parent unchanged: its last day is still g1's.
+	if parent.Len() != g1.Len() || parent.Y(parent.Len()-1) != g1.Hours[g1.Len()-1] {
+		t.Error("extending children mutated the parent's visible rows")
+	}
+}
+
+func TestAppendDaysRefusals(t *testing.T) {
+	d := materializeDataset(t, 40)
+	m, err := Materialize(d, 6, []string{"alpha"}, true, []string{"beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrunk dataset.
+	smaller, err := d.Subset([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AppendDays(smaller); err == nil {
+		t.Error("shrunk dataset accepted")
+	}
+	// Rewritten lag window.
+	g := growDataset(t, d, 1)
+	g.Hours[d.Len()-1] += 0.5
+	if _, err := m.AppendDays(g); err == nil {
+		t.Error("rewritten lag-window hours accepted")
+	}
+	g2 := growDataset(t, d, 1)
+	g2.Channels["alpha"][d.Len()-2] += 1
+	if _, err := m.AppendDays(g2); err == nil {
+		t.Error("rewritten lag-window channel accepted")
+	}
+	g3 := growDataset(t, d, 1)
+	g3.Channels["beta"][d.Len()-1] += 1
+	if _, err := m.AppendDays(g3); err == nil {
+		t.Error("rewritten lag-window target channel accepted")
+	}
+	// Missing channel.
+	g4 := growDataset(t, d, 1)
+	delete(g4.Channels, "alpha")
+	if _, err := m.AppendDays(g4); err == nil {
+		t.Error("missing channel accepted")
+	}
+	// Same length: shares rows, re-points columns.
+	same := growDataset(t, d, 0)
+	s, err := m.AppendDays(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != m.Len() || &s.data[0] != &m.data[0] {
+		t.Error("no-op append should share the parent's rows")
+	}
+}
+
+// BenchmarkAppendDays measures the single-day append at several base
+// lengths; the per-day cost must be flat in n (the acceptance
+// criterion recorded in BENCH_ingest.json).
+func BenchmarkAppendDays(b *testing.B) {
+	for _, n := range []int{500, 2000, 8000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			full := benchDataset(n + b.N + 1)
+			view := benchView(full, n)
+			m, err := Materialize(view, 28, []string{"alpha", "beta"}, true, []string{"gamma"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				next, err := m.AppendDays(benchView(full, n+i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				m = next
+			}
+		})
+	}
+}
+
+// BenchmarkMaterializeFull is the rebuild baseline AppendDays replaces.
+func BenchmarkMaterializeFull(b *testing.B) {
+	for _, n := range []int{500, 2000, 8000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			full := benchDataset(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Materialize(full, 28, []string{"alpha", "beta"}, true, []string{"gamma"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchDataset(n int) *etl.VehicleDataset {
+	rng := randx.New(7)
+	d := &etl.VehicleDataset{
+		VehicleID: "bench-0",
+		Country:   "IT",
+		Start:     time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC),
+		Hours:     make([]float64, n),
+		Channels: map[string][]float64{
+			"alpha": make([]float64, n),
+			"beta":  make([]float64, n),
+			"gamma": make([]float64, n),
+		},
+		Observed: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		d.Hours[i] = 12 * rng.Float64()
+		d.Channels["alpha"][i] = rng.Normal(50, 10)
+		d.Channels["beta"][i] = rng.Normal(0, 1)
+		d.Channels["gamma"][i] = rng.Float64()
+		d.Observed[i] = true
+	}
+	d.Enrich()
+	return d
+}
+
+// benchView exposes the first k days of full without copying columns —
+// the O(F) view construction the ingest path uses per append.
+func benchView(full *etl.VehicleDataset, k int) *etl.VehicleDataset {
+	v := &etl.VehicleDataset{
+		VehicleID: full.VehicleID, Country: full.Country, Start: full.Start,
+		Hours:    full.Hours[:k],
+		Channels: make(map[string][]float64, len(full.Channels)),
+		Context:  full.Context[:k],
+		Observed: full.Observed[:k],
+	}
+	for name, vals := range full.Channels {
+		v.Channels[name] = vals[:k]
+	}
+	return v
 }
 
 func TestMaterializeErrors(t *testing.T) {

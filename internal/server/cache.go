@@ -71,9 +71,13 @@ type cacheEntry struct {
 }
 
 // flight is one in-progress build; waiters block on done and then
-// share val/err.
+// share val/err. gen records the store generation the build observed:
+// a lookup at a newer generation must not coalesce onto it, or it
+// would return data from a store state that no longer exists marked
+// as cached.
 type flight struct {
 	done chan struct{}
+	gen  uint64
 	val  any
 	err  error
 }
@@ -120,9 +124,11 @@ func (c *ForecastCache) Stats() CacheStats {
 // gen is the vehicle's store generation the caller observed; an entry
 // built against an older generation is evicted and rebuilt. Concurrent
 // calls with the same key coalesce onto one build and share its result
-// (errors included — errors are never stored). The second return
-// reports whether the artifact came from cache or a shared in-flight
-// build rather than a fresh build.
+// (errors included — errors are never stored) — but only when the
+// in-flight build observed the same generation: after a Put, a request
+// that saw the new store state starts its own build instead of sharing
+// a stale one. The second return reports whether the artifact came
+// from cache or a shared in-flight build rather than a fresh build.
 func (c *ForecastCache) Do(key string, gen uint64, build func() (any, error)) (any, bool, error) {
 	return c.DoContext(context.Background(), key, gen, func(context.Context) (any, error) { return build() })
 }
@@ -131,7 +137,9 @@ func (c *ForecastCache) Do(key string, gen uint64, build func() (any, error)) (a
 // active trace span, the lookup is recorded as a "cache.lookup" child
 // whose outcome attribute is hit, miss, coalesced or bypass, and the
 // build runs under the span's context so training stages nest below
-// it.
+// it. A coalesced waiter honours ctx: on cancellation it returns
+// ctx.Err() immediately, leaving the shared build running for the
+// remaining waiters.
 func (c *ForecastCache) DoContext(ctx context.Context, key string, gen uint64, build func(context.Context) (any, error)) (any, bool, error) {
 	ctx, sp := trace.Start(ctx, "cache.lookup")
 	if !c.Enabled() {
@@ -154,20 +162,37 @@ func (c *ForecastCache) DoContext(ctx context.Context, key string, gen uint64, b
 			sp.End()
 			return v, true, nil
 		}
-		// Trained against a store state that no longer exists.
-		c.removeLocked(el)
+		if e.gen < gen {
+			// Trained against a store state that no longer exists.
+			c.removeLocked(el)
+		}
+		// e.gen > gen: the caller raced a Put and observed an older
+		// store state; build for it without evicting the fresher entry
+		// (insertLocked refuses the stale insert afterwards).
 	}
-	if fl, ok := c.inflight[key]; ok {
+	if fl, ok := c.inflight[key]; ok && fl.gen == gen {
 		c.stats.Coalesced++
 		cacheCoalesced.With().Inc()
 		c.mu.Unlock()
 		sp.SetAttr("outcome", "coalesced")
-		<-fl.done
-		sp.SetError(fl.err)
-		sp.End()
-		return fl.val, true, fl.err
+		// The flight keeps running for its other waiters; a canceled
+		// request just stops waiting for it.
+		select {
+		case <-fl.done:
+			sp.SetError(fl.err)
+			sp.End()
+			return fl.val, true, fl.err
+		case <-ctx.Done():
+			err := ctx.Err()
+			sp.SetError(err)
+			sp.End()
+			return nil, false, err
+		}
 	}
-	fl := &flight{done: make(chan struct{})}
+	fl := &flight{done: make(chan struct{}), gen: gen}
+	// Replacing a same-key flight built against another generation is
+	// deliberate: later arrivals at this generation coalesce here, and
+	// the old flight's waiters keep their own pointer.
 	c.inflight[key] = fl
 	c.stats.Misses++
 	cacheMisses.With().Inc()
@@ -184,7 +209,9 @@ func (c *ForecastCache) DoContext(ctx context.Context, key string, gen uint64, b
 		fl.err = fmt.Errorf("server: forecast build for %q panicked", key)
 		close(fl.done)
 		c.mu.Lock()
-		delete(c.inflight, key)
+		if c.inflight[key] == fl {
+			delete(c.inflight, key)
+		}
 		c.mu.Unlock()
 		sp.SetError(fl.err)
 		sp.End()
@@ -194,7 +221,9 @@ func (c *ForecastCache) DoContext(ctx context.Context, key string, gen uint64, b
 	close(fl.done)
 
 	c.mu.Lock()
-	delete(c.inflight, key)
+	if c.inflight[key] == fl {
+		delete(c.inflight, key)
+	}
 	if fl.err == nil {
 		c.insertLocked(key, gen, fl.val)
 	}
@@ -209,6 +238,11 @@ func (c *ForecastCache) DoContext(ctx context.Context, key string, gen uint64, b
 func (c *ForecastCache) insertLocked(key string, gen uint64, val any) {
 	if el, ok := c.byKey[key]; ok {
 		e := el.Value.(*cacheEntry)
+		if gen < e.gen {
+			// A build that observed an older store state finished after
+			// a fresher artifact landed; keep the fresh one.
+			return
+		}
 		e.gen, e.val = gen, val
 		c.ll.MoveToFront(el)
 		return

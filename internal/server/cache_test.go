@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -148,6 +149,113 @@ func TestCacheCoalescing(t *testing.T) {
 	st := c.Stats()
 	if st.Misses != 1 || st.Coalesced+st.Hits != n-1 {
 		t.Errorf("stats = %+v, want 1 miss and %d shared", st, n-1)
+	}
+}
+
+// TestCacheStaleGenerationNotCoalesced is the regression test for the
+// stale-coalescing bug: a lookup that observed generation 2 (after a
+// Put) used to share a build started against generation 1 and return
+// its stale result marked cached. It must start its own build — and
+// the late gen-1 artifact must not clobber the fresher one.
+func TestCacheStaleGenerationNotCoalesced(t *testing.T) {
+	c := NewForecastCache(4)
+	inBuild := make(chan struct{})
+	release := make(chan struct{})
+	oldDone := make(chan any, 1)
+	go func() {
+		v, _, err := c.Do("k", 1, func() (any, error) {
+			close(inBuild)
+			<-release
+			return "old", nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		oldDone <- v
+	}()
+	<-inBuild // gen-1 flight is open; the store has since moved to gen 2
+
+	freshDone := make(chan any, 1)
+	go func() {
+		v, cached, err := c.Do("k", 2, func() (any, error) { return "new", nil })
+		if err != nil {
+			t.Error(err)
+		}
+		if cached {
+			t.Error("gen-2 lookup coalesced onto the stale gen-1 flight")
+		}
+		freshDone <- v
+	}()
+	select {
+	case v := <-freshDone:
+		if v != "new" {
+			t.Fatalf("gen-2 lookup returned %v, want its own build", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("gen-2 lookup blocked behind the stale gen-1 flight")
+	}
+
+	close(release)
+	if v := <-oldDone; v != "old" {
+		t.Fatalf("gen-1 builder returned %v", v)
+	}
+	// The gen-1 build finished last; the cache must still serve gen 2.
+	v, cached, _ := c.Do("k", 2, func() (any, error) { return "rebuilt", nil })
+	if !cached || v != "new" {
+		t.Errorf("cache serves %v (cached=%v), want the gen-2 artifact as a hit", v, cached)
+	}
+}
+
+// TestCacheCanceledWaiterReturns is the regression test for the
+// ignored-cancellation bug: a coalesced waiter used to block on the
+// flight with no ctx select, piling canceled requests behind a slow
+// fit. It must return ctx.Err() immediately and leave the flight
+// running for the others.
+func TestCacheCanceledWaiterReturns(t *testing.T) {
+	c := NewForecastCache(4)
+	inBuild := make(chan struct{})
+	release := make(chan struct{})
+	builderDone := make(chan struct{})
+	go func() {
+		defer close(builderDone)
+		if _, _, err := c.Do("k", 0, func() (any, error) {
+			close(inBuild)
+			<-release
+			return "v", nil
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-inBuild
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	waiterDone := make(chan error, 1)
+	go func() {
+		v, cached, err := c.DoContext(ctx, "k", 0, func(context.Context) (any, error) {
+			t.Error("canceled waiter ran its own build")
+			return nil, nil
+		})
+		if v != nil || cached {
+			t.Errorf("canceled waiter returned v=%v cached=%v", v, cached)
+		}
+		waiterDone <- err
+	}()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled waiter still blocked on the in-flight build")
+	}
+
+	// The flight was not disturbed: it completes and its artifact lands.
+	close(release)
+	<-builderDone
+	v, cached, _ := c.Do("k", 0, func() (any, error) { return "fresh", nil })
+	if !cached || v != "v" {
+		t.Errorf("flight result lost after a waiter canceled: got %v cached=%v", v, cached)
 	}
 }
 

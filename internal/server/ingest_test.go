@@ -1,0 +1,337 @@
+package server
+
+// Acceptance tests for the streaming-ingest loop: raw 10-minute
+// reports POSTed to a running server must become forecast-visible
+// days — durably, per-vehicle, without disturbing other vehicles'
+// cached artifacts.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vup/internal/canbus"
+	"vup/internal/etl"
+	"vup/internal/fstore"
+	"vup/internal/obs"
+)
+
+func postJSON(t *testing.T, url string, body any, wantStatus int, into any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// dayReports builds a plausible device day: six 10-minute reports
+// starting at 08:00 UTC, each fully engine-on, with one analog sample
+// stream per dataset channel.
+func dayReports(d *etl.VehicleDataset, date time.Time, mean float64) []ingestReport {
+	var out []ingestReport
+	for i := 0; i < 6; i++ {
+		r := ingestReport{
+			Start:           date.Add(8*time.Hour + time.Duration(i)*canbus.ReportInterval),
+			EngineOnSeconds: canbus.ReportInterval.Seconds(),
+			Channels:        make(map[string]ingestChannel, len(d.Channels)),
+		}
+		for name := range d.Channels {
+			r.Channels[name] = ingestChannel{Samples: 60, Mean: mean, Min: mean - 1, Max: mean + 1}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func counterValue(t *testing.T, name string, labels ...obs.Label) float64 {
+	t.Helper()
+	s, _ := obs.FindSample(obs.Default.Gather(), name, labels...)
+	return s.Value
+}
+
+// TestIngestEndToEnd is the issue's acceptance criterion: POST a
+// report batch, the next forecast reflects the new days (rebuilt via
+// plan extension, not served stale), the other vehicle's cached
+// artifact survives, the ingest metrics move, and the appended days
+// survive a restart through the fstore append log.
+func TestIngestEndToEnd(t *testing.T) {
+	datasets := persistDatasets(t)
+	store, err := NewStore(datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := fstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Save(datasets); err != nil {
+		t.Fatal(err)
+	}
+	store.SetPersister(dir.SaveVehicle)
+	store.SetAppender(dir.Append)
+
+	api := New(store, persistConfig())
+	api.Cache = NewForecastCache(16)
+	api.IngestPolicy = etl.MissingForwardFill
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+
+	idA, idB := datasets[0].VehicleID, datasets[1].VehicleID
+	lenA := datasets[0].Len()
+	last := datasets[0].Date(lenA - 1)
+
+	// Train both vehicles; B twice so its artifact is known-cached.
+	var beforeA, b1, b2 forecastResponse
+	get(t, srv.URL+"/v1/vehicles/"+idA+"/forecast", 200, &beforeA)
+	get(t, srv.URL+"/v1/vehicles/"+idB+"/forecast", 200, &b1)
+	get(t, srv.URL+"/v1/vehicles/"+idB+"/forecast", 200, &b2)
+	if !b2.Cached {
+		t.Fatal("second forecast of B must be a cache hit")
+	}
+
+	// Ingest days +1 and +3 for A: day +2 has no reports and must be
+	// materialized unobserved, then repaired by the forward-fill policy.
+	reports := append(
+		dayReports(datasets[0], last.AddDate(0, 0, 1), 12.5),
+		dayReports(datasets[0], last.AddDate(0, 0, 3), 14.0)...)
+	accBefore := counterValue(t, "ingest_reports_accepted_total")
+	daysBefore := counterValue(t, "ingest_days_appended_total")
+	lagBefore, _ := obs.FindSample(obs.Default.Gather(), "ingest_to_visible_seconds")
+	extBefore := counterValue(t, "forecast_plan_extended_total")
+
+	var ing ingestResponse
+	postJSON(t, srv.URL+"/v1/vehicles/"+idA+"/ingest", ingestRequest{Reports: reports}, 200, &ing)
+	if ing.Accepted != len(reports) || ing.Rejected != 0 {
+		t.Fatalf("ingest accepted %d rejected %d (%v), want %d/0", ing.Accepted, ing.Rejected, ing.Reasons, len(reports))
+	}
+	if ing.DaysAppended != 3 {
+		t.Fatalf("days_appended = %d, want 3 (two reported + one gap day)", ing.DaysAppended)
+	}
+	if ing.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", ing.Generation)
+	}
+	grown, _ := store.Get(idA)
+	if grown.Len() != lenA+3 {
+		t.Fatalf("store holds %d days, want %d", grown.Len(), lenA+3)
+	}
+	if h := grown.Hours[lenA]; h < 0.999 || h > 1.001 {
+		t.Errorf("day +1 hours = %v, want ~1.0 (six fully-on 10-minute reports)", h)
+	}
+	if grown.Observed[lenA+1] {
+		t.Error("gap day marked observed")
+	}
+
+	// The next forecast of A must train on the new tail...
+	var afterA forecastResponse
+	get(t, srv.URL+"/v1/vehicles/"+idA+"/forecast", 200, &afterA)
+	if afterA.Cached {
+		t.Error("forecast of A served a stale cached artifact after ingest")
+	}
+	// ...by extending the compiled plan, not recompiling it.
+	if got := counterValue(t, "forecast_plan_extended_total"); got < extBefore+1 {
+		t.Errorf("forecast_plan_extended_total = %v, want >= %v: append did not reuse the compiled plan", got, extBefore+1)
+	}
+	// ...while B's artifact — a different vehicle, untouched generation —
+	// keeps hitting.
+	var b3 forecastResponse
+	get(t, srv.URL+"/v1/vehicles/"+idB+"/forecast", 200, &b3)
+	if !b3.Cached {
+		t.Error("ingest into A evicted B's cached artifact")
+	}
+
+	// Ingest telemetry moved.
+	if got := counterValue(t, "ingest_reports_accepted_total"); got != accBefore+float64(len(reports)) {
+		t.Errorf("ingest_reports_accepted_total = %v, want %v", got, accBefore+float64(len(reports)))
+	}
+	if got := counterValue(t, "ingest_days_appended_total"); got != daysBefore+3 {
+		t.Errorf("ingest_days_appended_total = %v, want %v", got, daysBefore+3)
+	}
+	if lagAfter, ok := obs.FindSample(obs.Default.Gather(), "ingest_to_visible_seconds"); !ok || lagAfter.Count < lagBefore.Count+1 {
+		t.Errorf("ingest_to_visible_seconds count %d, want > %d", lagAfter.Count, lagBefore.Count)
+	}
+
+	// Restart: the appended days came back through the append log with
+	// the exact fingerprint the live store served.
+	if err := dir.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := fstore.Open(dir.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := reopened.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, ld := range loaded {
+		if ld.VehicleID != idA {
+			continue
+		}
+		found = true
+		if ld.Len() != grown.Len() {
+			t.Errorf("replayed %d days, want %d", ld.Len(), grown.Len())
+		}
+		if ld.Fingerprint() != grown.Fingerprint() {
+			t.Errorf("fingerprint drifted across restart: %016x vs %016x", ld.Fingerprint(), grown.Fingerprint())
+		}
+	}
+	if !found {
+		t.Fatalf("vehicle %q missing after restart", idA)
+	}
+}
+
+// TestIngestRejections: malformed batches are 4xx, individually bad
+// reports are counted by reason without failing the batch.
+func TestIngestRejections(t *testing.T) {
+	datasets := persistDatasets(t)
+	store, err := NewStore(datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := New(store, persistConfig())
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+	id := datasets[0].VehicleID
+	last := datasets[0].Date(datasets[0].Len() - 1)
+
+	// Unknown vehicle.
+	postJSON(t, srv.URL+"/v1/vehicles/veh-nope/ingest", ingestRequest{Reports: dayReports(datasets[0], last.AddDate(0, 0, 1), 1)}, 404, nil)
+	// Malformed JSON.
+	resp, err := http.Post(srv.URL+"/v1/vehicles/"+id+"/ingest", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+	// Empty batch.
+	postJSON(t, srv.URL+"/v1/vehicles/"+id+"/ingest", ingestRequest{}, 400, nil)
+
+	// Per-report rejections: one stale (covered day), one missing start,
+	// one impossible engine-on, one good.
+	good := dayReports(datasets[0], last.AddDate(0, 0, 1), 10)[0]
+	batch := []ingestReport{
+		{Start: last, EngineOnSeconds: 60},                                   // stale
+		{EngineOnSeconds: 60},                                                // missing_start
+		{Start: last.AddDate(0, 0, 1), EngineOnSeconds: 3 * 600},             // invalid_engine_on
+		{Start: last.AddDate(0, 0, 1).Add(time.Hour), EngineOnSeconds: -1.0}, // invalid_engine_on
+		good,
+	}
+	var ing ingestResponse
+	postJSON(t, srv.URL+"/v1/vehicles/"+id+"/ingest", ingestRequest{Reports: batch}, 200, &ing)
+	if ing.Accepted != 1 || ing.Rejected != 4 {
+		t.Fatalf("accepted %d rejected %d, want 1/4 (%v)", ing.Accepted, ing.Rejected, ing.Reasons)
+	}
+	want := map[string]int{"stale": 1, "missing_start": 1, "invalid_engine_on": 2}
+	for reason, n := range want {
+		if ing.Reasons[reason] != n {
+			t.Errorf("reason %q = %d, want %d", reason, ing.Reasons[reason], n)
+		}
+	}
+	if ing.DaysAppended != 1 {
+		t.Errorf("days_appended = %d, want 1", ing.DaysAppended)
+	}
+
+	// A batch whose newest report is too far ahead: the materialized gap
+	// would exceed the per-batch cap.
+	farAhead := dayReports(datasets[0], last.AddDate(0, 0, maxIngestDays+2), 10)
+	postJSON(t, srv.URL+"/v1/vehicles/"+id+"/ingest", ingestRequest{Reports: farAhead}, 422, nil)
+}
+
+// TestIngestBackpressure: with the concurrency gate full, a batch is
+// shed with 503 + Retry-After instead of queueing on the disk, and the
+// rejection is counted.
+func TestIngestBackpressure(t *testing.T) {
+	datasets := persistDatasets(t)
+	store, err := NewStore(datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := New(store, persistConfig())
+	api.IngestConcurrency = 1
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+	id := datasets[0].VehicleID
+	last := datasets[0].Date(datasets[0].Len() - 1)
+
+	api.ingestGate() <- struct{}{} // occupy the only slot
+	defer func() { <-api.ingestGate() }()
+
+	before := counterValue(t, "ingest_backpressure_rejections_total")
+	raw, err := json.Marshal(ingestRequest{Reports: dayReports(datasets[0], last.AddDate(0, 0, 1), 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/vehicles/"+id+"/ingest", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if got := counterValue(t, "ingest_backpressure_rejections_total"); got != before+1 {
+		t.Errorf("ingest_backpressure_rejections_total = %v, want %v", got, before+1)
+	}
+	if d, _ := store.Get(id); d.Len() != datasets[0].Len() {
+		t.Error("shed batch still appended days")
+	}
+}
+
+// BenchmarkIngestToVisible measures the tentpole's serving-side
+// number: wall time from a one-day report batch hitting the handler to
+// the appended day being forecast-visible, with real append-log fsync
+// durability on a disk-backed store. Recorded in BENCH_ingest.json.
+func BenchmarkIngestToVisible(b *testing.B) {
+	api := benchAPI(b)
+	dir, err := fstore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := dir.Save(api.store.Snapshot()); err != nil {
+		b.Fatal(err)
+	}
+	api.store.SetAppender(dir.Append)
+	h := api.Handler()
+
+	id := "veh-0000"
+	d, _ := api.store.Get(id)
+	date := d.Date(d.Len() - 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		date = date.AddDate(0, 0, 1)
+		raw, err := json.Marshal(ingestRequest{Reports: dayReports(d, date, 12.5)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/vehicles/"+id+"/ingest", bytes.NewReader(raw))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"testing"
+	"time"
 
 	"vup/internal/canbus"
 	"vup/internal/core"
@@ -253,6 +254,186 @@ func TestStorePutRejectedByPersister(t *testing.T) {
 	}
 	if store.Generation(replacement.VehicleID) != gen {
 		t.Error("rejected Put bumped the generation")
+	}
+}
+
+// TestStorePutPersistDoesNotBlockReaders is the regression test for
+// the fsync-under-write-lock bug: Put used to run the persist hook
+// while holding the store's write lock, so one slow disk flush stalled
+// every reader of every vehicle. Persistence must serialize per
+// vehicle only; reads — and writes to other vehicles — proceed.
+func TestStorePutPersistDoesNotBlockReaders(t *testing.T) {
+	datasets := persistDatasets(t)
+	store, err := NewStore(datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, idB := datasets[0].VehicleID, datasets[1].VehicleID
+
+	inPersist := make(chan struct{})
+	release := make(chan struct{})
+	store.SetPersister(func(d *etl.VehicleDataset) error {
+		if d.VehicleID == idA {
+			close(inPersist)
+			<-release
+		}
+		return nil
+	})
+
+	grown := datasets[0].Clone()
+	if err := fstore.ApplyDays(grown, fstore.Day{
+		Date:     grown.Date(grown.Len()-1).AddDate(0, 0, 1),
+		Hours:    3,
+		Observed: true,
+		Channels: singleDayChannels(grown),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	putDone := make(chan error, 1)
+	go func() { putDone <- store.Put(grown) }()
+	<-inPersist // A's persist is parked on the "disk"
+
+	othersDone := make(chan struct{})
+	go func() {
+		defer close(othersDone)
+		if _, ok := store.Get(idB); !ok {
+			t.Errorf("Get(%s) failed", idB)
+		}
+		if _, ok := store.Get(idA); !ok {
+			t.Errorf("Get(%s) failed", idA)
+		}
+		store.Generation(idB)
+		if err := store.Put(datasets[1].Clone()); err != nil {
+			t.Errorf("Put(%s): %v", idB, err)
+		}
+	}()
+	select {
+	case <-othersDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reads blocked behind a slow persist: the store held its write lock across the disk flush")
+	}
+
+	// Before the swap, readers still see the old dataset.
+	if d, _ := store.Get(idA); d.Len() != datasets[0].Len() {
+		t.Errorf("Put visible before persist completed: %d days", d.Len())
+	}
+	close(release)
+	if err := <-putDone; err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := store.Get(idA); d.Len() != grown.Len() {
+		t.Errorf("Put not visible after persist: %d days, want %d", d.Len(), grown.Len())
+	}
+}
+
+// TestStoreAppendLogsAndReplays pins the ingest durability contract:
+// Append writes the *cleaned* day to the append log before making it
+// visible, so a restart that replays the log (which does not re-clean)
+// reproduces the exact bytes — and therefore the exact fingerprint —
+// the live store served.
+func TestStoreAppendLogsAndReplays(t *testing.T) {
+	datasets := persistDatasets(t)
+	store, err := NewStore(datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := fstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Save(datasets); err != nil {
+		t.Fatal(err)
+	}
+	store.SetAppender(dir.Append)
+
+	id := datasets[0].VehicleID
+	gen0 := store.Generation(id)
+	last := datasets[0].Date(datasets[0].Len() - 1)
+	days := []fstore.Day{
+		{Date: last.AddDate(0, 0, 1), Hours: 4.5, Observed: true, Channels: singleDayChannels(datasets[0])},
+		// A missing day: Clean must repair it, and the *repaired* values
+		// must be what reaches the log.
+		{Date: last.AddDate(0, 0, 2), Hours: 0, Observed: false, Channels: singleDayChannels(datasets[0])},
+		{Date: last.AddDate(0, 0, 3), Hours: 6.25, Observed: true, Channels: singleDayChannels(datasets[0])},
+	}
+	grown, gen, err := store.Append(id, days, etl.MissingForwardFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != gen0+1 {
+		t.Errorf("generation %d after append, want %d", gen, gen0+1)
+	}
+	if grown.Len() != datasets[0].Len()+3 {
+		t.Fatalf("appended dataset has %d days, want %d", grown.Len(), datasets[0].Len()+3)
+	}
+	if got, _ := store.Get(id); got.Fingerprint() != grown.Fingerprint() {
+		t.Error("store serves a different dataset than Append returned")
+	}
+
+	// "Restart": replay snapshot + log and compare fingerprints.
+	if err := dir.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := fstore.Open(dir.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := reopened.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, d := range loaded {
+		if d.VehicleID != id {
+			continue
+		}
+		found = true
+		if d.Len() != grown.Len() {
+			t.Errorf("replayed %d days, want %d", d.Len(), grown.Len())
+		}
+		if d.Fingerprint() != grown.Fingerprint() {
+			t.Errorf("fingerprint drifted across the log replay: %016x vs %016x",
+				d.Fingerprint(), grown.Fingerprint())
+		}
+	}
+	if !found {
+		t.Fatalf("vehicle %q missing after reload", id)
+	}
+}
+
+// TestStoreAppendErrors: unknown vehicles and empty batches are
+// rejected without touching the store.
+func TestStoreAppendErrors(t *testing.T) {
+	datasets := persistDatasets(t)
+	store, err := NewStore(datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Append("veh-nope", []fstore.Day{{}}, etl.MissingForwardFill); !errors.Is(err, ErrUnknownVehicle) {
+		t.Errorf("unknown vehicle error = %v, want ErrUnknownVehicle", err)
+	}
+	if _, _, err := store.Append(datasets[0].VehicleID, nil, etl.MissingForwardFill); err == nil {
+		t.Error("empty batch accepted")
+	}
+	// A failing appender must leave memory untouched.
+	boom := errors.New("log write failed")
+	store.SetAppender(func(string, ...fstore.Day) error { return boom })
+	id := datasets[0].VehicleID
+	gen := store.Generation(id)
+	day := fstore.Day{
+		Date:     datasets[0].Date(datasets[0].Len()-1).AddDate(0, 0, 1),
+		Hours:    2,
+		Observed: true,
+		Channels: singleDayChannels(datasets[0]),
+	}
+	if _, _, err := store.Append(id, []fstore.Day{day}, etl.MissingForwardFill); !errors.Is(err, boom) {
+		t.Fatalf("Append error = %v, want %v", err, boom)
+	}
+	if d, _ := store.Get(id); d.Len() != datasets[0].Len() {
+		t.Error("rejected Append mutated the store")
+	}
+	if store.Generation(id) != gen {
+		t.Error("rejected Append bumped the generation")
 	}
 }
 

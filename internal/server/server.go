@@ -22,16 +22,26 @@ import (
 	"vup/internal/classify"
 	"vup/internal/core"
 	"vup/internal/etl"
+	"vup/internal/fstore"
 	"vup/internal/obs"
 	"vup/internal/obs/trace"
 	"vup/internal/regress"
 )
+
+// ErrUnknownVehicle marks writes addressing a vehicle the store does
+// not hold.
+var ErrUnknownVehicle = errors.New("unknown vehicle")
 
 // Store holds the per-vehicle datasets the API serves. It is safe for
 // concurrent readers once populated; Put may replace datasets at run
 // time, bumping that vehicle's generation so caches keyed on its
 // previous state invalidate — without discarding every other vehicle's
 // cached artifacts, which is what a streaming per-vehicle ingest needs.
+//
+// Writes are serialized per vehicle and persist OUTSIDE the store-wide
+// lock: the durability hook fsyncs, and a disk round-trip under s.mu
+// would stall every reader of every vehicle for its duration. The
+// store-wide lock is only ever held for the in-memory swap.
 type Store struct {
 	mu       sync.RWMutex
 	datasets map[string]*etl.VehicleDataset
@@ -43,6 +53,16 @@ type Store struct {
 	// persist, when set, is called on every Put before the dataset
 	// becomes visible; a persist failure rejects the Put.
 	persist func(*etl.VehicleDataset) error
+	// appendLog, when set, is the incremental durability hook Append
+	// prefers over persist: one fsynced log record instead of a full
+	// vehicle snapshot per appended batch.
+	appendLog func(vehicleID string, days ...fstore.Day) error
+
+	// vmu guards vlocks, the per-vehicle writer mutexes. A vehicle's
+	// writers queue on its own mutex, so a slow persist of vehicle A
+	// never blocks a Put of vehicle B — or any reader.
+	vmu    sync.Mutex
+	vlocks map[string]*sync.Mutex
 }
 
 // NewStore builds a store from datasets, keyed by vehicle ID. Every
@@ -76,26 +96,140 @@ func (s *Store) SetPersister(fn func(*etl.VehicleDataset) error) {
 	s.persist = fn
 }
 
+// SetAppender installs the incremental durability hook Append uses:
+// one fsynced append-log record per batch instead of a full vehicle
+// snapshot. The server wires this to fstore.Dir.Append when started
+// with -data-dir; without it, Append falls back to the persister.
+func (s *Store) SetAppender(fn func(vehicleID string, days ...fstore.Day) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appendLog = fn
+}
+
+// vehicleLock returns the writer mutex of one vehicle, creating it on
+// first use.
+func (s *Store) vehicleLock(id string) *sync.Mutex {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	if s.vlocks == nil {
+		s.vlocks = make(map[string]*sync.Mutex)
+	}
+	l, ok := s.vlocks[id]
+	if !ok {
+		l = &sync.Mutex{}
+		s.vlocks[id] = l
+	}
+	return l
+}
+
 // Put inserts or replaces one vehicle's dataset and bumps that
 // vehicle's generation, invalidating cached artifacts trained on its
 // prior state. Other vehicles' generations — and therefore their
 // cached artifacts — are untouched. With a persister installed, the
-// dataset is persisted first and an error leaves the store unchanged.
+// dataset is persisted first and an error leaves the store unchanged;
+// the persist (a disk fsync) runs outside the store-wide lock, under
+// the vehicle's own writer mutex, so it never stalls readers or other
+// vehicles' writers.
 func (s *Store) Put(d *etl.VehicleDataset) error {
 	if err := d.Validate(); err != nil {
 		return fmt.Errorf("server: dataset %q: %w", d.VehicleID, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.persist != nil {
-		if err := s.persist(d); err != nil {
+	vl := s.vehicleLock(d.VehicleID)
+	vl.Lock()
+	defer vl.Unlock()
+	s.mu.RLock()
+	persist := s.persist
+	s.mu.RUnlock()
+	if persist != nil {
+		if err := persist(d); err != nil {
 			return fmt.Errorf("server: persist %q: %w", d.VehicleID, err)
 		}
 	}
+	s.mu.Lock()
 	s.datasets[d.VehicleID] = d
 	s.fps[d.VehicleID] = d.Fingerprint()
 	s.gens[d.VehicleID]++
+	s.mu.Unlock()
 	return nil
+}
+
+// Append is the streaming-ingest write path: it extends one vehicle's
+// series with incremental days (as produced by summarizing a report
+// batch), repairs only the appended suffix with the given missing-day
+// policy, makes the result durable, and swaps it in with a generation
+// bump. The stored dataset is never mutated — readers and cached plans
+// keep a consistent view; the append builds on a clone.
+//
+// The days logged to the append hook are the CLEANED days, so a replay
+// of the log at load time (which does not re-run Clean) reproduces the
+// in-memory series bit for bit — fingerprints, and therefore cache
+// keys, survive a restart.
+//
+// It returns the grown dataset and the vehicle's new generation.
+func (s *Store) Append(id string, days []fstore.Day, policy etl.MissingPolicy) (*etl.VehicleDataset, uint64, error) {
+	if len(days) == 0 {
+		return nil, 0, fmt.Errorf("server: append to %q with no days", id)
+	}
+	vl := s.vehicleLock(id)
+	vl.Lock()
+	defer vl.Unlock()
+	s.mu.RLock()
+	cur, ok := s.datasets[id]
+	appendLog, persist := s.appendLog, s.persist
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("server: %w: %q", ErrUnknownVehicle, id)
+	}
+	// Appends extend history, never rewrite it: a day at or before the
+	// stored tail (e.g. from two racing batches for the same vehicle —
+	// both summarized against the same snapshot, serialized here) is
+	// refused rather than spliced out of order.
+	last := cur.Date(cur.Len() - 1)
+	for _, day := range days {
+		if !day.Date.After(last) {
+			return nil, 0, fmt.Errorf("server: append %q: day %s is not after the stored series end %s",
+				id, day.Date.Format("2006-01-02"), last.Format("2006-01-02"))
+		}
+	}
+	from := cur.Len()
+	grown := cur.Clone()
+	if err := fstore.ApplyDays(grown, days...); err != nil {
+		return nil, 0, fmt.Errorf("server: append %q: %w", id, err)
+	}
+	if _, err := etl.CleanFrom(grown, policy, from); err != nil {
+		return nil, 0, fmt.Errorf("server: append %q: %w", id, err)
+	}
+	// Durability before visibility, outside the store-wide lock.
+	switch {
+	case appendLog != nil:
+		if err := appendLog(id, tailDays(grown, from)...); err != nil {
+			return nil, 0, fmt.Errorf("server: append log %q: %w", id, err)
+		}
+	case persist != nil:
+		if err := persist(grown); err != nil {
+			return nil, 0, fmt.Errorf("server: persist %q: %w", id, err)
+		}
+	}
+	s.mu.Lock()
+	s.datasets[id] = grown
+	s.fps[id] = grown.Fingerprint()
+	s.gens[id]++
+	gen := s.gens[id]
+	s.mu.Unlock()
+	return grown, gen, nil
+}
+
+// tailDays re-reads the appended (cleaned) suffix of d as log records.
+func tailDays(d *etl.VehicleDataset, from int) []fstore.Day {
+	out := make([]fstore.Day, 0, d.Len()-from)
+	for i := from; i < d.Len(); i++ {
+		ch := make(map[string]float64, len(d.Channels))
+		for name, vals := range d.Channels {
+			ch[name] = vals[i]
+		}
+		out = append(out, fstore.Day{Date: d.Date(i), Hours: d.Hours[i], Observed: d.Observed[i], Channels: ch})
+	}
+	return out
 }
 
 // Snapshot returns every stored dataset, sorted by vehicle ID — the
@@ -173,6 +307,19 @@ type API struct {
 	// the X-Trace-Id response header) and stores tail-sampled traces
 	// for GET /debug/traces. Nil disables tracing at zero cost.
 	Traces *trace.Collector
+	// IngestPolicy selects how gap days inside an ingested batch are
+	// repaired (zero value: MissingZero, the paper's default).
+	IngestPolicy etl.MissingPolicy
+	// IngestConcurrency bounds concurrent ingest batches; <= 0 means
+	// the default gate (see defaultIngestConcurrency). Beyond it,
+	// batches are shed with 503 + Retry-After.
+	IngestConcurrency int
+
+	// ingestSem is the ingest concurrency gate, sized by Handler.
+	ingestSem chan struct{}
+	// seeds holds the last compiled plan per vehicle+config so a build
+	// after an append can extend it instead of recompiling (planFor).
+	seeds sync.Map
 }
 
 // New creates an API over the store with the given base configuration.
@@ -192,7 +339,9 @@ func (a *API) Handler() http.Handler {
 	mux.Handle("GET /v1/vehicles/{id}/forecast", a.instrument("/v1/vehicles/{id}/forecast", a.handleForecast))
 	mux.Handle("GET /v1/vehicles/{id}/evaluation", a.instrument("/v1/vehicles/{id}/evaluation", a.handleEvaluation))
 	mux.Handle("GET /v1/vehicles/{id}/levels", a.instrument("/v1/vehicles/{id}/levels", a.handleLevels))
+	mux.Handle("POST /v1/vehicles/{id}/ingest", a.instrument("/v1/vehicles/{id}/ingest", a.handleIngest))
 	mux.Handle("GET /metrics", obs.Handler())
+	a.ingestGate() // size the gate before serving starts
 	return mux
 }
 
@@ -214,6 +363,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusClientClosedRequest is nginx's convention for a request the
+// client abandoned; no stdlib constant exists for it.
+const statusClientClosedRequest = 499
+
+// buildStatus maps a pipeline-build error to an HTTP status: a
+// canceled request is the client's doing, a deadline is a timeout,
+// anything else means the pipeline rejected the input.
+func buildStatus(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 // healthResponse is the GET /healthz payload: liveness plus the
@@ -430,14 +597,14 @@ func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
 		}
 		kind := "interval:" + strconv.FormatFloat(level, 'g', -1, 64)
 		val, cached, err := a.Cache.DoContext(r.Context(), cacheKey(kind, d.VehicleID, fp, cfg), gen, func(ctx context.Context) (any, error) {
-			p, err := core.NewPlanContext(ctx, d, cfg)
+			p, err := a.planFor(ctx, d, fp, cfg)
 			if err != nil {
 				return nil, err
 			}
 			return p.ForecastIntervalContext(ctx, level)
 		})
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "forecast failed: %v", err)
+			writeError(w, buildStatus(err), "forecast failed: %v", err)
 			return
 		}
 		iv := val.(*core.Interval)
@@ -447,7 +614,7 @@ func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
 		resp.Cached = cached
 	} else {
 		val, cached, err := a.Cache.DoContext(r.Context(), cacheKey("point", d.VehicleID, fp, cfg), gen, func(ctx context.Context) (any, error) {
-			p, err := core.NewPlanContext(ctx, d, cfg)
+			p, err := a.planFor(ctx, d, fp, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -462,7 +629,7 @@ func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
 			return pointForecast{fitted: fitted, hours: hours, lags: fitted.Lags()}, nil
 		})
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "forecast failed: %v", err)
+			writeError(w, buildStatus(err), "forecast failed: %v", err)
 			return
 		}
 		pf := val.(pointForecast)
@@ -472,7 +639,7 @@ func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
 		if horizon > 0 {
 			steps, err := pf.fitted.HorizonContext(r.Context(), horizon, nil)
 			if err != nil {
-				writeError(w, http.StatusUnprocessableEntity, "forecast failed: %v", err)
+				writeError(w, buildStatus(err), "forecast failed: %v", err)
 				return
 			}
 			resp.Horizon = steps
@@ -556,10 +723,14 @@ func (a *API) handleEvaluation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	val, cached, err := a.Cache.DoContext(r.Context(), cacheKey("eval", d.VehicleID, fp, cfg), gen, func(ctx context.Context) (any, error) {
-		return core.EvaluateVehicleContext(ctx, d, cfg)
+		p, err := a.planFor(ctx, d, fp, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return p.EvaluateContext(ctx)
 	})
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "evaluation failed: %v", err)
+		writeError(w, buildStatus(err), "evaluation failed: %v", err)
 		return
 	}
 	res := val.(*core.Result)
