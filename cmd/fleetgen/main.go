@@ -35,6 +35,7 @@ func main() {
 		scale    = flag.String("scale", "custom", `"custom" (use -units/-days) or "full" (the study's 2 239 vehicles over 1 369 days)`)
 		out      = flag.String("out", "fleet.csv", `output CSV path (- for stdout, "" to skip CSV)`)
 		storeDir = flag.String("store-dir", "", "also save the fleet as a binary store directory (internal/fstore) that vup-server -data-dir boots from")
+		verify   = flag.Bool("verify", false, "after saving -store-dir, reopen it from the manifest alone and lazily load every vehicle back, checking fingerprints")
 	)
 	flag.Parse()
 
@@ -47,9 +48,47 @@ func main() {
 	if *out == "" && *storeDir == "" {
 		log.Fatal("nothing to do: both -out and -store-dir are empty")
 	}
+	if *verify && *storeDir == "" {
+		log.Fatal("-verify needs -store-dir")
+	}
 	if err := run(cfg, *out, *storeDir); err != nil {
 		log.Fatal(err)
 	}
+	if *verify {
+		if err := verifyStore(*storeDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// verifyStore reopens a just-written store the way a lazy vup-server
+// would: manifest-only boot, then one LoadVehicle per manifest entry.
+// Fingerprints are re-verified against the manifest inside LoadVehicle,
+// so a clean pass proves every vehicle file decodes and round-trips
+// bit-for-bit. It also reports the SizeBytes residency estimate the
+// server's -resident-budget accountant would charge for the full fleet.
+func verifyStore(storeDir string) error {
+	dir, err := fstore.Open(storeDir)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	defer dir.Close()
+
+	ids := dir.VehicleIDs()
+	if len(ids) == 0 {
+		return fmt.Errorf("verify: store %s has no manifest entries", storeDir)
+	}
+	var total int64
+	for _, id := range ids {
+		d, err := dir.LoadVehicle(id)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		total += d.SizeBytes()
+	}
+	_, _ = fmt.Fprintf(os.Stderr, "fleetgen: verified %d vehicles via lazy load; full-fleet residency estimate %d bytes (%.1f MiB)\n",
+		len(ids), total, float64(total)/(1<<20))
+	return nil
 }
 
 func run(cfg fleet.Config, out, storeDir string) error {

@@ -19,6 +19,13 @@
 // corrupt store is a startup error naming the file and byte offset —
 // delete or restore the directory to recover.
 //
+// With -lazy-load the boot reads only the manifest: vehicle snapshots
+// decode on first request (single-flighted per vehicle), and under
+// -resident-budget cold datasets evict LRU so resident memory is
+// bounded by the budget, not the fleet. A corrupt vehicle file then
+// fails only that vehicle's requests, not the boot. Shutdown
+// re-snapshots only dirty residents.
+//
 // Endpoints:
 //
 //	GET /healthz
@@ -82,19 +89,22 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		debugAddr    = flag.String("debug-addr", "", "optional listen address for pprof, expvar and trace endpoints (e.g. :6060); disabled when empty")
-		units        = flag.Int("units", 30, "fleet size to generate")
-		days         = flag.Int("days", 600, "observation days")
-		seed         = flag.Int64("seed", 1, "generation seed")
-		cacheSize    = flag.Int("cache-size", 256, "trained-forecast cache capacity in entries; 0 disables caching and request coalescing")
-		dataDir      = flag.String("data-dir", "", "fleet store directory; loads the saved fleet on boot (generating and saving one on first run) and persists changes; empty keeps the fleet in memory only")
-		ingestPolicy = flag.String("ingest-policy", "forward-fill", "missing-day repair for ingested gap days: zero, forward-fill or interpolate")
-		ingestConc   = flag.Int("ingest-concurrency", 4, "concurrent ingest batches admitted before shedding with 503")
-		traceBuffer  = flag.Int("trace-buffer", 256, "stored-trace ring buffer capacity behind /debug/traces; 0 disables tracing")
-		traceSample  = flag.Float64("trace-sample", 0.1, "tail-sampling keep probability for fast, clean traces (errors and slow requests are always kept; >=1 keeps everything)")
-		traceSlow    = flag.Duration("trace-slow", 100*time.Millisecond, "root latency at or above which a trace is always kept")
-		verbose      = flag.Bool("v", false, "log at debug level")
+		addr           = flag.String("addr", ":8080", "listen address")
+		debugAddr      = flag.String("debug-addr", "", "optional listen address for pprof, expvar and trace endpoints (e.g. :6060); disabled when empty")
+		units          = flag.Int("units", 30, "fleet size to generate")
+		days           = flag.Int("days", 600, "observation days")
+		seed           = flag.Int64("seed", 1, "generation seed")
+		cacheSize      = flag.Int("cache-size", 256, "trained-forecast cache capacity in entries; 0 disables caching and request coalescing")
+		dataDir        = flag.String("data-dir", "", "fleet store directory; loads the saved fleet on boot (generating and saving one on first run) and persists changes; empty keeps the fleet in memory only")
+		lazyLoad       = flag.Bool("lazy-load", false, "with -data-dir: boot from the manifest alone and load vehicle snapshots on first request instead of decoding the whole fleet")
+		residentBudget = flag.Int64("resident-budget", 0, "with -lazy-load: evict cold vehicle datasets once their estimated resident bytes exceed this budget; 0 keeps everything loaded so far")
+		compactEvery   = flag.Int("compact-threshold", 64, "with -data-dir: fold a vehicle's append-log backlog into its snapshot once it reaches this many records; 0 disables compaction")
+		ingestPolicy   = flag.String("ingest-policy", "forward-fill", "missing-day repair for ingested gap days: zero, forward-fill or interpolate")
+		ingestConc     = flag.Int("ingest-concurrency", 4, "concurrent ingest batches admitted before shedding with 503")
+		traceBuffer    = flag.Int("trace-buffer", 256, "stored-trace ring buffer capacity behind /debug/traces; 0 disables tracing")
+		traceSample    = flag.Float64("trace-sample", 0.1, "tail-sampling keep probability for fast, clean traces (errors and slow requests are always kept; >=1 keeps everything)")
+		traceSlow      = flag.Duration("trace-slow", 100*time.Millisecond, "root latency at or above which a trace is always kept")
+		verbose        = flag.Bool("v", false, "log at debug level")
 	)
 	flag.Parse()
 
@@ -104,8 +114,13 @@ func main() {
 	}
 	logg := obs.NewLogger(os.Stderr, level).With("component", "vup-server")
 
+	if *lazyLoad && *dataDir == "" {
+		logg.Error("-lazy-load requires -data-dir")
+		os.Exit(1)
+	}
 	var dir *fstore.Dir
 	var datasets []*etl.VehicleDataset
+	var lazyIDs []string
 	if *dataDir != "" {
 		var err error
 		dir, err = fstore.Open(*dataDir)
@@ -114,21 +129,33 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		loaded, man, err := dir.Load()
-		switch {
-		case err == nil:
-			datasets = loaded
-			logg.Info("fleet loaded from store", "dir", *dataDir, "vehicles", len(man.Vehicles), "took", time.Since(start).Round(time.Millisecond))
-		case errors.Is(err, fstore.ErrNoManifest):
-			logg.Info("fleet store empty, generating", "dir", *dataDir)
-		default:
-			// A corrupt store must stop the boot, not silently fall back
-			// to a regenerated fleet with different fingerprints.
-			logg.Error("fleet store load failed", "dir", *dataDir, "error", err)
-			os.Exit(1)
+		if *lazyLoad {
+			// Manifest-only boot: the roster comes from Open's manifest
+			// read; no VUPD snapshot is decoded until a request asks
+			// for its vehicle.
+			lazyIDs = dir.VehicleIDs()
+			if len(lazyIDs) > 0 {
+				logg.Info("fleet store indexed for lazy load", "dir", *dataDir, "vehicles", len(lazyIDs), "took", time.Since(start).Round(time.Millisecond))
+			} else {
+				logg.Info("fleet store empty, generating", "dir", *dataDir)
+			}
+		} else {
+			loaded, man, err := dir.Load()
+			switch {
+			case err == nil:
+				datasets = loaded
+				logg.Info("fleet loaded from store", "dir", *dataDir, "vehicles", len(man.Vehicles), "took", time.Since(start).Round(time.Millisecond))
+			case errors.Is(err, fstore.ErrNoManifest):
+				logg.Info("fleet store empty, generating", "dir", *dataDir)
+			default:
+				// A corrupt store must stop the boot, not silently fall back
+				// to a regenerated fleet with different fingerprints.
+				logg.Error("fleet store load failed", "dir", *dataDir, "error", err)
+				os.Exit(1)
+			}
 		}
 	}
-	if datasets == nil {
+	if datasets == nil && len(lazyIDs) == 0 {
 		fc := vup.SmallFleet()
 		fc.Units = *units
 		fc.Days = *days
@@ -148,6 +175,12 @@ func main() {
 				os.Exit(1)
 			}
 			logg.Info("fleet saved to store", "dir", *dataDir, "vehicles", len(datasets))
+			if *lazyLoad {
+				// Hand the generated fleet back to the lazy path so the
+				// serving store is the same either way.
+				lazyIDs = dir.VehicleIDs()
+				datasets = nil
+			}
 		}
 	}
 
@@ -159,7 +192,16 @@ func main() {
 	base.Stride = 5
 	base.Channels = []string{canbus.ChanFuelRate, canbus.ChanEngineSpeed}
 
-	store, err := server.NewStore(datasets)
+	var store *server.Store
+	var err error
+	if len(lazyIDs) > 0 {
+		store, err = server.NewLazyStore(lazyIDs, dir.LoadVehicle, *residentBudget)
+		if err == nil {
+			logg.Info("lazy store ready", "vehicles", len(lazyIDs), "resident_budget", *residentBudget)
+		}
+	} else {
+		store, err = server.NewStore(datasets)
+	}
 	if err != nil {
 		logg.Error("store rejected datasets", "error", err)
 		os.Exit(1)
@@ -168,9 +210,18 @@ func main() {
 		// Every Put snapshots the changed vehicle before it becomes
 		// visible; a full compacting snapshot runs at shutdown. Ingested
 		// batches take the cheaper path: one fsynced append-log record
-		// per batch, replayed over the snapshot at the next boot.
+		// per batch, replayed over the snapshot at the next boot — and
+		// folded into the vehicle's snapshot once the backlog passes
+		// -compact-threshold, so a long-ingesting vehicle never replays
+		// an unbounded log.
 		store.SetPersister(dir.SaveVehicle)
 		store.SetAppender(dir.Append)
+		if *compactEvery > 0 {
+			threshold := *compactEvery
+			store.SetCompactor(func(d *etl.VehicleDataset) (bool, error) {
+				return dir.MaybeCompact(d, threshold)
+			})
+		}
 	}
 	api := server.New(store, base)
 	api.Cache = server.NewForecastCache(*cacheSize)
@@ -248,15 +299,30 @@ func main() {
 		}
 		if dir != nil {
 			start := time.Now()
-			if _, err := dir.Save(store.Snapshot()); err != nil {
-				logg.Error("shutdown snapshot failed", "dir", *dataDir, "error", err)
-				os.Exit(1)
+			if store.Lazy() {
+				// A full Save would shrink the manifest to whatever
+				// happens to be resident. Re-snapshot only the dirty
+				// residents; every other vehicle's state is already
+				// durable in its snapshot plus the append log.
+				dirty := store.DirtyResidents()
+				for _, d := range dirty {
+					if err := dir.SaveVehicle(d); err != nil {
+						logg.Error("shutdown snapshot failed", "vehicle", d.VehicleID, "error", err)
+						os.Exit(1)
+					}
+				}
+				logg.Info("dirty residents snapshotted", "dir", *dataDir, "vehicles", len(dirty), "took", time.Since(start).Round(time.Millisecond))
+			} else {
+				if _, err := dir.Save(store.Snapshot()); err != nil {
+					logg.Error("shutdown snapshot failed", "dir", *dataDir, "error", err)
+					os.Exit(1)
+				}
+				logg.Info("fleet snapshot written", "dir", *dataDir, "took", time.Since(start).Round(time.Millisecond))
 			}
 			if err := dir.Close(); err != nil {
 				logg.Error("fleet store close failed", "dir", *dataDir, "error", err)
 				os.Exit(1)
 			}
-			logg.Info("fleet snapshot written", "dir", *dataDir, "took", time.Since(start).Round(time.Millisecond))
 		}
 	}
 }

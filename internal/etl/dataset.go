@@ -73,6 +73,34 @@ func (d *VehicleDataset) Date(i int) time.Time {
 	return d.Start.AddDate(0, 0, i)
 }
 
+// SizeBytes estimates the dataset's resident heap footprint: the
+// per-day arrays (hours, observed, context, channels, explicit dates)
+// plus string and map headers. It is a deterministic accounting
+// estimate, not a runtime measurement — the server's resident-memory
+// budget needs a stable number that two loads of the same bytes agree
+// on, which unsafe.Sizeof-walking live allocations would not give.
+func (d *VehicleDataset) SizeBytes() int64 {
+	const (
+		headerBytes  = 96 // struct itself: strings, Start, slice headers
+		contextBytes = 56 // Context: 5 int-sized fields + 2 bools, padded
+		sliceHeader  = 24
+		mapEntry     = 48 // map bucket share + string key header
+	)
+	n := int64(d.Len())
+	size := int64(headerBytes)
+	size += n * 8 // Hours
+	size += n     // Observed
+	size += n * contextBytes
+	for name := range d.Channels {
+		size += mapEntry + int64(len(name)) + sliceHeader + n*8
+	}
+	if d.Dates != nil {
+		size += sliceHeader + n*24 // time.Time is 3 words
+	}
+	size += int64(len(d.VehicleID) + len(d.ModelID) + len(d.Country))
+	return size
+}
+
 // Validate checks internal alignment.
 func (d *VehicleDataset) Validate() error {
 	n := len(d.Hours)

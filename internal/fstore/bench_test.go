@@ -9,6 +9,7 @@ package fstore
 import (
 	"fmt"
 	"math"
+	"os"
 	"testing"
 	"time"
 
@@ -149,6 +150,107 @@ func BenchmarkStoreColdBoot(b *testing.B) {
 			b.Fatalf("loaded %d vehicles, want %d", len(loaded), len(datasets))
 		}
 		if err := dir.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// savedFleetDir saves a synthetic fleet once and returns its path.
+func savedFleetDir(b *testing.B, n, days int) string {
+	b.Helper()
+	datasets := synthFleet(n, days)
+	path := b.TempDir()
+	dir, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := dir.Save(datasets); err != nil {
+		b.Fatal(err)
+	}
+	if err := dir.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// benchFleetSizes returns the fleet sizes to benchmark boots at. The
+// 10 000-vehicle point takes minutes to set up; it is gated behind
+// VUP_BENCH_LARGE=1 (the BENCH_boot.json capture sets it).
+func benchFleetSizes() []int {
+	if os.Getenv("VUP_BENCH_LARGE") == "1" {
+		return []int{1000, 10000}
+	}
+	return []int{1000}
+}
+
+// BenchmarkBootManifest measures what a lazy vup-server pays on start:
+// open the directory, parse the manifest and index the log — no
+// snapshot is decoded. Compare against BenchmarkBootEager at the same
+// fleet size; the gap is what -lazy-load buys (BENCH_boot.json).
+func BenchmarkBootManifest(b *testing.B) {
+	for _, n := range benchFleetSizes() {
+		b.Run(fmt.Sprintf("vehicles=%d", n), func(b *testing.B) {
+			path := savedFleetDir(b, n, 365)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dir, err := Open(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := len(dir.VehicleIDs()); got != n {
+					b.Fatalf("roster lists %d vehicles, want %d", got, n)
+				}
+				if err := dir.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBootEager is the whole-fleet-in-RAM boot at the same fleet
+// sizes: decode and verify every snapshot. (BenchmarkStoreColdBoot is
+// its throughput-oriented sibling; this one exists to pair with
+// BenchmarkBootManifest point for point.)
+func BenchmarkBootEager(b *testing.B) {
+	for _, n := range benchFleetSizes() {
+		b.Run(fmt.Sprintf("vehicles=%d", n), func(b *testing.B) {
+			path := savedFleetDir(b, n, 365)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dir, err := Open(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				loaded, _, err := dir.Load()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(loaded) != n {
+					b.Fatalf("loaded %d vehicles, want %d", len(loaded), n)
+				}
+				if err := dir.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLazyFirstLoad is the per-vehicle fault a lazy server pays
+// on a cold request: decode one snapshot and verify it against the
+// manifest. This is the latency a cold vehicle's first forecast
+// carries on top of the model fit.
+func BenchmarkLazyFirstLoad(b *testing.B) {
+	path := savedFleetDir(b, 100, 365)
+	dir, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := dir.VehicleIDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dir.LoadVehicle(ids[i%len(ids)]); err != nil {
 			b.Fatal(err)
 		}
 	}

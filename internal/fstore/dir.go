@@ -33,6 +33,10 @@ const (
 // Save it.
 var ErrNoManifest = errors.New("fstore: no manifest in directory")
 
+// ErrUnknownVehicle is returned by LoadVehicle for an ID the manifest
+// does not list.
+var ErrUnknownVehicle = errors.New("fstore: unknown vehicle")
+
 // CorruptError is the file-level decode failure: which file, at which
 // byte offset, and why. The wrapped error carries the failure class
 // (relational.ErrChecksum, relational.ErrTruncated, ErrMismatch, ...)
@@ -115,12 +119,21 @@ type Dir struct {
 	manifest *Manifest // last manifest read or written; nil before first Save/Load
 	log      *os.File  // append handle, opened on first Append
 	lastSeq  uint64    // highest sequence number present in the log
+	logSize  int64     // byte length of the log file, for record offsets
+	// pending indexes, per vehicle, the append-log records not yet
+	// folded into that vehicle's snapshot (seq > AppliedSeq). Open and
+	// Load rebuild it from disk; Append extends it; SaveVehicle drops
+	// one vehicle's slice; Save drops it all. LoadVehicle replays from
+	// this index instead of re-parsing the whole log per vehicle.
+	pending map[string][]logRecord
 }
 
 // Open prepares a fleet directory for use, creating it if needed. An
 // existing manifest and append log are indexed (the log is fully
-// parsed so appends continue the sequence); a torn or corrupt log
-// fails here, loudly, rather than at the first append.
+// parsed so appends continue the sequence and per-vehicle lazy loads
+// replay without rescanning); a torn or corrupt log — or a log record
+// naming a vehicle the manifest does not list — fails here, loudly,
+// rather than at the first append.
 func Open(path string) (*Dir, error) {
 	if err := os.MkdirAll(path, 0o755); err != nil {
 		return nil, fmt.Errorf("fstore: open %s: %w", path, err)
@@ -131,17 +144,54 @@ func Open(path string) (*Dir, error) {
 		return nil, err
 	}
 	d.manifest = m
-	logPath := filepath.Join(path, logName)
-	if data, err := os.ReadFile(logPath); err == nil && len(data) > 0 {
-		recs, err := parseLog(data)
-		if err != nil {
-			return nil, corruptErr(logPath, err)
-		}
-		d.lastSeq = recs[len(recs)-1].seq
-	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("fstore: open %s: %w", logPath, err)
+	if err := d.indexLogLocked(m); err != nil {
+		return nil, err
 	}
 	return d, nil
+}
+
+// indexLogLocked re-reads the append log from disk and rebuilds the
+// per-vehicle pending index against manifest m: records at or below a
+// vehicle's AppliedSeq are already in its snapshot and are dropped; a
+// record naming a vehicle outside the manifest is corruption (with a
+// nil manifest — a directory never saved to — every record is kept).
+// Caller holds d.mu (or is constructing d).
+func (d *Dir) indexLogLocked(m *Manifest) error {
+	logPath := filepath.Join(d.path, logName)
+	d.pending = make(map[string][]logRecord)
+	d.lastSeq = 0
+	d.logSize = 0
+	data, err := os.ReadFile(logPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("fstore: open %s: %w", logPath, err)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	recs, err := parseLog(data)
+	if err != nil {
+		return corruptErr(logPath, err)
+	}
+	for _, rec := range recs {
+		var applied uint64
+		if m != nil {
+			e, ok := m.Entry(rec.vehicleID)
+			if !ok {
+				return &CorruptError{File: logPath, Offset: rec.offset,
+					Err: fmt.Errorf("%w: log record %d names unknown vehicle %q", ErrMismatch, rec.seq, rec.vehicleID)}
+			}
+			applied = e.AppliedSeq
+		}
+		if rec.seq > applied {
+			d.pending[rec.vehicleID] = append(d.pending[rec.vehicleID], rec)
+		}
+	}
+	d.lastSeq = recs[len(recs)-1].seq
+	d.logSize = int64(len(data))
+	return nil
 }
 
 // Path returns the directory path.
@@ -266,6 +316,8 @@ func (d *Dir) Save(datasets []*etl.VehicleDataset) (*Manifest, error) {
 		return nil, fmt.Errorf("fstore: truncate log: %w", err)
 	}
 	d.lastSeq = 0
+	d.logSize = 0
+	d.pending = make(map[string][]logRecord)
 	entries, err := os.ReadDir(d.path)
 	if err != nil {
 		return nil, fmt.Errorf("fstore: sweep %s: %w", d.path, err)
@@ -333,6 +385,9 @@ func (d *Dir) SaveVehicle(ds *etl.VehicleDataset) error {
 		return err
 	}
 	d.manifest = m
+	// The snapshot embodies every record logged so far for this
+	// vehicle (AppliedSeq = lastSeq): its pending slice is spent.
+	delete(d.pending, ds.VehicleID)
 	snapshotBytes.With().Add(uint64(len(data) + n))
 	snapshotSeconds.With().ObserveSince(start)
 	return nil
@@ -377,12 +432,120 @@ func (d *Dir) Manifest() *Manifest {
 	return d.manifest
 }
 
-// Load cold-boots the fleet: reads the manifest, decodes every
-// snapshot, verifies each dataset's recomputed fingerprint against
-// the manifest (so a fingerprint read from the manifest is proof the
-// bytes on disk still mean what they meant when cached artifacts were
-// keyed on them), then replays unapplied append-log records and
-// re-derives contexts. Datasets come back sorted by vehicle ID.
+// decodeVehicleFile decodes one vehicle's snapshot and verifies it
+// against its manifest entry: the embedded vehicle ID, the recomputed
+// dataset fingerprint (so a fingerprint read from the manifest is
+// proof the bytes on disk still mean what they meant when cached
+// artifacts were keyed on them) and the day count. It touches only the
+// one file, so concurrent callers need no Dir lock.
+func decodeVehicleFile(dirPath string, e ManifestEntry) (*etl.VehicleDataset, error) {
+	path := filepath.Join(dirPath, e.File)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fstore: load %q: %w", e.ID, err)
+	}
+	ds, err := DecodeDataset(data)
+	if err != nil {
+		return nil, corruptErr(path, err)
+	}
+	if ds.VehicleID != e.ID {
+		return nil, corruptErr(path, fmt.Errorf("%w: snapshot is for vehicle %q, manifest says %q", ErrMismatch, ds.VehicleID, e.ID))
+	}
+	if got := fmt.Sprintf("%016x", ds.Fingerprint()); got != e.Fingerprint {
+		return nil, corruptErr(path, fmt.Errorf("%w: dataset fingerprint %s, manifest says %s", ErrMismatch, got, e.Fingerprint))
+	}
+	if ds.Len() != e.Days {
+		return nil, corruptErr(path, fmt.Errorf("%w: snapshot has %d days, manifest says %d", ErrMismatch, ds.Len(), e.Days))
+	}
+	return ds, nil
+}
+
+// replayPending folds a vehicle's unapplied log records into its
+// freshly decoded snapshot and re-derives contexts. recs must be that
+// vehicle's pending slice (already filtered to seq > AppliedSeq).
+func (d *Dir) replayPending(ds *etl.VehicleDataset, recs []logRecord) (int, error) {
+	replayed := 0
+	for _, rec := range recs {
+		if err := applyDays(ds, rec.days); err != nil {
+			return replayed, &CorruptError{File: filepath.Join(d.path, logName), Offset: rec.offset, Err: err}
+		}
+		replayed++
+	}
+	if replayed > 0 {
+		ds.Enrich()
+		if err := ds.Validate(); err != nil {
+			return replayed, fmt.Errorf("fstore: replayed dataset %q: %w", ds.VehicleID, err)
+		}
+	}
+	return replayed, nil
+}
+
+// VehicleIDs returns every vehicle ID the manifest lists, sorted —
+// the fleet roster a lazy boot starts from without decoding a single
+// snapshot. It is nil before the first Save or Load on a fresh
+// directory.
+func (d *Dir) VehicleIDs() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.manifest == nil {
+		return nil
+	}
+	out := make([]string, 0, len(d.manifest.Vehicles))
+	for _, e := range d.manifest.Vehicles {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PendingRecords reports how many append-log records are waiting to be
+// folded into one vehicle's snapshot — the quantity a compaction
+// threshold is measured against.
+func (d *Dir) PendingRecords(id string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pending[id])
+}
+
+// LoadVehicle loads exactly one vehicle: decode its snapshot, verify
+// it against the manifest, replay only its pending append-log records.
+// The decode and replay run outside the Dir lock, so concurrent lazy
+// loads of different vehicles proceed in parallel. A missing manifest
+// entry is ErrUnknownVehicle; a rotten file fails only this vehicle,
+// never the directory — the corrupt-isolation property lazy boot
+// depends on.
+func (d *Dir) LoadVehicle(id string) (*etl.VehicleDataset, error) {
+	start := time.Now()
+	d.mu.Lock()
+	if d.manifest == nil {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoManifest, d.path)
+	}
+	e, ok := d.manifest.Entry(id)
+	if !ok {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownVehicle, id)
+	}
+	recs := append([]logRecord(nil), d.pending[id]...)
+	d.mu.Unlock()
+
+	ds, err := decodeVehicleFile(d.path, e)
+	if err != nil {
+		return nil, err
+	}
+	replayed, err := d.replayPending(ds, recs)
+	if err != nil {
+		return nil, err
+	}
+	lazyLoads.With().Inc()
+	logReplayed.With().Add(uint64(replayed))
+	lazyLoadSeconds.With().ObserveSince(start)
+	return ds, nil
+}
+
+// Load cold-boots the fleet eagerly: reads the manifest, re-indexes
+// the append log, then runs the LoadVehicle path for every manifest
+// entry. Datasets come back sorted by vehicle ID.
 func (d *Dir) Load() ([]*etl.VehicleDataset, *Manifest, error) {
 	start := time.Now()
 	d.mu.Lock()
@@ -392,68 +555,30 @@ func (d *Dir) Load() ([]*etl.VehicleDataset, *Manifest, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Re-read the log too: Load must see the directory as a fresh
+	// handle would (the pending index also picks up records this
+	// handle appended since Open).
+	if err := d.indexLogLocked(m); err != nil {
+		return nil, nil, err
+	}
 	datasets := make([]*etl.VehicleDataset, 0, len(m.Vehicles))
-	byID := make(map[string]*etl.VehicleDataset, len(m.Vehicles))
+	seen := make(map[string]bool, len(m.Vehicles))
+	replayed := 0
 	for _, e := range m.Vehicles {
-		path := filepath.Join(d.path, e.File)
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return nil, nil, fmt.Errorf("fstore: load %q: %w", e.ID, err)
-		}
-		ds, err := DecodeDataset(data)
-		if err != nil {
-			return nil, nil, corruptErr(path, err)
-		}
-		if ds.VehicleID != e.ID {
-			return nil, nil, corruptErr(path, fmt.Errorf("%w: snapshot is for vehicle %q, manifest says %q", ErrMismatch, ds.VehicleID, e.ID))
-		}
-		if got := fmt.Sprintf("%016x", ds.Fingerprint()); got != e.Fingerprint {
-			return nil, nil, corruptErr(path, fmt.Errorf("%w: dataset fingerprint %s, manifest says %s", ErrMismatch, got, e.Fingerprint))
-		}
-		if ds.Len() != e.Days {
-			return nil, nil, corruptErr(path, fmt.Errorf("%w: snapshot has %d days, manifest says %d", ErrMismatch, ds.Len(), e.Days))
-		}
-		if byID[e.ID] != nil {
+		if seen[e.ID] {
 			return nil, nil, corruptErr(filepath.Join(d.path, manifestName), fmt.Errorf("%w: duplicate manifest entry %q", ErrMismatch, e.ID))
 		}
-		datasets = append(datasets, ds)
-		byID[e.ID] = ds
-	}
-
-	// Fold in the incremental days logged since each snapshot.
-	logPath := filepath.Join(d.path, logName)
-	replayed := 0
-	if data, err := os.ReadFile(logPath); err == nil && len(data) > 0 {
-		recs, err := parseLog(data)
+		seen[e.ID] = true
+		ds, err := decodeVehicleFile(d.path, e)
 		if err != nil {
-			return nil, nil, corruptErr(logPath, err)
+			return nil, nil, err
 		}
-		touched := map[string]bool{}
-		for _, rec := range recs {
-			ds := byID[rec.vehicleID]
-			if ds == nil {
-				return nil, nil, &CorruptError{File: logPath, Offset: rec.offset,
-					Err: fmt.Errorf("%w: log record %d names unknown vehicle %q", ErrMismatch, rec.seq, rec.vehicleID)}
-			}
-			entry, _ := m.Entry(rec.vehicleID)
-			if rec.seq <= entry.AppliedSeq {
-				continue // already folded into the snapshot
-			}
-			if err := applyDays(ds, rec.days); err != nil {
-				return nil, nil, &CorruptError{File: logPath, Offset: rec.offset, Err: err}
-			}
-			touched[rec.vehicleID] = true
-			replayed++
+		n, err := d.replayPending(ds, d.pending[e.ID])
+		if err != nil {
+			return nil, nil, err
 		}
-		for id := range touched {
-			byID[id].Enrich()
-			if err := byID[id].Validate(); err != nil {
-				return nil, nil, fmt.Errorf("fstore: replayed dataset %q: %w", id, err)
-			}
-		}
-		d.lastSeq = recs[len(recs)-1].seq
-	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, nil, fmt.Errorf("fstore: load %s: %w", logPath, err)
+		replayed += n
+		datasets = append(datasets, ds)
 	}
 
 	sort.Slice(datasets, func(i, j int) bool { return datasets[i].VehicleID < datasets[j].VehicleID })
@@ -461,6 +586,25 @@ func (d *Dir) Load() ([]*etl.VehicleDataset, *Manifest, error) {
 	logReplayed.With().Add(uint64(replayed))
 	loadSeconds.With().ObserveSince(start)
 	return datasets, m, nil
+}
+
+// MaybeCompact folds one vehicle's append-log backlog into its
+// snapshot when it has reached threshold records: ds (the caller's
+// live, fully-appended state) is snapshotted via SaveVehicle, which
+// marks the backlog applied, so the next load of this vehicle replays
+// nothing. The log file itself only shrinks at the next full Save;
+// what compaction bounds is per-vehicle replay work and the pending
+// index. A threshold <= 0 disables compaction. Callers serializing
+// writes per vehicle (the server's Append path) get an exact count.
+func (d *Dir) MaybeCompact(ds *etl.VehicleDataset, threshold int) (bool, error) {
+	if threshold <= 0 || d.PendingRecords(ds.VehicleID) < threshold {
+		return false, nil
+	}
+	if err := d.SaveVehicle(ds); err != nil {
+		return false, err
+	}
+	compactions.With().Inc()
+	return true, nil
 }
 
 // Append durably logs incremental days for one vehicle: one framed,
@@ -491,6 +635,16 @@ func (d *Dir) Append(vehicleID string, days ...Day) error {
 		return fmt.Errorf("fstore: append sync: %w", err)
 	}
 	d.lastSeq++
+	// Mirror the durable record into the pending index so a LoadVehicle
+	// through this handle replays it without rescanning the log. The
+	// days slice is copied; the Day values (and their channel maps) are
+	// owned by the index from here on — callers must not mutate them.
+	if d.pending == nil {
+		d.pending = make(map[string][]logRecord)
+	}
+	d.pending[vehicleID] = append(d.pending[vehicleID],
+		logRecord{seq: d.lastSeq, vehicleID: vehicleID, days: append([]Day(nil), days...), offset: d.logSize})
+	d.logSize += int64(len(rec))
 	logBytes.With().Add(uint64(len(rec)))
 	return nil
 }

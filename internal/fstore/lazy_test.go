@@ -1,0 +1,262 @@
+package fstore
+
+// Lazy-load coverage: LoadVehicle must reproduce exactly what the
+// eager Load would have produced for that vehicle (snapshot + its
+// share of the append log), corruption of one vehicle's file must
+// fail only that vehicle's load — never the manifest boot — and
+// MaybeCompact must fold a long per-vehicle log backlog into the
+// snapshot.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"vup/internal/etl"
+	"vup/internal/relational"
+)
+
+func TestVehicleIDs(t *testing.T) {
+	dir, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := dir.VehicleIDs(); ids != nil {
+		t.Fatalf("VehicleIDs before any manifest = %v, want nil", ids)
+	}
+
+	datasets := genDatasets(t, 3, 40, 19)
+	if _, err := dir.Save(datasets); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(datasets))
+	for i, d := range datasets {
+		want[i] = d.VehicleID
+	}
+	sort.Strings(want)
+	if got := dir.VehicleIDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("VehicleIDs after Save = %v, want %v", got, want)
+	}
+
+	// A fresh handle — the manifest-only boot path — sees the same
+	// roster without decoding any snapshot.
+	dir2, err := Open(dir.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dir2.VehicleIDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("VehicleIDs after reopen = %v, want %v", got, want)
+	}
+}
+
+// appendMirrored logs a contiguous next day for d on dir and applies
+// the same day to the in-memory copy, keeping d the ground truth.
+func appendMirrored(t *testing.T, dir *Dir, d *etl.VehicleDataset, hours float64) {
+	t.Helper()
+	day := nextDay(d, hours)
+	if err := dir.Append(d.VehicleID, day); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyDays(d, day); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadVehicleMatchesEagerLoad(t *testing.T) {
+	datasets := genDatasets(t, 3, 90, 23)
+	dir, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Save(datasets); err != nil {
+		t.Fatal(err)
+	}
+	// Leave an unapplied log backlog behind for two vehicles so
+	// LoadVehicle has real replay work, not just a snapshot decode.
+	for i := 0; i < 3; i++ {
+		appendMirrored(t, dir, datasets[0], float64(i)+1)
+	}
+	appendMirrored(t, dir, datasets[1], 4.5)
+
+	// Fresh handle, as a lazily booting server would hold: the eager
+	// Load and per-vehicle LoadVehicle must agree dataset for dataset.
+	dir2, err := Open(dir.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, _, err := dir2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eager) != len(datasets) {
+		t.Fatalf("eager Load returned %d datasets, want %d", len(eager), len(datasets))
+	}
+	// LoadVehicle on yet another cold handle, so neither path warms
+	// the other.
+	dir3, err := Open(dir.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range eager {
+		got, err := dir3.LoadVehicle(want.VehicleID)
+		if err != nil {
+			t.Fatalf("LoadVehicle(%q): %v", want.VehicleID, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: LoadVehicle differs from eager Load", want.VehicleID)
+		}
+		if want.Fingerprint() != got.Fingerprint() {
+			t.Errorf("%s: fingerprint drifted between load paths", want.VehicleID)
+		}
+	}
+	// And both must equal the live in-memory datasets the appends were
+	// mirrored onto.
+	for _, want := range datasets {
+		got, err := dir3.LoadVehicle(want.VehicleID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: LoadVehicle does not reproduce the live dataset", want.VehicleID)
+		}
+	}
+}
+
+func TestLoadVehicleErrors(t *testing.T) {
+	empty, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.LoadVehicle("V0001"); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("LoadVehicle on empty dir: %v, want ErrNoManifest", err)
+	}
+
+	datasets := genDatasets(t, 1, 30, 29)
+	dir, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Save(datasets); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.LoadVehicle("no-such-vehicle"); !errors.Is(err, ErrUnknownVehicle) {
+		t.Fatalf("LoadVehicle of unmanifested vehicle: %v, want ErrUnknownVehicle", err)
+	}
+}
+
+// TestLoadVehicleCorruptIsolated proves that per-vehicle files are the
+// unit of residency AND of failure: one rotten snapshot fails only
+// that vehicle's lazy load, while the manifest boot and every other
+// vehicle keep working. (The eager Load, by contrast, refuses the
+// whole directory.)
+func TestLoadVehicleCorruptIsolated(t *testing.T) {
+	datasets := genDatasets(t, 3, 60, 37)
+	dir, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Save(datasets); err != nil {
+		t.Fatal(err)
+	}
+	bad := datasets[1].VehicleID
+	badFile := snapshotFileName(bad)
+	full, err := os.ReadFile(filepath.Join(dir.Path(), badFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir.Path(), badFile), full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Manifest-only boot still succeeds and lists all three vehicles.
+	dir2, err := Open(dir.Path())
+	if err != nil {
+		t.Fatalf("Open with one corrupt snapshot: %v (boot must not decode snapshots)", err)
+	}
+	if got := len(dir2.VehicleIDs()); got != 3 {
+		t.Fatalf("roster lists %d vehicles, want 3", got)
+	}
+
+	if _, err = dir2.LoadVehicle(bad); err == nil {
+		t.Fatalf("LoadVehicle(%q) on corrupt snapshot succeeded", bad)
+	} else {
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("corrupt load error %v is not a *CorruptError", err)
+		}
+		if !errors.Is(err, relational.ErrTruncated) {
+			t.Fatalf("corrupt load error %v is not ErrTruncated", err)
+		}
+	}
+	for _, d := range []*etl.VehicleDataset{datasets[0], datasets[2]} {
+		got, err := dir2.LoadVehicle(d.VehicleID)
+		if err != nil {
+			t.Fatalf("healthy vehicle %q failed to load next to a corrupt one: %v", d.VehicleID, err)
+		}
+		if got.Fingerprint() != d.Fingerprint() {
+			t.Errorf("%s: fingerprint drifted", d.VehicleID)
+		}
+	}
+}
+
+func TestMaybeCompact(t *testing.T) {
+	datasets := genDatasets(t, 2, 50, 41)
+	dir, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Save(datasets); err != nil {
+		t.Fatal(err)
+	}
+	d := datasets[0]
+	for i := 0; i < 4; i++ {
+		appendMirrored(t, dir, d, float64(i)+1)
+	}
+	if got := dir.PendingRecords(d.VehicleID); got != 4 {
+		t.Fatalf("pending backlog = %d records, want 4", got)
+	}
+
+	// Below threshold: no-op.
+	if did, err := dir.MaybeCompact(d, 5); err != nil || did {
+		t.Fatalf("MaybeCompact under threshold = (%v, %v), want (false, nil)", did, err)
+	}
+	if got := dir.PendingRecords(d.VehicleID); got != 4 {
+		t.Fatalf("no-op compaction changed backlog to %d", got)
+	}
+	// Disabled: threshold 0 never compacts.
+	if did, err := dir.MaybeCompact(d, 0); err != nil || did {
+		t.Fatalf("MaybeCompact with threshold 0 = (%v, %v), want (false, nil)", did, err)
+	}
+
+	// At threshold: the dataset is re-snapshotted and the backlog is
+	// spent, while the other vehicle's pending state is untouched.
+	appendMirrored(t, dir, datasets[1], 2.5)
+	if did, err := dir.MaybeCompact(d, 4); err != nil || !did {
+		t.Fatalf("MaybeCompact at threshold = (%v, %v), want (true, nil)", did, err)
+	}
+	if got := dir.PendingRecords(d.VehicleID); got != 0 {
+		t.Fatalf("backlog after compaction = %d records, want 0", got)
+	}
+	if got := dir.PendingRecords(datasets[1].VehicleID); got != 1 {
+		t.Fatalf("other vehicle's backlog = %d records, want 1", got)
+	}
+
+	// A cold reopen reproduces both vehicles exactly: one from its
+	// fresh snapshot, one from snapshot + surviving log records.
+	dir2, err := Open(dir.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range datasets {
+		got, err := dir2.LoadVehicle(want.VehicleID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: dataset differs after compaction round-trip", want.VehicleID)
+		}
+	}
+}

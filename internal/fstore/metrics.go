@@ -25,4 +25,14 @@ var (
 	logReplayed = obs.Default.Counter(
 		"fstore_log_records_replayed_total",
 		"Append-log records folded into datasets during Load.")
+	lazyLoads = obs.Default.Counter(
+		"fstore_lazy_loads_total",
+		"Single-vehicle snapshot loads via LoadVehicle (lazy faults).")
+	lazyLoadSeconds = obs.Default.Histogram(
+		"fstore_lazy_load_seconds",
+		"Wall-clock time of single-vehicle lazy loads.",
+		obs.DurationBuckets)
+	compactions = obs.Default.Counter(
+		"fstore_compactions_total",
+		"Per-vehicle append-log backlogs folded into snapshots by MaybeCompact.")
 )

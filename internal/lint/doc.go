@@ -32,7 +32,8 @@
 //
 //   - metricnames: obs.Registry panics at init when a name is
 //     re-registered with a different shape, and Prometheus tooling
-//     assumes the _total/_seconds/_entries/_in_flight suffix grammar.
+//     assumes the _total/_seconds/_entries/_in_flight/_bytes/_vehicles
+//     suffix grammar.
 //     Names must be compile-time constants matching the convention and
 //     be registered at exactly one site process-wide.
 //

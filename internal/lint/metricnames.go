@@ -10,9 +10,9 @@ import (
 
 // metricNameRE is the project's Prometheus naming convention: snake
 // case with a unit-or-kind suffix. Counters end in _total, duration
-// histograms in _seconds, sized gauges in _entries, and concurrency
-// gauges in _in_flight.
-var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]+(_total|_seconds|_entries|_in_flight)$`)
+// histograms in _seconds, sized gauges in _entries, _bytes or
+// _vehicles, and concurrency gauges in _in_flight.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]+(_total|_seconds|_entries|_in_flight|_bytes|_vehicles)$`)
 
 // newMetricNames builds the metricnames analyzer. Every call to
 // obs.Registry's Counter, Gauge, Histogram or HistogramWithExemplars

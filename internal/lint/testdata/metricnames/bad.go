@@ -9,6 +9,8 @@ var (
 	goodGauge   = obs.Default.Gauge("demo_queue_in_flight", "Jobs in flight.")
 	goodHist    = obs.Default.Histogram("demo_wait_seconds", "Wait time.", nil)
 	goodEntries = obs.Default.Gauge("demo_cache_entries", "Cached artifacts.")
+	goodBytes   = obs.Default.Gauge("demo_resident_bytes", "Resident heap estimate.")
+	goodCount   = obs.Default.Gauge("demo_resident_vehicles", "Resident datasets.")
 
 	goodExemplar = obs.Default.HistogramWithExemplars("demo_latency_seconds", "Latency.", nil)
 

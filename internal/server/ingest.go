@@ -118,11 +118,15 @@ func (a *API) ingestGate() chan struct{} {
 func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	id := r.PathValue("id")
-	d, ok := a.store.Get(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown vehicle %q", id)
+	d, _, _, release, err := a.store.Acquire(r.Context(), id)
+	if err != nil {
+		writeAcquireError(w, id, err)
 		return
 	}
+	// Pin the dataset for the whole ingest: the summarize step below
+	// reads its tail, and an eviction between summarize and Append
+	// would force a redundant reload.
+	defer release()
 
 	// Backpressure: every admitted batch ends in an fsync, so refuse
 	// early — with a hint — rather than queue unboundedly on the disk.
@@ -139,7 +143,7 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 	ctx, sp := trace.Start(r.Context(), "ingest.decode")
 	var req ingestRequest
-	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req)
+	err = json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req)
 	sp.SetError(err)
 	sp.End()
 	if err != nil {
@@ -171,9 +175,10 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(days) > 0 {
-		_, sp = trace.Start(ctx, "ingest.append")
+		var appendCtx context.Context
+		appendCtx, sp = trace.Start(ctx, "ingest.append")
 		sp.SetAttrInt("days", len(days))
-		_, gen, err := a.store.Append(id, days, a.IngestPolicy)
+		_, gen, err := a.store.AppendContext(appendCtx, id, days, a.IngestPolicy)
 		sp.SetError(err)
 		sp.End()
 		if err != nil {
@@ -298,6 +303,39 @@ type planSeed struct {
 	plan *core.Plan
 }
 
+// maxPlanSeeds bounds the plan-seed map. Plans hold the materialized
+// lag superset — on the order of the dataset itself — so on a
+// larger-than-RAM lazy fleet the seed map must shed like the store
+// does. Eviction is arbitrary-victim (Go map iteration order), which
+// is cheap and good enough for a warm-tail optimization: a shed seed
+// only costs one plan recompilation.
+const maxPlanSeeds = 4096
+
+// loadSeed fetches the plan seed for a key, if present.
+func (a *API) loadSeed(key string) (*planSeed, bool) {
+	a.seedsMu.Lock()
+	defer a.seedsMu.Unlock()
+	s, ok := a.seeds[key]
+	return s, ok
+}
+
+// storeSeed records a plan seed, shedding an arbitrary entry when the
+// map is full and the key is new.
+func (a *API) storeSeed(key string, s *planSeed) {
+	a.seedsMu.Lock()
+	defer a.seedsMu.Unlock()
+	if a.seeds == nil {
+		a.seeds = make(map[string]*planSeed)
+	}
+	if _, exists := a.seeds[key]; !exists && len(a.seeds) >= maxPlanSeeds {
+		for victim := range a.seeds {
+			delete(a.seeds, victim)
+			break
+		}
+	}
+	a.seeds[key] = s
+}
+
 // planFor returns a Plan for the dataset: the seeded plan verbatim
 // when the fingerprint still matches, an extension of it when only the
 // tail grew (the streaming-ingest fast path), and a fresh compilation
@@ -305,14 +343,13 @@ type planSeed struct {
 // falsified extension can never serve stale rows.
 func (a *API) planFor(ctx context.Context, d *etl.VehicleDataset, fp uint64, cfg core.Config) (*core.Plan, error) {
 	key := d.VehicleID + "\x1f" + cfg.Fingerprint()
-	if v, ok := a.seeds.Load(key); ok {
-		seed := v.(*planSeed)
+	if seed, ok := a.loadSeed(key); ok {
 		if seed.fp == fp {
 			return seed.plan, nil
 		}
 		if np, err := seed.plan.ExtendContext(ctx, d); err == nil {
 			planExtended.With().Inc()
-			a.seeds.Store(key, &planSeed{fp: fp, plan: np})
+			a.storeSeed(key, &planSeed{fp: fp, plan: np})
 			return np, nil
 		}
 	}
@@ -321,6 +358,6 @@ func (a *API) planFor(ctx context.Context, d *etl.VehicleDataset, fp uint64, cfg
 		return nil, err
 	}
 	planRebuilt.With().Inc()
-	a.seeds.Store(key, &planSeed{fp: fp, plan: p})
+	a.storeSeed(key, &planSeed{fp: fp, plan: p})
 	return p, nil
 }

@@ -32,24 +32,44 @@ import (
 // not hold.
 var ErrUnknownVehicle = errors.New("unknown vehicle")
 
-// Store holds the per-vehicle datasets the API serves. It is safe for
-// concurrent readers once populated; Put may replace datasets at run
-// time, bumping that vehicle's generation so caches keyed on its
-// previous state invalidate — without discarding every other vehicle's
-// cached artifacts, which is what a streaming per-vehicle ingest needs.
+// Store holds the per-vehicle datasets the API serves, either eagerly
+// (every dataset resident from construction) or lazily (datasets fault
+// in through a loader on first use and evict under a resident-bytes
+// budget — see NewLazyStore and resident.go). It is safe for
+// concurrent use; Put may replace datasets at run time, bumping that
+// vehicle's generation so caches keyed on its previous state
+// invalidate — without discarding every other vehicle's cached
+// artifacts, which is what a streaming per-vehicle ingest needs.
 //
 // Writes are serialized per vehicle and persist OUTSIDE the store-wide
 // lock: the durability hook fsyncs, and a disk round-trip under s.mu
 // would stall every reader of every vehicle for its duration. The
-// store-wide lock is only ever held for the in-memory swap.
+// store-wide lock is only ever held for in-memory bookkeeping. Lock
+// order is always vehicle lock → s.mu, never the reverse.
 type Store struct {
-	mu       sync.RWMutex
-	datasets map[string]*etl.VehicleDataset
-	// fps caches each dataset's fingerprint, computed once at insert:
-	// datasets are treated as immutable while stored.
-	fps map[string]uint64
-	// gens counts mutations per vehicle; absent means zero.
+	mu sync.RWMutex
+	// res is the resident working set: in eager mode the whole fleet,
+	// in lazy mode whatever the budget and traffic keep warm.
+	res map[string]*resident
+	// gens counts mutations per vehicle; absent means zero. It
+	// survives eviction, so a reloaded vehicle keeps its generation
+	// and cached artifacts stay correctly keyed.
 	gens map[string]uint64
+	// known is the fleet roster: every vehicle ID the store answers
+	// for, resident or not. In eager mode it mirrors res.
+	known map[string]bool
+	// dirty marks residents whose appended days are not yet folded
+	// into their on-disk snapshot (set by the append-log path, cleared
+	// by Put, compaction and eviction).
+	dirty map[string]bool
+	// loader, when set, faults one vehicle in on miss (lazy mode).
+	// Immutable after construction.
+	loader func(id string) (*etl.VehicleDataset, error)
+	// lru is the residency recency list (lazy mode only).
+	lru *lruList
+	// budget bounds residentBytes; <= 0 means no eviction.
+	budget        int64
+	residentBytes int64
 	// persist, when set, is called on every Put before the dataset
 	// becomes visible; a persist failure rejects the Put.
 	persist func(*etl.VehicleDataset) error
@@ -57,30 +77,35 @@ type Store struct {
 	// prefers over persist: one fsynced log record instead of a full
 	// vehicle snapshot per appended batch.
 	appendLog func(vehicleID string, days ...fstore.Day) error
+	// compact, when set, runs after every successful Append under the
+	// vehicle's writer lock (append-log backlog folding).
+	compact func(*etl.VehicleDataset) (bool, error)
 
 	// vmu guards vlocks, the per-vehicle writer mutexes. A vehicle's
 	// writers queue on its own mutex, so a slow persist of vehicle A
-	// never blocks a Put of vehicle B — or any reader.
+	// never blocks a Put of vehicle B — or any reader. Entries are
+	// refcounted and dropped at zero, so the map tracks vehicles with
+	// in-flight writers, not every ID ever written.
 	vmu    sync.Mutex
-	vlocks map[string]*sync.Mutex
+	vlocks map[string]*vlock
 }
 
-// NewStore builds a store from datasets, keyed by vehicle ID. Every
-// dataset must pass Validate; an empty or misaligned dataset would
-// otherwise surface later as a broken response body (NaN
+// NewStore builds an eager store from datasets, keyed by vehicle ID.
+// Every dataset must pass Validate; an empty or misaligned dataset
+// would otherwise surface later as a broken response body (NaN
 // active_fraction) or an index panic.
 func NewStore(datasets []*etl.VehicleDataset) (*Store, error) {
 	s := &Store{
-		datasets: make(map[string]*etl.VehicleDataset, len(datasets)),
-		fps:      make(map[string]uint64, len(datasets)),
-		gens:     make(map[string]uint64),
+		res:   make(map[string]*resident, len(datasets)),
+		gens:  make(map[string]uint64),
+		known: make(map[string]bool, len(datasets)),
+		dirty: make(map[string]bool),
 	}
 	for _, d := range datasets {
 		if err := d.Validate(); err != nil {
 			return nil, fmt.Errorf("server: dataset %q: %w", d.VehicleID, err)
 		}
-		s.datasets[d.VehicleID] = d
-		s.fps[d.VehicleID] = d.Fingerprint()
+		s.insertLocked(d)
 	}
 	return s, nil
 }
@@ -106,20 +131,46 @@ func (s *Store) SetAppender(fn func(vehicleID string, days ...fstore.Day) error)
 	s.appendLog = fn
 }
 
-// vehicleLock returns the writer mutex of one vehicle, creating it on
-// first use.
-func (s *Store) vehicleLock(id string) *sync.Mutex {
+// vlock is one vehicle's refcounted writer mutex: refs counts holders
+// and waiters, and the map entry is dropped when it reaches zero, so
+// churning vehicle IDs cannot grow vlocks without bound.
+type vlock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// lockVehicle acquires one vehicle's writer mutex, creating the entry
+// on first use. Pair with unlockVehicle.
+func (s *Store) lockVehicle(id string) {
 	s.vmu.Lock()
-	defer s.vmu.Unlock()
 	if s.vlocks == nil {
-		s.vlocks = make(map[string]*sync.Mutex)
+		s.vlocks = make(map[string]*vlock)
 	}
 	l, ok := s.vlocks[id]
 	if !ok {
-		l = &sync.Mutex{}
+		l = &vlock{}
 		s.vlocks[id] = l
 	}
-	return l
+	// Count the reference before blocking: a concurrent unlockVehicle
+	// must not delete an entry someone is queued on (the queued waiter
+	// would otherwise race a fresh lockVehicle onto a second mutex for
+	// the same vehicle).
+	l.refs++
+	s.vmu.Unlock()
+	l.mu.Lock()
+}
+
+// unlockVehicle releases one vehicle's writer mutex and drops the map
+// entry once no holder or waiter references it.
+func (s *Store) unlockVehicle(id string) {
+	s.vmu.Lock()
+	l := s.vlocks[id]
+	l.mu.Unlock()
+	l.refs--
+	if l.refs == 0 {
+		delete(s.vlocks, id)
+	}
+	s.vmu.Unlock()
 }
 
 // Put inserts or replaces one vehicle's dataset and bumps that
@@ -134,9 +185,8 @@ func (s *Store) Put(d *etl.VehicleDataset) error {
 	if err := d.Validate(); err != nil {
 		return fmt.Errorf("server: dataset %q: %w", d.VehicleID, err)
 	}
-	vl := s.vehicleLock(d.VehicleID)
-	vl.Lock()
-	defer vl.Unlock()
+	s.lockVehicle(d.VehicleID)
+	defer s.unlockVehicle(d.VehicleID)
 	s.mu.RLock()
 	persist := s.persist
 	s.mu.RUnlock()
@@ -146,9 +196,12 @@ func (s *Store) Put(d *etl.VehicleDataset) error {
 		}
 	}
 	s.mu.Lock()
-	s.datasets[d.VehicleID] = d
-	s.fps[d.VehicleID] = d.Fingerprint()
+	s.insertLocked(d)
 	s.gens[d.VehicleID]++
+	// A Put that persisted wrote a full snapshot; without a persister
+	// there is no disk state to be behind of either way.
+	delete(s.dirty, d.VehicleID)
+	s.evictLocked(context.Background())
 	s.mu.Unlock()
 	return nil
 }
@@ -167,18 +220,38 @@ func (s *Store) Put(d *etl.VehicleDataset) error {
 //
 // It returns the grown dataset and the vehicle's new generation.
 func (s *Store) Append(id string, days []fstore.Day, policy etl.MissingPolicy) (*etl.VehicleDataset, uint64, error) {
+	return s.AppendContext(context.Background(), id, days, policy)
+}
+
+// AppendContext is Append with a context for the store.load trace span
+// an evicted vehicle's transparent reload opens.
+func (s *Store) AppendContext(ctx context.Context, id string, days []fstore.Day, policy etl.MissingPolicy) (*etl.VehicleDataset, uint64, error) {
 	if len(days) == 0 {
 		return nil, 0, fmt.Errorf("server: append to %q with no days", id)
 	}
-	vl := s.vehicleLock(id)
-	vl.Lock()
-	defer vl.Unlock()
+	s.lockVehicle(id)
+	defer s.unlockVehicle(id)
 	s.mu.RLock()
-	cur, ok := s.datasets[id]
-	appendLog, persist := s.appendLog, s.persist
+	cur, ok := s.lookupResidentLocked(id)
+	appendLog, persist, compact := s.appendLog, s.persist, s.compact
 	s.mu.RUnlock()
 	if !ok {
-		return nil, 0, fmt.Errorf("server: %w: %q", ErrUnknownVehicle, id)
+		// An evicted (or never-loaded) vehicle load-then-mutates
+		// transparently: fault it in under the writer lock we already
+		// hold, pinned so the racing eviction pass leaves it alone
+		// until the swap below.
+		s.mu.RLock()
+		known := s.known[id]
+		s.mu.RUnlock()
+		if s.loader == nil || !known {
+			return nil, 0, fmt.Errorf("server: %w: %q", ErrUnknownVehicle, id)
+		}
+		r, err := s.faultLocked(ctx, id)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer s.releaseFunc(id)()
+		cur = r.ds
 	}
 	// Appends extend history, never rewrite it: a day at or before the
 	// stored tail (e.g. from two racing batches for the same vehicle —
@@ -200,23 +273,59 @@ func (s *Store) Append(id string, days []fstore.Day, policy etl.MissingPolicy) (
 		return nil, 0, fmt.Errorf("server: append %q: %w", id, err)
 	}
 	// Durability before visibility, outside the store-wide lock.
+	logged := false
 	switch {
 	case appendLog != nil:
 		if err := appendLog(id, tailDays(grown, from)...); err != nil {
 			return nil, 0, fmt.Errorf("server: append log %q: %w", id, err)
 		}
+		logged = true
 	case persist != nil:
 		if err := persist(grown); err != nil {
 			return nil, 0, fmt.Errorf("server: persist %q: %w", id, err)
 		}
 	}
 	s.mu.Lock()
-	s.datasets[id] = grown
-	s.fps[id] = grown.Fingerprint()
+	s.insertLocked(grown)
 	s.gens[id]++
 	gen := s.gens[id]
+	if logged {
+		// The snapshot on disk is now behind the resident state; only
+		// the append log has the new days.
+		s.dirty[id] = true
+	} else {
+		delete(s.dirty, id)
+	}
+	s.evictLocked(ctx)
 	s.mu.Unlock()
+
+	// Fold a long append-log backlog into the snapshot while we still
+	// hold this vehicle's writer lock (the serialization the compactor
+	// counts on). Compaction failing is not the append failing — the
+	// days are already durable in the log — so it is logged, not
+	// returned.
+	if logged && compact != nil {
+		compacted, err := compact(grown)
+		switch {
+		case err != nil:
+			serverLog.Warn("append-log compaction failed", "vehicle", id, "error", err)
+		case compacted:
+			s.mu.Lock()
+			delete(s.dirty, id)
+			s.mu.Unlock()
+		}
+	}
 	return grown, gen, nil
+}
+
+// lookupResidentLocked returns a vehicle's resident dataset without
+// faulting. Caller holds s.mu (read or write).
+func (s *Store) lookupResidentLocked(id string) (*etl.VehicleDataset, bool) {
+	r, ok := s.res[id]
+	if !ok {
+		return nil, false
+	}
+	return r.ds, true
 }
 
 // tailDays re-reads the appended (cleaned) suffix of d as log records.
@@ -232,15 +341,18 @@ func tailDays(d *etl.VehicleDataset, from int) []fstore.Day {
 	return out
 }
 
-// Snapshot returns every stored dataset, sorted by vehicle ID — the
+// Snapshot returns every RESIDENT dataset, sorted by vehicle ID — the
 // input shape fstore.Dir.Save expects for a full on-disk snapshot at
-// shutdown.
+// shutdown. On an eager store that is the whole fleet; on a lazy store
+// it is only the warm subset, so a lazy shutdown must use
+// DirtyResidents + per-vehicle snapshots instead of a full Save (which
+// would shrink the manifest to the residents).
 func (s *Store) Snapshot() []*etl.VehicleDataset {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]*etl.VehicleDataset, 0, len(s.datasets))
-	for _, d := range s.datasets {
-		out = append(out, d)
+	out := make([]*etl.VehicleDataset, 0, len(s.res))
+	for _, r := range s.res {
+		out = append(out, r.ds)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].VehicleID < out[j].VehicleID })
 	return out
@@ -255,37 +367,47 @@ func (s *Store) Generation(id string) uint64 {
 	return s.gens[id]
 }
 
-// Get returns the dataset of one vehicle.
+// Get returns the dataset of one vehicle, faulting it in on a lazy
+// store (and releasing its pin immediately — datasets are immutable,
+// so the reference stays valid even if the vehicle is evicted; use
+// Acquire to hold residency across a longer computation).
 func (s *Store) Get(id string) (*etl.VehicleDataset, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.datasets[id]
-	return d, ok
+	d, _, _, release, err := s.Acquire(context.Background(), id)
+	if err != nil {
+		return nil, false
+	}
+	release()
+	return d, true
 }
 
 // lookup returns one vehicle's dataset together with its fingerprint
-// and its generation, all read under a single lock so the triple is
-// mutually consistent for cache keying.
+// and its generation, mutually consistent for cache keying, without
+// holding a pin (see Get for why that is safe).
 func (s *Store) lookup(id string) (d *etl.VehicleDataset, fp, gen uint64, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok = s.datasets[id]
-	return d, s.fps[id], s.gens[id], ok
+	d, fp, gen, release, err := s.Acquire(context.Background(), id)
+	if err != nil {
+		return nil, 0, 0, false
+	}
+	release()
+	return d, fp, gen, true
 }
 
-// Len returns the number of vehicles without building the ID slice.
+// Len returns the fleet size — every vehicle the store answers for,
+// resident or not.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.datasets)
+	return len(s.known)
 }
 
-// IDs returns every vehicle ID, sorted.
+// IDs returns every vehicle ID in the fleet roster, sorted. On a lazy
+// store this comes from the manifest roster, not from what happens to
+// be resident.
 func (s *Store) IDs() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.datasets))
-	for id := range s.datasets {
+	out := make([]string, 0, len(s.known))
+	for id := range s.known {
 		out = append(out, id)
 	}
 	sort.Strings(out)
@@ -319,7 +441,11 @@ type API struct {
 	ingestSem chan struct{}
 	// seeds holds the last compiled plan per vehicle+config so a build
 	// after an append can extend it instead of recompiling (planFor).
-	seeds sync.Map
+	// Bounded at maxPlanSeeds: on a lazy store the fleet can be far
+	// larger than RAM, and an unbounded seed map would quietly undo
+	// the resident-bytes budget.
+	seedsMu sync.Mutex
+	seeds   map[string]*planSeed
 }
 
 // New creates an API over the store with the given base configuration.
@@ -390,6 +516,15 @@ type healthResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Vehicles      int     `json:"vehicles"`
+	// TotalVehicles duplicates Vehicles under the name that pairs with
+	// ResidentVehicles, so an operator reading a lazy store's health
+	// sees eviction working (resident < total) at a glance.
+	TotalVehicles    int   `json:"total_vehicles"`
+	ResidentVehicles int   `json:"resident_vehicles"`
+	ResidentBytes    int64 `json:"resident_bytes"`
+	// ResidentRatio is resident/total, 0 for an empty fleet.
+	ResidentRatio float64 `json:"resident_ratio"`
+	LazyLoad      bool    `json:"lazy_load"`
 	CacheEntries  int     `json:"cache_entries"`
 	CacheHits     uint64  `json:"cache_hits"`
 	CacheMisses   uint64  `json:"cache_misses"`
@@ -401,18 +536,28 @@ type healthResponse struct {
 
 func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	stats := a.Cache.Stats()
+	resident, residentBytes := a.store.ResidentStats()
 	resp := healthResponse{
-		Status:        "ok",
-		UptimeSeconds: time.Since(a.start).Seconds(),
-		Vehicles:      a.store.Len(),
-		CacheEntries:  a.Cache.Len(),
-		CacheHits:     stats.Hits,
-		CacheMisses:   stats.Misses,
-		GoVersion:     runtime.Version(),
+		Status:           "ok",
+		UptimeSeconds:    time.Since(a.start).Seconds(),
+		Vehicles:         a.store.Len(),
+		TotalVehicles:    a.store.Len(),
+		ResidentVehicles: resident,
+		ResidentBytes:    residentBytes,
+		LazyLoad:         a.store.Lazy(),
+		CacheEntries:     a.Cache.Len(),
+		CacheHits:        stats.Hits,
+		CacheMisses:      stats.Misses,
+		GoVersion:        runtime.Version(),
 	}
-	// Guard the ratio: 0/0 is NaN, which encoding/json refuses.
+	// Guard every ratio: 0/0 is NaN, which encoding/json refuses —
+	// a freshly lazy-booted store has zero residents and may have
+	// zero vehicles.
 	if total := stats.Hits + stats.Misses; total > 0 {
 		resp.CacheHitRatio = float64(stats.Hits) / float64(total)
+	}
+	if resp.TotalVehicles > 0 {
+		resp.ResidentRatio = float64(resident) / float64(resp.TotalVehicles)
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range bi.Settings {
@@ -461,32 +606,56 @@ func summarize(d *etl.VehicleDataset) vehicleSummary {
 	return s
 }
 
-func (a *API) handleVehicles(w http.ResponseWriter, _ *http.Request) {
+func (a *API) handleVehicles(w http.ResponseWriter, r *http.Request) {
+	// On a lazy store this sweep faults each vehicle in and releases
+	// it immediately, so eviction keeps the resident set under budget
+	// for the whole walk; a vehicle whose file rotted is skipped, not
+	// a listing failure.
 	ids := a.store.IDs()
 	out := make([]vehicleSummary, 0, len(ids))
 	for _, id := range ids {
-		if d, ok := a.store.Get(id); ok {
-			out = append(out, summarize(d))
+		d, _, _, release, err := a.store.Acquire(r.Context(), id)
+		if err != nil {
+			if !errors.Is(err, ErrUnknownVehicle) {
+				serverLog.Warn("vehicle skipped in listing", "vehicle", id, "error", err)
+			}
+			continue
 		}
+		out = append(out, summarize(d))
+		release()
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (a *API) vehicle(w http.ResponseWriter, r *http.Request) (*etl.VehicleDataset, bool) {
+// vehicle acquires the request's vehicle pinned against eviction; the
+// caller must defer the returned release. An unknown ID is a 404, a
+// failed lazy load (e.g. one corrupt snapshot) a 500 naming only that
+// vehicle.
+func (a *API) vehicle(w http.ResponseWriter, r *http.Request) (*etl.VehicleDataset, func(), bool) {
 	id := r.PathValue("id")
-	d, ok := a.store.Get(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown vehicle %q", id)
-		return nil, false
+	d, _, _, release, err := a.store.Acquire(r.Context(), id)
+	if err != nil {
+		writeAcquireError(w, id, err)
+		return nil, nil, false
 	}
-	return d, true
+	return d, release, true
+}
+
+// writeAcquireError maps a Store.Acquire failure to its HTTP status.
+func writeAcquireError(w http.ResponseWriter, id string, err error) {
+	if errors.Is(err, ErrUnknownVehicle) {
+		writeError(w, http.StatusNotFound, "unknown vehicle %q", id)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "vehicle %q load failed: %v", id, err)
 }
 
 func (a *API) handleVehicle(w http.ResponseWriter, r *http.Request) {
-	d, ok := a.vehicle(w, r)
+	d, release, ok := a.vehicle(w, r)
 	if !ok {
 		return
 	}
+	defer release()
 	writeJSON(w, http.StatusOK, summarize(d))
 }
 
@@ -560,11 +729,14 @@ const maxHorizon = 366
 
 func (a *API) handleForecast(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	d, fp, gen, ok := a.store.lookup(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown vehicle %q", id)
+	d, fp, gen, release, err := a.store.Acquire(r.Context(), id)
+	if err != nil {
+		writeAcquireError(w, id, err)
 		return
 	}
+	// The pin holds the vehicle resident until the response is built,
+	// so eviction under memory pressure never races the fit below.
+	defer release()
 	cfg, err := a.configFromQuery(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -673,10 +845,11 @@ type levelsResponse struct {
 }
 
 func (a *API) handleLevels(w http.ResponseWriter, r *http.Request) {
-	d, ok := a.vehicle(w, r)
+	d, release, ok := a.vehicle(w, r)
 	if !ok {
 		return
 	}
+	defer release()
 	cfg, err := a.configFromQuery(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -712,11 +885,12 @@ func (a *API) handleLevels(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) handleEvaluation(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	d, fp, gen, ok := a.store.lookup(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown vehicle %q", id)
+	d, fp, gen, release, err := a.store.Acquire(r.Context(), id)
+	if err != nil {
+		writeAcquireError(w, id, err)
 		return
 	}
+	defer release()
 	cfg, err := a.configFromQuery(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
