@@ -129,17 +129,28 @@ func run(cfg fleet.Config, out, storeDir string) error {
 	return nil
 }
 
-func writeCSV(datasets []*etl.VehicleDataset, out string) error {
+func writeCSV(datasets []*etl.VehicleDataset, out string) (err error) {
 	w := bufio.NewWriter(os.Stdout)
 	if out != "-" {
-		file, err := os.Create(out)
-		if err != nil {
-			return err
+		file, cerr := os.Create(out)
+		if cerr != nil {
+			return cerr
 		}
-		defer file.Close()
+		// Close is where the final buffered write can fail; losing that
+		// error would truncate the CSV silently.
+		defer func() {
+			if closeErr := file.Close(); closeErr != nil && err == nil {
+				err = closeErr
+			}
+		}()
 		w = bufio.NewWriter(file)
 	}
-	defer w.Flush()
+	// Registered after the Close defer so the flush runs first.
+	defer func() {
+		if flushErr := w.Flush(); flushErr != nil && err == nil {
+			err = flushErr
+		}
+	}()
 
 	wroteHeader := false
 	rows := 0

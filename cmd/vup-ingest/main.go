@@ -296,15 +296,26 @@ func postDay(client *http.Client, addr, vehicleID string, reports []canbus.Repor
 			time.Sleep(delay)
 			continue
 		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-			return nil, shed, fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, msg)
+		ack, err := decodeAck(url, resp)
+		if err != nil {
+			return nil, shed, err
 		}
-		var ack wireAck
-		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
-			return nil, shed, fmt.Errorf("POST %s: decoding ack: %w", url, err)
-		}
-		return &ack, shed, nil
+		return ack, shed, nil
 	}
+}
+
+// decodeAck consumes and closes one response body. Closing happens
+// here, per response, rather than in postDay's retry loop, where a
+// deferred Close would hold every attempt's connection until return.
+func decodeAck(url string, resp *http.Response) (*wireAck, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, msg)
+	}
+	var ack wireAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return nil, fmt.Errorf("POST %s: decoding ack: %w", url, err)
+	}
+	return &ack, nil
 }

@@ -1,20 +1,24 @@
 // Command vup-lint runs the project's static-analysis suite (package
 // internal/lint) over Go packages and reports file:line:col
-// diagnostics for violations of the determinism, float-safety, error-
-// discipline, metric-naming and print-hygiene rules.
+// diagnostics for rule violations — the style rules (determinism,
+// float-safety, error-discipline, metric-naming, print-hygiene) and
+// the flow rules (pinleak, lockhold, ctxwait, deferinloop).
 //
 // Usage:
 //
-//	vup-lint [-C dir] [-rules determinism,floatsafety] [packages...]
+//	vup-lint [-C dir] [-rules determinism,floatsafety] [-json] [packages...]
 //
 // Packages default to ./... . Exit status is 0 when the tree is
 // clean, 1 when diagnostics were reported, and 2 on a load or usage
-// error. Intentional violations are suppressed per line with
+// error. With -json, diagnostics go to stdout as a JSON array (exit
+// codes unchanged) for machine consumers such as the CI annotation
+// step. Intentional violations are suppressed per line with
 //
 //	//lint:allow <rule> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +28,15 @@ import (
 	"vup/internal/lint"
 )
 
+// jsonDiag is the machine-readable rendering of one diagnostic.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
@@ -32,6 +45,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("vup-lint", flag.ContinueOnError)
 	dir := fs.String("C", ".", "change to this directory before loading packages")
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -53,7 +67,7 @@ func run(args []string) int {
 	}
 
 	wd, _ := os.Getwd()
-	count := 0
+	found := []jsonDiag{} // non-nil so -json renders [] on a clean tree
 	for _, pkg := range pkgs {
 		for _, d := range lint.Check(pkg, analyzers) {
 			if wd != "" {
@@ -61,12 +75,28 @@ func run(args []string) int {
 					d.Pos.Filename = rel
 				}
 			}
-			fmt.Println(d)
-			count++
+			if !*asJSON {
+				fmt.Println(d)
+			}
+			found = append(found, jsonDiag{
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Rule:    d.Rule,
+				Message: d.Message,
+			})
 		}
 	}
-	if count > 0 {
-		_, _ = fmt.Fprintf(os.Stderr, "vup-lint: %d diagnostic(s)\n", count)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(found); err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "vup-lint:", err)
+			return 2
+		}
+	}
+	if len(found) > 0 {
+		_, _ = fmt.Fprintf(os.Stderr, "vup-lint: %d diagnostic(s)\n", len(found))
 		return 1
 	}
 	return 0

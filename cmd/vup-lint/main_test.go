@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -128,6 +129,95 @@ func Cleanup() {
 		}
 		if strings.Contains(out, "errdiscipline") {
 			t.Errorf("errdiscipline should be off:\n%s", out)
+		}
+	})
+
+	t.Run("flow rule violations exit 1", func(t *testing.T) {
+		// The import path suffix internal/server puts the fixture in
+		// ctxwait's scope; the loop defer trips deferinloop.
+		dir := writeModule(t, map[string]string{
+			"internal/server/wait.go": `package server
+
+import "sync"
+
+func Wait(done chan struct{}) {
+	<-done
+}
+
+func Sweep(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+}
+`,
+		})
+		out, code := runLint(t, bin, dir)
+		if code != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", code, out)
+		}
+		for _, want := range []string{
+			"wait.go:6:2: ctxwait:",
+			"wait.go:12:3: deferinloop:",
+			"2 diagnostic(s)",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("json output", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"lib/lib.go": `package lib
+
+import "os"
+
+func Cleanup() {
+	os.Remove("scratch")
+}
+`,
+		})
+		out, code := runLint(t, bin, dir, "-json", "./...")
+		if code != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", code, out)
+		}
+		// CombinedOutput interleaves the stderr count line; trim to the
+		// JSON array before decoding.
+		payload := out[strings.Index(out, "[") : strings.LastIndex(out, "]")+1]
+		var diags []struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(payload), &diags); err != nil {
+			t.Fatalf("decoding -json output: %v\n%s", err, out)
+		}
+		if len(diags) != 1 {
+			t.Fatalf("got %d diagnostics, want 1: %+v", len(diags), diags)
+		}
+		d := diags[0]
+		if filepath.Base(d.File) != "lib.go" || d.Line != 6 || d.Col != 2 ||
+			d.Rule != "errdiscipline" || !strings.Contains(d.Message, "os.Remove") {
+			t.Errorf("unexpected diagnostic: %+v", d)
+		}
+		if strings.Contains(payload, "errdiscipline:") {
+			t.Errorf("-json output should not contain text-form diagnostics:\n%s", out)
+		}
+	})
+
+	t.Run("json clean module emits empty array", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"lib/lib.go": "package lib\n\nfunc OK() {}\n",
+		})
+		out, code := runLint(t, bin, dir, "-json", "./...")
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0\n%s", code, out)
+		}
+		if strings.TrimSpace(out) != "[]" {
+			t.Errorf("output = %q, want an empty JSON array", out)
 		}
 	})
 

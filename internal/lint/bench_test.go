@@ -1,0 +1,31 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintRepo is the whole-repo wall-clock of one vup-lint run:
+// go list -deps -export over the module, parse + type-check every
+// package, and all nine analyzers (including the CFG/dataflow rules)
+// through the full Check pipeline. CI runs it with -benchtime=1x under
+// a timeout as the lint-cost budget; BENCH_lint.json records the
+// baseline. The bench also asserts cleanliness — a finding here means
+// the tree and TestRepoIsClean disagree, which would make the recorded
+// wall-clock meaningless.
+func BenchmarkLintRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pkgs, err := Load("../..", "./...")
+		if err != nil {
+			b.Fatalf("Load: %v", err)
+		}
+		if len(pkgs) < 20 {
+			b.Fatalf("Load returned %d packages; expected the whole module", len(pkgs))
+		}
+		analyzers := All()
+		count := 0
+		for _, pkg := range pkgs {
+			count += len(Check(pkg, analyzers))
+		}
+		if count != 0 {
+			b.Fatalf("repo is not lint-clean: %d diagnostics", count)
+		}
+	}
+}

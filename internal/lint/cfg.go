@@ -1,0 +1,450 @@
+package lint
+
+// Intraprocedural control-flow graph over go/ast, the substrate the
+// flow-sensitive analyzers (pinleak, lockhold) run on. The graph is
+// deliberately simple: basic blocks of statement/expression nodes,
+// edges optionally annotated with the branch condition they refine on,
+// and per-block exit markers. Function literals are opaque — each gets
+// its own graph — and a node list never contains the statements of a
+// nested block, so an analyzer can inspect a block's nodes with
+// inspectShallow without double-visiting anything.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// cfgEdge is one control transfer. When cond is non-nil the edge is
+// only taken when cond evaluates to taken, which lets a dataflow
+// refine its state on branches ("if err != nil" discharges an
+// obligation whose release is nil on the error path).
+type cfgEdge struct {
+	to    *cfgBlock
+	cond  ast.Expr
+	taken bool
+}
+
+// cfgBlock is one basic block: nodes execute in order, then control
+// follows one of succs (or leaves the function).
+type cfgBlock struct {
+	index int
+	nodes []ast.Node
+	succs []cfgEdge
+
+	// ret is the explicit return ending the block, nil when the block
+	// exits by falling off the end of the function body.
+	ret *ast.ReturnStmt
+	// exits marks a block where control leaves the function normally.
+	exits bool
+	// panics marks a block ending in panic/os.Exit/log.Fatal*: the
+	// function never returns from it, so must-pair checks skip it.
+	panics bool
+}
+
+// funcCFG is the graph of one function body. end is the closing brace,
+// used to describe fall-off-the-end exits in messages.
+type funcCFG struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+	end    token.Pos
+}
+
+// buildCFG constructs the graph of one function body. info may be nil
+// when no terminal-call detection is wanted (tests).
+func buildCFG(info *types.Info, body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{
+		info:   info,
+		g:      &funcCFG{end: body.Rbrace},
+		labels: map[string]*labelTargets{},
+	}
+	b.g.entry = b.newBlock()
+	if end := b.stmtList(b.g.entry, body.List); end != nil {
+		end.exits = true
+	}
+	return b.g
+}
+
+// labelTargets is the jump surface of one label: entry for goto, brk
+// and cont when the labeled statement is a loop/switch/select.
+type labelTargets struct {
+	entry     *cfgBlock
+	brk, cont *cfgBlock
+}
+
+type cfgBuilder struct {
+	info *types.Info
+	g    *funcCFG
+
+	breaks    []*cfgBlock // innermost-last break targets
+	continues []*cfgBlock // innermost-last continue targets
+	fallth    *cfgBlock   // next case clause, inside a switch body
+
+	labels       map[string]*labelTargets
+	pendingLabel string // label naming the next loop/switch processed
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock, cond ast.Expr, taken bool) {
+	from.succs = append(from.succs, cfgEdge{to: to, cond: cond, taken: taken})
+}
+
+func (b *cfgBuilder) label(name string) *labelTargets {
+	lt, ok := b.labels[name]
+	if !ok {
+		lt = &labelTargets{entry: b.newBlock()}
+		b.labels[name] = lt
+	}
+	return lt
+}
+
+// takePendingLabel claims the label attached to the statement being
+// processed, so its break/continue targets can be registered.
+func (b *cfgBuilder) takePendingLabel() *labelTargets {
+	if b.pendingLabel == "" {
+		return nil
+	}
+	lt := b.label(b.pendingLabel)
+	b.pendingLabel = ""
+	return lt
+}
+
+// stmtList threads cur through stmts. A nil return means control never
+// reaches past the list (every path returned, jumped or panicked).
+func (b *cfgBuilder) stmtList(cur *cfgBlock, stmts []ast.Stmt) *cfgBlock {
+	for _, s := range stmts {
+		if cur == nil {
+			// Unreachable code after a terminating statement; keep
+			// building (a label inside may make it reachable again) in
+			// a block with no predecessors.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt extends the graph with one statement and returns the block
+// holding the fall-through continuation, or nil when control diverges.
+func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		then := b.newBlock()
+		after := b.newBlock()
+		b.edge(cur, then, s.Cond, true)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els, s.Cond, false)
+			if end := b.stmt(els, s.Else); end != nil {
+				b.edge(end, after, nil, false)
+			}
+		} else {
+			b.edge(cur, after, s.Cond, false)
+		}
+		if end := b.stmt(then, s.Body); end != nil {
+			b.edge(end, after, nil, false)
+		}
+		return after
+
+	case *ast.ForStmt:
+		lt := b.takePendingLabel()
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		header := b.newBlock()
+		b.edge(cur, header, nil, false)
+		body := b.newBlock()
+		after := b.newBlock()
+		if s.Cond != nil {
+			header.nodes = append(header.nodes, s.Cond)
+			b.edge(header, body, s.Cond, true)
+			b.edge(header, after, s.Cond, false)
+		} else {
+			b.edge(header, body, nil, false)
+		}
+		cont := header
+		if s.Post != nil {
+			post := b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			b.edge(post, header, nil, false)
+			cont = post
+		}
+		if lt != nil {
+			// cur is already the label's entry block (LabeledStmt
+			// threads it through), so only the jump targets register.
+			lt.brk, lt.cont = after, cont
+		}
+		b.breaks = append(b.breaks, after)
+		b.continues = append(b.continues, cont)
+		end := b.stmt(body, s.Body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		if end != nil {
+			b.edge(end, cont, nil, false)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		lt := b.takePendingLabel()
+		header := b.newBlock()
+		b.edge(cur, header, nil, false)
+		// The whole RangeStmt is the header node; inspectShallow stops
+		// at the body's BlockStmt, so only X/Key/Value are visible.
+		header.nodes = append(header.nodes, s)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(header, body, nil, false)
+		b.edge(header, after, nil, false)
+		if lt != nil {
+			lt.brk, lt.cont = after, header
+		}
+		b.breaks = append(b.breaks, after)
+		b.continues = append(b.continues, header)
+		end := b.stmt(body, s.Body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		if end != nil {
+			b.edge(end, header, nil, false)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(cur, s.Init, s.Tag, nil, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchStmt(cur, s.Init, nil, s.Assign, s.Body)
+
+	case *ast.SelectStmt:
+		lt := b.takePendingLabel()
+		// The SelectStmt itself is a node: analyzers treat it
+		// atomically (a select with no default blocks) and
+		// inspectShallow never descends into the clause bodies.
+		cur.nodes = append(cur.nodes, s)
+		after := b.newBlock()
+		if lt != nil {
+			lt.brk = after
+		}
+		b.breaks = append(b.breaks, after)
+		for _, c := range s.Body.List {
+			clause := c.(*ast.CommClause)
+			cb := b.newBlock()
+			b.edge(cur, cb, nil, false)
+			if end := b.stmtList(cb, clause.Body); end != nil {
+				b.edge(end, after, nil, false)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever: no successor.
+			cur.panics = true
+			return nil
+		}
+		return after
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		cur.ret = s
+		cur.exits = true
+		return nil
+
+	case *ast.BranchStmt:
+		var target *cfgBlock
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				target = b.label(s.Label.Name).brk
+			} else if len(b.breaks) > 0 {
+				target = b.breaks[len(b.breaks)-1]
+			}
+		case token.CONTINUE:
+			if s.Label != nil {
+				target = b.label(s.Label.Name).cont
+			} else if len(b.continues) > 0 {
+				target = b.continues[len(b.continues)-1]
+			}
+		case token.GOTO:
+			target = b.label(s.Label.Name).entry
+		case token.FALLTHROUGH:
+			target = b.fallth
+		}
+		if target != nil {
+			b.edge(cur, target, nil, false)
+		}
+		return nil
+
+	case *ast.LabeledStmt:
+		lt := b.label(s.Label.Name)
+		b.edge(cur, lt.entry, nil, false)
+		b.pendingLabel = s.Label.Name
+		next := b.stmt(lt.entry, s.Stmt)
+		b.pendingLabel = ""
+		return next
+
+	case *ast.ExprStmt:
+		cur.nodes = append(cur.nodes, s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && b.isTerminalCall(call) {
+			cur.panics = true
+			return nil
+		}
+		return cur
+
+	case *ast.EmptyStmt:
+		return cur
+
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go: straight-line nodes.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// switchStmt builds both expression and type switches: every clause is
+// an alternative successor of the header, fallthrough jumps to the
+// next clause's block, and a missing default adds a skip edge.
+func (b *cfgBuilder) switchStmt(cur *cfgBlock, init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) *cfgBlock {
+	lt := b.takePendingLabel()
+	if init != nil {
+		cur.nodes = append(cur.nodes, init)
+	}
+	if tag != nil {
+		cur.nodes = append(cur.nodes, tag)
+	}
+	if assign != nil {
+		cur.nodes = append(cur.nodes, assign)
+	}
+	after := b.newBlock()
+	if lt != nil {
+		lt.brk = after
+	}
+	clauses := make([]*cfgBlock, len(body.List))
+	hasDefault := false
+	for i, c := range body.List {
+		clauses[i] = b.newBlock()
+		if c.(*ast.CaseClause).List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(cur, after, nil, false)
+	}
+	b.breaks = append(b.breaks, after)
+	for i, c := range body.List {
+		clause := c.(*ast.CaseClause)
+		cb := clauses[i]
+		b.edge(cur, cb, nil, false)
+		for _, e := range clause.List {
+			cb.nodes = append(cb.nodes, e)
+		}
+		if i+1 < len(clauses) {
+			b.fallth = clauses[i+1]
+		} else {
+			b.fallth = nil
+		}
+		if end := b.stmtList(cb, clause.Body); end != nil {
+			b.edge(end, after, nil, false)
+		}
+	}
+	b.fallth = nil
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	return after
+}
+
+// isTerminalCall reports whether the call never returns: the builtin
+// panic, os.Exit, runtime.Goexit, or log.Fatal*.
+func (b *cfgBuilder) isTerminalCall(call *ast.CallExpr) bool {
+	if b.info == nil {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if blt, ok := b.info.Uses[id].(*types.Builtin); ok {
+			return blt.Name() == "panic"
+		}
+	}
+	obj := calleeFunc(b.info, call)
+	if obj == nil {
+		return false
+	}
+	switch {
+	case isPkgFunc(obj, "os", "Exit"),
+		isPkgFunc(obj, "runtime", "Goexit"),
+		isPkgFunc(obj, "log", "Fatal"),
+		isPkgFunc(obj, "log", "Fatalf"),
+		isPkgFunc(obj, "log", "Fatalln"):
+		return true
+	}
+	return false
+}
+
+// inspectShallow visits n's subtree but never descends into a nested
+// BlockStmt or FuncLit — exactly the parts of a CFG node that belong
+// to other blocks (or other functions). f returning false prunes the
+// subtree, as with ast.Inspect.
+func inspectShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if m != n {
+			switch m.(type) {
+			case *ast.BlockStmt, *ast.FuncLit:
+				return false
+			}
+		}
+		return f(m)
+	})
+}
+
+// funcUnits collects every function body in the file — declarations
+// and literals — each to be analyzed as its own unit.
+func funcUnits(f *ast.File) []*ast.BlockStmt {
+	var units []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				units = append(units, n.Body)
+			}
+		case *ast.FuncLit:
+			units = append(units, n.Body)
+		}
+		return true
+	})
+	return units
+}
+
+// nestedFuncLits returns the function literals nested inside body (for
+// escape checks: an identifier used inside one belongs to another
+// analysis unit).
+func nestedFuncLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+			return false
+		}
+		return true
+	})
+	return lits
+}
+
+// posInLits reports whether pos falls inside any of the literals.
+func posInLits(lits []*ast.FuncLit, pos token.Pos) bool {
+	for _, lit := range lits {
+		if lit.Pos() <= pos && pos <= lit.End() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,322 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseUnit type-checks src (a complete file with no imports) and
+// returns the named function's body plus the type info.
+func parseUnit(t *testing.T, src, fn string) (*types.Info, *ast.BlockStmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "unit.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("unit", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type check: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return info, fd.Body
+		}
+	}
+	t.Fatalf("no func %q in source", fn)
+	return nil, nil
+}
+
+// mustPair runs a toy must-pair analysis over fn's CFG: a call of
+// acquire sets the bit, a call of release clears it, and the result
+// reports whether the bit is still live at any normal function exit.
+// This is pinleak's skeleton with the source recognition stripped out,
+// so it pins the CFG builder and worklist engine directly.
+func mustPair(fa *flowAnalysis, info *types.Info, body *ast.BlockStmt) bool {
+	fa.transfer = func(st uint64, n ast.Node) uint64 {
+		inspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				switch id.Name {
+				case "acquire":
+					st |= 1
+				case "release":
+					st &^= 1
+				}
+			}
+			return true
+		})
+		return st
+	}
+	g := buildCFG(info, body)
+	in := fixpoint(g, *fa)
+	leaked := false
+	replay(g, in, *fa, nil, func(st uint64, _ *cfgBlock) {
+		if st&1 != 0 {
+			leaked = true
+		}
+	})
+	return leaked
+}
+
+const cfgSrc = `package unit
+
+func acquire() int { return 0 }
+func release()     {}
+func cond() bool   { return false }
+
+func clean() {
+	x := acquire()
+	_ = x
+	release()
+}
+
+func leakyEarlyReturn() {
+	_ = acquire()
+	if cond() {
+		return
+	}
+	release()
+}
+
+func branchBoth() {
+	_ = acquire()
+	if cond() {
+		release()
+	} else {
+		release()
+	}
+}
+
+func loopBreak() {
+	for i := 0; i < 3; i++ {
+		_ = acquire()
+		if cond() {
+			break
+		}
+		release()
+	}
+}
+
+func loopClean() {
+	for i := 0; i < 3; i++ {
+		_ = acquire()
+		release()
+	}
+}
+
+func rangeContinue(xs []int) {
+	for range xs {
+		_ = acquire()
+		if cond() {
+			release()
+			continue
+		}
+		release()
+	}
+}
+
+func panicPath() {
+	_ = acquire()
+	if cond() {
+		panic("invariant")
+	}
+	release()
+}
+
+func gotoRejoin() {
+	_ = acquire()
+	if cond() {
+		goto done
+	}
+	release()
+	return
+done:
+	release()
+}
+
+func labeledBreak() {
+outer:
+	for {
+		for {
+			_ = acquire()
+			if cond() {
+				break outer
+			}
+			release()
+		}
+	}
+}
+
+func switchLeak(n int) {
+	_ = acquire()
+	switch n {
+	case 0:
+		release()
+	case 1:
+	default:
+		release()
+	}
+}
+
+func switchFallthrough(n int) {
+	_ = acquire()
+	switch n {
+	case 0:
+		fallthrough
+	case 1:
+		release()
+	default:
+		release()
+	}
+}
+
+func selectAtomic(ch chan struct{}) {
+	_ = acquire()
+	select {
+	case <-ch:
+		release()
+	case ch <- struct{}{}:
+		release()
+	}
+}
+
+func selectForever() {
+	_ = acquire()
+	select {}
+}
+
+func deadCode() {
+	return
+	_ = acquire()
+}
+
+func deferredRelease() {
+	_ = acquire()
+	func() { _ = acquire() }()
+	release()
+}
+`
+
+func TestMustPairFlow(t *testing.T) {
+	cases := []struct {
+		fn    string
+		leaks bool
+	}{
+		{"clean", false},
+		{"leakyEarlyReturn", true},
+		{"branchBoth", false},
+		{"loopBreak", true},      // break skips the release
+		{"loopClean", false},     // per-iteration pairing survives the back edge
+		{"rangeContinue", false}, // both arms release before the back edge
+		{"panicPath", false},     // a panic exit is not a leak
+		{"gotoRejoin", false},    // the label block releases on the goto path
+		{"labeledBreak", true},   // break outer escapes both loops with the bit set
+		{"switchLeak", true},     // the empty case falls to the exit un-released
+		{"switchFallthrough", false},
+		{"selectAtomic", false},    // clause bodies are successor blocks
+		{"selectForever", false},   // select{} never returns, so nothing leaks
+		{"deadCode", false},        // unreachable acquire must not poison exits
+		{"deferredRelease", false}, // the nested literal is an opaque unit
+	}
+	for _, tc := range cases {
+		t.Run(tc.fn, func(t *testing.T) {
+			info, body := parseUnit(t, cfgSrc, tc.fn)
+			if got := mustPair(&flowAnalysis{}, info, body); got != tc.leaks {
+				t.Errorf("mustPair(%s) = %v, want %v", tc.fn, got, tc.leaks)
+			}
+		})
+	}
+}
+
+// TestBranchRefinement proves edges carry their condition: a refine
+// hook that clears the bit on the taken branch (the shape of pinleak's
+// err != nil discharge) turns the early-return leak into a clean
+// function without touching the transfer.
+func TestBranchRefinement(t *testing.T) {
+	info, body := parseUnit(t, cfgSrc, "leakyEarlyReturn")
+	fa := &flowAnalysis{
+		refine: func(st uint64, cond ast.Expr, taken bool) uint64 {
+			if taken {
+				return st &^ 1
+			}
+			return st
+		},
+	}
+	if mustPair(fa, info, body) {
+		t.Error("refine on the taken edge should discharge the obligation before the early return")
+	}
+}
+
+// TestCFGShape pins structural invariants the analyzers rely on.
+func TestCFGShape(t *testing.T) {
+	t.Run("exit-blocks", func(t *testing.T) {
+		info, body := parseUnit(t, cfgSrc, "leakyEarlyReturn")
+		g := buildCFG(info, body)
+		rets, falls := 0, 0
+		for _, blk := range g.blocks {
+			if !blk.exits {
+				continue
+			}
+			if blk.ret != nil {
+				rets++
+			} else {
+				falls++
+			}
+		}
+		if rets != 1 || falls != 1 {
+			t.Errorf("got %d return exits and %d fall-off exits, want 1 and 1", rets, falls)
+		}
+		if g.end != body.Rbrace {
+			t.Errorf("g.end = %v, want the closing brace %v", g.end, body.Rbrace)
+		}
+	})
+
+	t.Run("panic-block-terminates", func(t *testing.T) {
+		info, body := parseUnit(t, cfgSrc, "panicPath")
+		g := buildCFG(info, body)
+		panics := 0
+		for _, blk := range g.blocks {
+			if blk.panics {
+				panics++
+				if len(blk.succs) != 0 {
+					t.Errorf("panicking block %d has %d successors", blk.index, len(blk.succs))
+				}
+			}
+		}
+		if panics != 1 {
+			t.Errorf("got %d panicking blocks, want 1", panics)
+		}
+	})
+
+	t.Run("unreachable-block-has-no-entry", func(t *testing.T) {
+		info, body := parseUnit(t, cfgSrc, "deadCode")
+		g := buildCFG(info, body)
+		in := fixpoint(g, flowAnalysis{transfer: func(st uint64, _ ast.Node) uint64 { return st }})
+		for _, blk := range g.blocks {
+			if _, reachable := in[blk]; reachable {
+				for _, n := range blk.nodes {
+					if as, ok := n.(*ast.AssignStmt); ok {
+						if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+							if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "acquire" {
+								t.Error("the acquire after return should be in an unreachable block")
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}

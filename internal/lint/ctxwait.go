@@ -1,0 +1,150 @@
+package lint
+
+// ctxwait: in internal/server, waiting on a signal channel (a `chan
+// struct{}` — flight.done, leader handoffs, semaphore slots) must be
+// cancelable. This is the PR 8 coalescing incident as a rule: a
+// coalesced forecast waiter blocked on `<-fl.done` with no way out, so
+// a canceled request kept waiting on a build it no longer wanted. A
+// blocking select over such a channel must carry a ctx.Done() case
+// (or a default, which makes it a poll); a bare receive or send on one
+// has no escape hatch at all and is flagged outright.
+//
+// The rule is scoped to internal/server — that is where request
+// contexts exist; a worker-pool channel in internal/parallel has no
+// ctx to honor.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func newCtxWait() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxwait",
+		Doc:  "a wait on a signal channel in internal/server must have a ctx.Done() escape",
+	}
+	a.Run = func(pkg *Package) []Diagnostic {
+		if !importPathIs(pkg.ImportPath, "internal/server") {
+			return nil
+		}
+		var diags []Diagnostic
+		report := func(pos ast.Node, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Pos:     pkg.Fset.Position(pos.Pos()),
+				Rule:    a.Name,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+		for _, f := range pkg.Files {
+			// Receives/sends that are a select's comm are judged as part
+			// of that select, not as bare operations.
+			inSelect := map[ast.Node]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectStmt)
+				if !ok {
+					return true
+				}
+				hasDefault, hasDone, signal := false, false, ""
+				for _, c := range sel.Body.List {
+					clause := c.(*ast.CommClause)
+					if clause.Comm == nil {
+						hasDefault = true
+						continue
+					}
+					inSelect[clause.Comm] = true
+					if ch, ok := commChannel(clause.Comm); ok {
+						if isDoneCall(pkg.Info, ch) {
+							hasDone = true
+						} else if isSignalChan(pkg.Info, ch) && signal == "" {
+							signal = exprString(ch)
+						}
+					}
+				}
+				if signal != "" && !hasDefault && !hasDone {
+					report(sel, "select waits on signal channel %s with no ctx.Done() case; a canceled request blocks here forever", signal)
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.UnaryExpr:
+					if n.Op != token.ARROW || inSelectComm(inSelect, n) {
+						return true
+					}
+					if isSignalChan(pkg.Info, n.X) && !isDoneCall(pkg.Info, n.X) {
+						report(n, "bare receive from signal channel %s; wrap it in a select with a ctx.Done() case", exprString(n.X))
+					}
+				case *ast.SendStmt:
+					if inSelect[n] {
+						return true
+					}
+					if isSignalChan(pkg.Info, n.Chan) {
+						report(n, "bare send to signal channel %s; wrap it in a select with a ctx.Done() case", exprString(n.Chan))
+					}
+				}
+				return true
+			})
+		}
+		return diags
+	}
+	return a
+}
+
+// inSelectComm reports whether the receive expression is (part of) a
+// select comm clause — `case <-ch:` wraps the UnaryExpr in an
+// ExprStmt or AssignStmt that the select pass registered.
+func inSelectComm(inSelect map[ast.Node]bool, recv *ast.UnaryExpr) bool {
+	for comm := range inSelect {
+		if comm.Pos() <= recv.Pos() && recv.End() <= comm.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// commChannel extracts the channel expression of a select comm clause.
+func commChannel(comm ast.Stmt) (ast.Expr, bool) {
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		return s.Chan, true
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u.X, true
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u.X, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// isSignalChan reports whether e's type is a channel of struct{} — the
+// signal-channel idiom (flight.done, semaphores, leader handoff).
+func isSignalChan(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// isDoneCall reports whether e is a call of context's Done method
+// (ctx.Done() — also a chan struct{}, but the escape hatch itself).
+func isDoneCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := calleeFunc(info, call)
+	return obj != nil && obj.Name() == "Done" && pathIs(obj.Pkg(), "context")
+}

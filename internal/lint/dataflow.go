@@ -1,0 +1,76 @@
+package lint
+
+// Worklist dataflow over funcCFG. The state is a uint64 bitset — each
+// analyzer assigns its facts (open obligations, held locks) to bits —
+// and the merge at join points is set union, which makes both clients
+// "may" analyses: pinleak reports a resource that MAY still be open at
+// a return, lockhold reports a blocking call while a lock MAY be held.
+// Transfer functions do strong updates (set on acquire, clear on
+// release), which stays monotone in the input, so the fixpoint
+// terminates: block-entry states only ever grow and the lattice is
+// finite.
+
+import "go/ast"
+
+// flowAnalysis is one dataflow client.
+type flowAnalysis struct {
+	// transfer folds one CFG node into the state.
+	transfer func(state uint64, n ast.Node) uint64
+	// refine adjusts the state along a branch edge whose condition is
+	// known to have evaluated to taken. Optional.
+	refine func(state uint64, cond ast.Expr, taken bool) uint64
+}
+
+// fixpoint computes the entry state of every block reachable from the
+// entry. Presence in the returned map IS reachability — unreachable
+// blocks (dead code, clauses of an empty switch) have no entry.
+func fixpoint(g *funcCFG, fa flowAnalysis) map[*cfgBlock]uint64 {
+	in := map[*cfgBlock]uint64{g.entry: 0}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		st := in[blk]
+		for _, n := range blk.nodes {
+			st = fa.transfer(st, n)
+		}
+		for _, e := range blk.succs {
+			s := st
+			if fa.refine != nil && e.cond != nil {
+				s = fa.refine(s, e.cond, e.taken)
+			}
+			old, seen := in[e.to]
+			if !seen || old|s != old {
+				in[e.to] = old | s
+				work = append(work, e.to)
+			}
+		}
+	}
+	return in
+}
+
+// replay walks every reachable block once, in construction order,
+// re-running the transfer so callbacks observe the converged state:
+// visit sees the state immediately BEFORE each node, exit sees the
+// state at a normal function exit (panic paths are skipped). Reporting
+// from a replay instead of from inside the fixpoint keeps diagnostics
+// deterministic and free of revisit duplicates.
+func replay(g *funcCFG, in map[*cfgBlock]uint64, fa flowAnalysis,
+	visit func(state uint64, n ast.Node),
+	exit func(state uint64, blk *cfgBlock)) {
+	for _, blk := range g.blocks {
+		st, ok := in[blk]
+		if !ok {
+			continue
+		}
+		for _, n := range blk.nodes {
+			if visit != nil {
+				visit(st, n)
+			}
+			st = fa.transfer(st, n)
+		}
+		if blk.exits && !blk.panics && exit != nil {
+			exit(st, blk)
+		}
+	}
+}

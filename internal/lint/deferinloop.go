@@ -1,0 +1,90 @@
+package lint
+
+// deferinloop: a defer inside a loop body runs at function return, not
+// at the end of the iteration. For a release-shaped defer — an Acquire
+// release func, mutex Unlock, file Close, span End — that means every
+// iteration's resource stays held until the whole sweep finishes: on
+// the /v1/vehicles listing shape, `defer release()` in the loop would
+// pin the entire fleet at once and defeat -resident-budget eviction
+// fleet-wide. Only release-shaped defers are flagged; a deferred
+// logging closure in a loop is odd but not a leak amplifier.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+func newDeferInLoop() *Analyzer {
+	a := &Analyzer{
+		Name: "deferinloop",
+		Doc:  "defer of a release/unlock/close inside a loop body holds every iteration's resource until function return",
+	}
+	a.Run = func(pkg *Package) []Diagnostic {
+		var diags []Diagnostic
+		for _, f := range pkg.Files {
+			for _, body := range funcUnits(f) {
+				diags = append(diags, deferInLoopUnit(pkg, a.Name, body)...)
+			}
+		}
+		return diags
+	}
+	return a
+}
+
+func deferInLoopUnit(pkg *Package, rule string, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false // its own unit, loop depth resets
+			case *ast.ForStmt:
+				walk(m.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				walk(m.Body, depth+1)
+				return false
+			case *ast.DeferStmt:
+				if depth == 0 {
+					return true
+				}
+				if what := releaseShaped(pkg.Info, m.Call); what != "" {
+					diags = append(diags, Diagnostic{
+						Pos:     pkg.Fset.Position(m.Pos()),
+						Rule:    rule,
+						Message: fmt.Sprintf("defer of %s inside a loop runs at function return, not per iteration; call it directly (or hoist the body into a helper)", what),
+					})
+				}
+			}
+			return true
+		})
+	}
+	walk(body, 0)
+	return diags
+}
+
+// releaseShaped recognizes deferred calls that pair with an earlier
+// acquire: Unlock/RUnlock, Close, a span End, or a call through a
+// plain func() value (the Acquire release shape).
+func releaseShaped(info *types.Info, call *ast.CallExpr) string {
+	if obj := calleeFunc(info, call); obj != nil {
+		switch obj.Name() {
+		case "Unlock", "RUnlock", "Close", "End":
+			return exprString(call.Fun)
+		}
+		return ""
+	}
+	// Indirect call of a niladic func value: `defer release()`.
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return ""
+	}
+	if sig, ok := t.Underlying().(*types.Signature); ok && sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+		if _, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); !isLit {
+			return exprString(call.Fun)
+		}
+	}
+	return ""
+}

@@ -17,7 +17,14 @@ import (
 //     are assignments, not bare statements — writing the blank is the
 //     audit trail;
 //   - defer and go statements — `defer f.Close()` on read paths is
-//     idiomatic; flagging it buys noise, not safety;
+//     idiomatic; flagging it buys noise, not safety. The one deferred
+//     shape that IS flagged: `defer f.Close()` on a file this function
+//     opened for writing (os.Create, or os.OpenFile with write flags)
+//     with no explicit Close anywhere else in the function — the
+//     final write error lands in Close, and a bare defer swallows it.
+//     An explicit Close on the success path silences it (the defer
+//     then only covers early returns), as does capturing the error in
+//     a deferred closure;
 //   - fmt.Print/Printf/Println to stdout — process stdout is the
 //     program's product in the cmd binaries, and printhygiene already
 //     polices it in libraries;
@@ -55,10 +62,135 @@ func newErrDiscipline() *Analyzer {
 				})
 				return true
 			})
+			for _, body := range funcUnits(f) {
+				diags = append(diags, writableDeferUnit(pkg, a.Name, body)...)
+			}
 		}
 		return diags
 	}
 	return a
+}
+
+// writableDeferUnit flags `defer f.Close()` on a file the unit opened
+// for writing when no other Close of the same handle exists: Close
+// flushes the final buffered write, so the bare defer is the one place
+// a short write can vanish without a trace.
+func writableDeferUnit(pkg *Package, rule string, body *ast.BlockStmt) []Diagnostic {
+	// Handles opened for writing at this unit's nesting level.
+	writable := map[types.Object]bool{}
+	shallowStmts(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeFunc(pkg.Info, call)
+		if obj == nil || obj.Type().(*types.Signature).Recv() != nil || !pathIs(obj.Pkg(), "os") {
+			return true
+		}
+		switch obj.Name() {
+		case "Create", "CreateTemp":
+		case "OpenFile":
+			if len(call.Args) < 2 || !writableFlags(call.Args[1]) {
+				return true
+			}
+		default:
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if o := objectOf(pkg.Info, id); o != nil {
+				writable[o] = true
+			}
+		}
+		return true
+	})
+	if len(writable) == 0 {
+		return nil
+	}
+
+	// Deferred f.Close() statements are candidates; any other Close of
+	// the same handle (the explicit success-path one, which the defer
+	// then merely backstops) clears them. A Close inside a deferred
+	// closure that captures the error never gets here at all — the
+	// closure is a nested unit that shallowStmts skips.
+	deferCalls := map[*ast.CallExpr]bool{}
+	shallowStmts(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferCalls[d.Call] = true
+		}
+		return true
+	})
+	type candidate struct {
+		d   *ast.DeferStmt
+		obj types.Object
+	}
+	var cands []candidate
+	closed := map[types.Object]bool{}
+	shallowStmts(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if obj := closeReceiver(pkg.Info, n.Call); obj != nil && writable[obj] {
+				cands = append(cands, candidate{n, obj})
+			}
+		case *ast.CallExpr:
+			if deferCalls[n] {
+				return true
+			}
+			if obj := closeReceiver(pkg.Info, n); obj != nil {
+				closed[obj] = true
+			}
+		}
+		return true
+	})
+	var diags []Diagnostic
+	for _, c := range cands {
+		if closed[c.obj] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:     pkg.Fset.Position(c.d.Pos()),
+			Rule:    rule,
+			Message: fmt.Sprintf("deferred Close on writable file %s discards the final write error; close explicitly on the success path or capture the error in a deferred closure", c.obj.Name()),
+		})
+	}
+	return diags
+}
+
+// closeReceiver returns the variable x of an `x.Close()` call on an
+// *os.File, or nil.
+func closeReceiver(info *types.Info, call *ast.CallExpr) types.Object {
+	obj := calleeFunc(info, call)
+	if obj == nil || obj.Name() != "Close" || !recvIsNamed(obj, "os", "File") {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return objectOf(info, id)
+}
+
+// writableFlags reports whether an os.OpenFile flag expression requests
+// write access.
+func writableFlags(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC":
+				found = true
+			}
+		}
+		return true
+	})
+	return found
 }
 
 // returnsError reports whether the call's last result is an error.

@@ -39,10 +39,14 @@ type Analyzer struct {
 // between concurrent driver runs.
 func All() []*Analyzer {
 	return []*Analyzer{
+		newCtxWait(),
+		newDeferInLoop(),
 		newDeterminism(),
 		newErrDiscipline(),
 		newFloatSafety(),
+		newLockHold(),
 		newMetricNames(),
+		newPinLeak(),
 		newPrintHygiene(),
 	}
 }

@@ -105,6 +105,12 @@ func TestAnalyzersAgainstFixtures(t *testing.T) {
 		{"errdiscipline", "testdata/errdiscipline", "vup/fixture/errdiscipline"},
 		{"metricnames", "testdata/metricnames", "vup/fixture/metricnames"},
 		{"printhygiene", "testdata/printhygiene", "vup/fixture/printhygiene"},
+		// pinleak matches on the server.Store receiver and the ctxwait
+		// scope is internal/server, so those fixtures borrow its path.
+		{"pinleak", "testdata/pinleak", "vup/internal/server"},
+		{"lockhold", "testdata/lockhold", "vup/fixture/lockhold"},
+		{"ctxwait", "testdata/ctxwait", "vup/internal/server"},
+		{"deferinloop", "testdata/deferinloop", "vup/fixture/deferinloop"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {
@@ -127,6 +133,9 @@ func TestScopeExemptions(t *testing.T) {
 		{"determinism-elsewhere", "determinism", "testdata/determinism", "vup/internal/server"},
 		{"printhygiene-main", "printhygiene", "testdata/printmain", "vup/cmd/demo"},
 		{"printhygiene-textplot", "printhygiene", "testdata/printhygiene", "vup/internal/textplot"},
+		// A worker-pool channel in internal/parallel has no request ctx
+		// to honor, so the same waits are fine there.
+		{"ctxwait-elsewhere", "ctxwait", "testdata/ctxwait", "vup/internal/parallel"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -174,6 +183,37 @@ func TestDirectives(t *testing.T) {
 			t.Errorf("dead directive message = %q", d.Message)
 		}
 		if d.Pos.Line == 12 && d.Rule == DirectiveRule && !strings.Contains(d.Message, "malformed") {
+			t.Errorf("malformed directive message = %q", d.Message)
+		}
+	}
+}
+
+// TestFlowDirectives is TestDirectives for the flow rules: every new
+// analyzer honors a justified //lint:allow, a reasonless one is
+// malformed and suppresses nothing, and a dead one is reported.
+func TestFlowDirectives(t *testing.T) {
+	pkg, err := LoadDir("testdata/flowdirectives", "vup/internal/server")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	diags := Check(pkg, All())
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d:%s", d.Pos.Line, d.Rule))
+	}
+	want := []string{
+		"60:ctxwait",   // reasonless directive does not suppress
+		"60:directive", // ...and is itself reported as malformed
+		"63:directive", // dead directive over a clean function
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("flow directive handling mismatch:\n got %v\nwant %v", got, want)
+	}
+	for _, d := range diags {
+		if d.Pos.Line == 63 && !strings.Contains(d.Message, "suppresses nothing") {
+			t.Errorf("dead directive message = %q", d.Message)
+		}
+		if d.Pos.Line == 60 && d.Rule == DirectiveRule && !strings.Contains(d.Message, "malformed") {
 			t.Errorf("malformed directive message = %q", d.Message)
 		}
 	}

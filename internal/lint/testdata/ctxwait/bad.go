@@ -1,0 +1,62 @@
+// Package fixture exercises ctxwait: a wait on a signal channel (chan
+// struct{}) in internal/server must be cancelable via ctx.Done() or a
+// default case. Loaded as vup/internal/server to be in the rule's
+// scope.
+package server
+
+import "context"
+
+// flight mirrors the forecast cache's in-flight build record.
+type flight struct {
+	done chan struct{}
+	val  any
+}
+
+// The verbatim PR 8 incident: a coalesced waiter blocks on the leader
+// with no way out when its own request is canceled.
+func waitIncident(fl *flight) any {
+	<-fl.done // want ctxwait "bare receive"
+	return fl.val
+}
+
+// A select without a Done case is the same bug with extra steps.
+func waitSelect(fl *flight, results chan any) any {
+	select { // want ctxwait "no ctx.Done"
+	case <-fl.done:
+		return fl.val
+	case r := <-results:
+		return r
+	}
+}
+
+// The fixed shape: the waiter honours cancellation. Silent.
+func waitFixed(ctx context.Context, fl *flight) (any, error) {
+	select {
+	case <-fl.done:
+		return fl.val, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// A poll with a default never blocks (the ingest backpressure gate).
+// Silent.
+func tryAcquire(sem chan struct{}) bool {
+	select {
+	case sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// A bare send on a signal channel has no escape hatch either.
+func handoff(leader chan struct{}) {
+	leader <- struct{}{} // want ctxwait "bare send"
+}
+
+// Typed-payload channels are out of scope: the rule targets the
+// signal-channel idiom, not all channel use.
+func consume(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,72 @@
+// Package fixture exercises deferinloop: a release-shaped defer in a
+// loop body runs at function return, holding every iteration's
+// resource at once.
+package fixture
+
+import (
+	"os"
+	"sync"
+)
+
+// The /v1/vehicles sweep shape: deferring each iteration's release
+// would pin the entire fleet until the function returns, defeating
+// -resident-budget eviction fleet-wide.
+func sweepIncident(ids []string, acquire func(string) (func(), error)) {
+	for _, id := range ids {
+		release, err := acquire(id)
+		if err != nil {
+			continue
+		}
+		defer release() // want deferinloop "release"
+	}
+}
+
+// Per-iteration release is the fixed shape. Silent.
+func sweepFixed(ids []string, acquire func(string) (func(), error)) {
+	for _, id := range ids {
+		release, err := acquire(id)
+		if err != nil {
+			continue
+		}
+		release()
+	}
+}
+
+var mu sync.Mutex
+
+func lockedLoop(items []int) {
+	for range items {
+		mu.Lock()
+		defer mu.Unlock() // want deferinloop "mu.Unlock"
+	}
+}
+
+func fileLoop(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close() // want deferinloop "f.Close"
+	}
+	return nil
+}
+
+// A defer inside a closure created in the loop belongs to the
+// closure: it runs when the closure returns, once per call. Silent.
+func closureLoop(items []int, run func(func())) {
+	for range items {
+		run(func() {
+			mu.Lock()
+			defer mu.Unlock()
+		})
+	}
+}
+
+// Non-release defers in loops are odd but not a leak amplifier.
+// Silent.
+func logLoop(items []int, log func(int)) {
+	for i := range items {
+		defer func(n int) { log(n) }(i)
+	}
+}

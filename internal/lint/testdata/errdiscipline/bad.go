@@ -33,9 +33,80 @@ func exemptions(f *os.File, v any) string {
 
 	fmt.Println("progress") // stdout prints are printhygiene's turf
 
-	defer f.Close()          // defer is exempt by design
+	defer f.Close()          // defer on a handle of unknown origin is exempt
 	_ = os.Remove("scratch") // explicit blank is the audit trail
 	return sb.String() + buf.String()
+}
+
+// A deferred Close on a file this function opened for writing swallows
+// the final write error — Close is where the last buffered bytes land.
+func writableDefer(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want errdiscipline "writable file"
+	_, err = f.WriteString("data")
+	return err
+}
+
+// Read-only handles stay exempt: Close on a read path has nothing to
+// report.
+func readOnlyDefer(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.ReadAll(f)
+	return err
+}
+
+// The recommended shape: an explicit Close on the success path, with
+// the defer kept as a safety net for the early returns. Silent.
+func writableChecked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteString("data"); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Capturing the error in a deferred closure also counts: the Close
+// lives in its own unit and its error reaches the caller. Silent.
+func writableCaptured(path string) (err error) {
+	f, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
+	}
+	defer func() {
+		if closeErr := f.Close(); closeErr != nil && err == nil {
+			err = closeErr
+		}
+	}()
+	_, err = f.WriteString("data")
+	return err
+}
+
+// os.OpenFile is judged by its flags: a read-only open stays exempt, a
+// write-mode one fires.
+func openFileFlags(path string) error {
+	r, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	w, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer w.Close() // want errdiscipline "writable file"
+	_, err = w.WriteString("x")
+	return err
 }
 
 // realWriter shows the io.Writer case stays flagged even though the

@@ -1,0 +1,71 @@
+// Package fixture exercises the //lint:allow machinery against the
+// flow rules: a well-formed allow suppresses exactly one finding, a
+// reasonless allow is malformed (and suppresses nothing), and an allow
+// that matches no finding is dead. Loaded as vup/internal/server so
+// pinleak's receiver match and ctxwait's package scope both apply.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+type Dataset struct{ ID string }
+
+type Store struct {
+	mu  sync.RWMutex
+	res map[string]*Dataset
+}
+
+func (s *Store) Acquire(ctx context.Context, id string) (*Dataset, func(), error) {
+	d, ok := s.res[id]
+	if !ok {
+		return nil, nil, errors.New("unknown vehicle")
+	}
+	return d, func() {}, nil
+}
+
+// A well-formed trailing allow suppresses the pinleak finding.
+func pinAllowed(ctx context.Context, s *Store) {
+	_, _, _ = s.Acquire(ctx, "v") //lint:allow pinleak fixture: the pin is deliberately dropped to warm the cache
+}
+
+// Releasing a held semaphore slot can never block.
+func semRelease(sem chan struct{}) {
+	<-sem //lint:allow ctxwait fixture: releasing a held slot never blocks
+}
+
+// The builder is a pure in-memory constructor.
+func lockAllowed(s *Store, build func() *Dataset) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.res["v"] = build() //lint:allow lockhold fixture: build is a pure constructor and never does IO
+}
+
+// The sweep is bounded, so deferring each release is deliberate.
+func sweepAllowed(ctx context.Context, s *Store, ids []string) {
+	for _, id := range ids {
+		_, release, err := s.Acquire(ctx, id)
+		if err != nil {
+			continue
+		}
+		defer release() //lint:allow deferinloop fixture: the sweep is bounded to two vehicles
+	}
+}
+
+// A reasonless allow is malformed: the finding it meant to suppress
+// stands, and the directive itself is diagnosed alongside it.
+func malformed(fl chan struct{}) {
+	<-fl //lint:allow ctxwait
+}
+
+//lint:allow pinleak dead directive: the function below is clean
+func clean(ctx context.Context, s *Store) error {
+	_, release, err := s.Acquire(ctx, "v")
+	if err != nil {
+		return err
+	}
+	release()
+	return nil
+}

@@ -1,0 +1,109 @@
+// Package fixture exercises lockhold: no blocking operation while a
+// sync.RWMutex is held. The Store here mirrors the server store's
+// locking shape — a store-wide RWMutex on the read path plus an
+// injected persistence hook.
+package fixture
+
+import (
+	"os"
+	"sync"
+)
+
+type dataset struct{ id string }
+
+type Store struct {
+	mu      sync.RWMutex
+	data    map[string]*dataset
+	persist func(*dataset) error
+}
+
+// The verbatim PR 8 incident: persist (a disk fsync) runs under the
+// store-wide lock, stalling every reader for the disk round-trip.
+func (s *Store) PutIncident(d *dataset) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.persist != nil {
+		if err := s.persist(d); err != nil { // want lockhold "func value"
+			return err
+		}
+	}
+	s.data[d.id] = d
+	return nil
+}
+
+// The fixed shape: persist first, then take the lock only for the
+// in-memory swap. Silent.
+func (s *Store) PutFixed(d *dataset) error {
+	if s.persist != nil {
+		if err := s.persist(d); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.data[d.id] = d
+	s.mu.Unlock()
+	return nil
+}
+
+// Direct file IO inside an explicit lock region.
+func (s *Store) Snapshot(f *os.File) error {
+	s.mu.Lock()
+	err := f.Sync() // want lockhold "os.File.Sync"
+	s.mu.Unlock()
+	return err
+}
+
+// Blocking hidden one call deep in the same package: the transitive
+// summary still sees the os.WriteFile.
+func (s *Store) Flush(path string, b []byte) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return writeFileSync(path, b) // want lockhold "blocks"
+}
+
+func writeFileSync(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}
+
+// A channel send can park the goroutine with the read lock held.
+func (s *Store) Notify(ch chan string, id string) {
+	s.mu.RLock()
+	ch <- id // want lockhold "channel send"
+	s.mu.RUnlock()
+}
+
+// Releasing before the send is the fix. Silent.
+func (s *Store) NotifyFixed(ch chan string, id string) {
+	s.mu.RLock()
+	_, ok := s.data[id]
+	s.mu.RUnlock()
+	if ok {
+		ch <- id
+	}
+}
+
+// Branchy unlock: only one path still holds the lock at the IO.
+func (s *Store) Lookup(f *os.File, id string) error {
+	s.mu.RLock()
+	_, ok := s.data[id]
+	if !ok {
+		s.mu.RUnlock()
+		return nil
+	}
+	err := f.Sync() // want lockhold "os.File.Sync"
+	s.mu.RUnlock()
+	return err
+}
+
+// A plain sync.Mutex serializing writers around IO is out of scope by
+// design — that is fstore.Dir's deliberate shape. Silent.
+type journal struct {
+	mu sync.Mutex
+}
+
+func (j *journal) appendEntry(f *os.File, b []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err := f.Write(b)
+	return err
+}

@@ -120,7 +120,7 @@ func (f *family) child(values []string, make func() any) any {
 	if c, ok := f.children[key]; ok {
 		return c
 	}
-	c = make()
+	c = make() //lint:allow lockhold the metric constructors passed here are pure in-memory allocation, never IO
 	f.children[key] = c
 	return c
 }
